@@ -1,0 +1,106 @@
+"""Ablations for §3.1 (fabric bandwidth) and §7 (skewed assignment).
+
+Not paper figures, but both sections make quantitative arguments the
+reproduction can chart:
+
+* §3.1 — a VLB mesh must provision 2R of internal bandwidth per R of
+  external traffic; switch-based designs need R.  Verified against the
+  functional simulator's per-link packet counters.
+* §7 — a skewed controller policy costs ScaleBricks capacity (its partial
+  FIBs skew with the assignment) while hash partitioning is immune but
+  two-hop.  Charted across Zipf skew levels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Architecture, Cluster
+from repro.model.bandwidth import expected_transits
+from repro.model.skew import (
+    capacity_loss_from_skew,
+    effective_nodes,
+    zipf_shares,
+)
+from benchmarks.conftest import bench_keys, bench_scale, print_header
+
+N_FLOWS = 4_000 * bench_scale()
+MEMORY_BITS = 16 * 1024 * 1024 * 8
+
+
+def test_bandwidth_provisioning(benchmark):
+    """§3.1: internal transits per packet, analytic vs simulated."""
+    keys = bench_keys(N_FLOWS, seed=90)
+    handlers = (keys % np.uint64(4)).astype(np.int64)
+    values = np.arange(N_FLOWS)
+
+    def run():
+        out = {}
+        for arch in Architecture:
+            cluster = Cluster.build(arch, 4, keys, handlers, values)
+            cluster.route_batch(keys[:1_500])
+            out[arch] = cluster.fabric.stats.packets / 1_500
+        return out
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("§3.1: internal fabric transits per external packet (N=4)")
+    print(f"  {'architecture':20} {'analytic':>9} {'simulated':>10}")
+    for arch, transits in measured.items():
+        analytic = expected_transits(arch, 4)
+        print(f"  {arch.value:20} {analytic:>9.2f} {transits:>10.2f}")
+        assert transits == pytest.approx(analytic, abs=0.12)
+
+    # The §3.1 headline: VLB needs ~2x the switch designs' bandwidth.
+    assert measured[Architecture.ROUTEBRICKS_VLB] > \
+        1.8 * measured[Architecture.SCALEBRICKS]
+
+
+def test_skew_capacity_ablation(benchmark):
+    """§7: capacity retained vs assignment skew, 16-node cluster."""
+    levels = [0.0, 0.5, 1.0, 1.5, 2.0]
+
+    def run():
+        rows = []
+        for s in levels:
+            shares = zipf_shares(16, s)
+            rows.append(
+                (
+                    s,
+                    capacity_loss_from_skew(shares),
+                    effective_nodes(shares),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("§7 ablation: ScaleBricks capacity under Zipf-skewed pinning")
+    print(f"  {'zipf s':>7} {'capacity kept':>14} {'effective nodes':>16}")
+    for s, kept, eff in rows:
+        print(f"  {s:>7.1f} {kept * 100:>13.1f}% {eff:>16.1f}")
+
+    kept = [row[1] for row in rows]
+    assert kept[0] == pytest.approx(1.0)
+    assert kept == sorted(kept, reverse=True)  # more skew, less capacity
+    assert kept[-1] < 0.45  # heavy skew wipes out most of the scaling
+
+
+def test_skew_functional_fib_sizes(benchmark):
+    """Skewed pinning really skews the per-node partial FIBs."""
+    keys = bench_keys(N_FLOWS, seed=91)
+    rng = np.random.default_rng(5)
+    shares = np.asarray(zipf_shares(4, 1.2))
+    handlers = rng.choice(4, size=N_FLOWS, p=shares)
+    values = np.arange(N_FLOWS)
+
+    cluster = benchmark.pedantic(
+        lambda: Cluster.build(
+            Architecture.SCALEBRICKS, 4, keys, handlers, values
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    sizes = sorted((len(n.fib) for n in cluster.nodes), reverse=True)
+    print_header("§7 functional: partial FIB sizes under Zipf(1.2) pinning")
+    print(f"  per-node FIB entries: {sizes} (total {sum(sizes)})")
+    assert sizes[0] > 2 * sizes[-1]
+    assert sum(sizes) == N_FLOWS

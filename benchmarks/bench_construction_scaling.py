@@ -1,0 +1,66 @@
+"""Construction scalability: Table 1's linearity claims, measured.
+
+§6.1.1: "The per-thread construction rate (or throughput) is nearly
+constant; construction time increases linearly with the number of keys and
+decreases linearly with the number of concurrent threads."  This bench
+measures both axes on this implementation: key-count scaling (rate should
+be flat across sizes) and worker scaling (wall time should shrink).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import SetSepParams, build
+from benchmarks.conftest import bench_keys, bench_scale, print_header
+
+SIZES = [10_000, 20_000, 40_000, 80_000]
+
+
+def test_construction_linear_in_keys(benchmark):
+    params = SetSepParams(value_bits=2)
+
+    def run():
+        rows = []
+        for n in SIZES:
+            keys = bench_keys(n * bench_scale(), seed=n)
+            values = (keys % np.uint64(4)).astype(np.uint32)
+            started = time.perf_counter()
+            _, stats = build(keys, values, params)
+            rows.append((len(keys), time.perf_counter() - started,
+                         stats.keys_per_second))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("Table 1 linearity: construction rate vs key count")
+    print(f"  {'keys':>10} {'seconds':>9} {'Kkeys/s':>9}")
+    for n, seconds, rate in rows:
+        print(f"  {n:>10,} {seconds:>9.2f} {rate / 1e3:>9.1f}")
+
+    # Nearly-constant per-key rate: the largest/smallest rate ratio stays
+    # within ~2.5x across an 8x size range (Python startup overheads make
+    # tiny inputs noisy; in C the band is tighter).
+    rates = [rate for _, _, rate in rows]
+    assert max(rates) / min(rates) < 2.5
+
+
+def test_construction_worker_speedup(benchmark):
+    n = 60_000 * bench_scale()
+    keys = bench_keys(n, seed=9)
+    values = (keys % np.uint64(2)).astype(np.uint32)
+    params = SetSepParams()
+
+    def timed(workers):
+        started = time.perf_counter()
+        build(keys, values, params, workers=workers)
+        return time.perf_counter() - started
+
+    serial = benchmark.pedantic(lambda: timed(1), rounds=1, iterations=1)
+    quad = timed(4)
+    print_header("Table 1 linearity: multi-process construction")
+    print(f"  1 worker : {serial:6.2f}s")
+    print(f"  4 workers: {quad:6.2f}s ({serial / quad:.2f}x speedup)")
+    # Process startup costs bound the speedup at this scale; it must at
+    # least not regress and should show real parallelism at scale >= 1.
+    assert quad < serial * 1.2

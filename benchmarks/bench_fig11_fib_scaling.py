@@ -1,0 +1,86 @@
+"""Figure 11 / §6.3: total FIB entries vs cluster size.
+
+Paper (16 MiB of table memory per node, 64-bit entries, 1-32 servers):
+
+* full duplication is flat (~2 M entries no matter the cluster size);
+* hash partitioning is linear but costs a second hop;
+* ScaleBricks rises almost linearly at first, flattens, and peaks at
+  "up to 5.7x" full duplication's capacity; §6.3 notes that past ~32
+  nodes adding servers *decreases* capacity, and that larger (128-bit)
+  FIB entries scale better.
+
+This experiment is pure analytics — reproduced exactly, plus a
+cross-check of the formula's GPT term against a really-built GPT.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpt.gpt import GlobalPartitionTable
+from repro.model.scaling import (
+    crossover_node_count,
+    entries_scalebricks,
+    gpt_bits_per_key,
+    peak_scaling_factor,
+    scaling_curve,
+)
+from benchmarks.conftest import bench_keys, print_header
+
+MEMORY_BITS = 16 * 1024 * 1024 * 8  # 16 MiB per node, as in the figure
+
+
+def test_fig11_scaling_curve(benchmark):
+    rows = benchmark.pedantic(
+        lambda: scaling_curve(MEMORY_BITS, max_nodes=32),
+        rounds=1,
+        iterations=1,
+    )
+    print_header("Figure 11: millions of FIB entries vs #servers (16 MiB/node)")
+    print(f"  {'n':>3} {'full dup':>9} {'hash part':>10} {'ScaleBricks':>12}")
+    for n, full, hashed, sb in rows:
+        if n in (1, 2, 4, 8, 12, 16, 20, 24, 28, 32):
+            print(
+                f"  {n:>3} {full / 1e6:>8.2f}M {hashed / 1e6:>9.2f}M "
+                f"{sb / 1e6:>11.2f}M"
+            )
+
+    by_n = {n: (full, hashed, sb) for n, full, hashed, sb in rows}
+    # Full duplication flat; hash partitioning linear.
+    assert by_n[32][0] == by_n[1][0]
+    assert by_n[32][1] == pytest.approx(32 * by_n[1][1])
+    # ScaleBricks: monotone over 1..32 at whole value bits except the
+    # power-of-two boundaries, and always between the other two.
+    for n in range(2, 33):
+        assert by_n[n][0] < by_n[n][2] < by_n[n][1]
+
+    peak_n, ratio = peak_scaling_factor(max_nodes=32)
+    crossover = crossover_node_count()
+    print(f"  peak advantage: {ratio:.1f}x full duplication at n={peak_n}")
+    print(f"  capacity turns down past n={crossover} (paper: ~32)")
+    assert peak_n == 32
+    assert 5.0 < ratio < 7.0  # paper reports 5.7x
+    assert 30 <= crossover <= 64
+
+
+def test_fig11_formula_matches_built_gpt(benchmark):
+    """The 0.5 + 1.5*log2(n) GPT term, validated against a real build."""
+    keys = bench_keys(40_000, seed=60)
+    rows = []
+
+    def build_all():
+        out = []
+        for num_nodes in (2, 4, 8, 16):
+            nodes = (keys % np.uint64(num_nodes)).astype(np.int64)
+            gpt, _ = GlobalPartitionTable.build(
+                keys, nodes.tolist(), num_nodes
+            )
+            out.append((num_nodes, gpt.bits_per_key(len(keys))))
+        return out
+
+    rows = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    print_header("Figure 11 cross-check: GPT bits/key, formula vs built")
+    print(f"  {'nodes':>6} {'formula':>9} {'measured':>9}")
+    for num_nodes, measured in rows:
+        formula = gpt_bits_per_key(num_nodes)
+        print(f"  {num_nodes:>6} {formula:>9.2f} {measured:>9.2f}")
+        assert measured == pytest.approx(formula, rel=0.12)

@@ -1,0 +1,85 @@
+"""Figure 7: SetSep (GPT) local lookup throughput vs size and batching.
+
+Paper (16 threads, Xeon E5-2680, 2-bit values): ~520 Mops at 64 M entries
+with batch 17; batching stops helping past ~17; small structures (500 K)
+are fastest *without* batching; throughput drops sharply between 32 M and
+64 M entries when the structure outgrows the 20 MiB L3.
+
+Two reproductions:
+
+1. *Measured*: this implementation's actual batched ``lookup_batch``
+   rate at reproduction scale (NumPy, single process — absolute Mops are
+   far below C+DPDK, reported for transparency).
+2. *Modelled*: the calibrated cache model projected onto the paper's key
+   counts and batch sizes, which regenerates the figure's shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SetSepParams, build
+from repro.model.cache import XEON_E5_2680
+from repro.model.perf import SetSepLookupModel
+from benchmarks.conftest import bench_keys, bench_scale, print_header
+
+MEASURE_KEYS = 200_000 * bench_scale()
+PAPER_SIZES = [500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000,
+               16_000_000, 32_000_000, 64_000_000]
+BATCHES = [1, 2, 3, 9, 17, 32]
+
+
+@pytest.fixture(scope="module")
+def built():
+    keys = bench_keys(MEASURE_KEYS, seed=30)
+    values = (keys % np.uint64(4)).astype(np.uint32)
+    setsep, _ = build(keys, values, SetSepParams(value_bits=2))
+    return setsep, keys
+
+
+def test_fig7_measured_lookup_rate(benchmark, built):
+    """Measured batched lookup throughput of this implementation."""
+    setsep, keys = built
+    probe = keys[:100_000]
+
+    result = benchmark(lambda: setsep.lookup_batch(probe))
+    mops = len(probe) / benchmark.stats["mean"] / 1e6
+    print_header(
+        f"Figure 7 (measured): SetSep lookup, {MEASURE_KEYS} entries, "
+        "vectorised batch"
+    )
+    print(f"  measured: {mops:8.2f} Mops (single Python process)")
+    benchmark.extra_info["measured_mops"] = round(mops, 2)
+    assert len(result) == len(probe)
+
+
+def test_fig7_modelled_shape(benchmark):
+    """The figure's shape on the paper's machine, from the cache model."""
+    model = SetSepLookupModel(XEON_E5_2680, value_bits=2, threads=16)
+    rows = benchmark.pedantic(
+        lambda: [
+            (n, [model.throughput_mops(n, b) for b in BATCHES])
+            for n in PAPER_SIZES
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    print_header("Figure 7 (modelled): Mops vs #entries x batch size")
+    print(f"  {'entries':>12} " + " ".join(f"b={b:<3}" for b in BATCHES))
+    for n, series in rows:
+        print(f"  {n:>12,} " + " ".join(f"{v:5.0f}" for v in series))
+
+    by_size = dict(rows)
+    # Small structures: batching does not help (batch 1 beats batch 17).
+    assert by_size[500_000][0] > by_size[500_000][BATCHES.index(17)]
+    # Large structures: batching is a big win.
+    assert by_size[64_000_000][BATCHES.index(17)] > \
+        2 * by_size[64_000_000][0]
+    # The 32 M -> 64 M cliff (structure exceeds the 20 MiB L3).
+    assert by_size[64_000_000][BATCHES.index(17)] < \
+        by_size[32_000_000][BATCHES.index(17)]
+    # Batch sizes beyond 17 stop helping (paper: "larger than 17 do not
+    # further improve performance").
+    assert by_size[64_000_000][BATCHES.index(32)] <= \
+        by_size[64_000_000][BATCHES.index(17)] * 1.05
+    # Magnitudes land near the paper's ~520 Mops at 64 M / batch 17.
+    assert 300 < by_size[64_000_000][BATCHES.index(17)] < 800

@@ -1,0 +1,121 @@
+"""Figure 8: single-node PFE throughput, 30 MiB L3 (paper §6.2).
+
+Paper (4-node cluster, downstream traffic, 1 M - 32 M tunnels):
+
+* the extended cuckoo FIB beats DPDK's rte_hash by ~50%;
+* ScaleBricks beats full duplication by up to 20% (rte_hash) and 22%
+  (cuckoo), the gain growing with the number of tunnels;
+* both effects come from smaller tables (L3 residency) and from spreading
+  lookup work onto the otherwise-idle internal core.
+
+Reproduced as (1) the calibrated model projected onto the paper's flow
+counts, and (2) a functional mini-cluster trial confirming the *work*
+distribution (lookups per core) that drives the model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Architecture, Cluster
+from repro.model.cache import XEON_E5_2697V2
+from repro.model.perf import ForwardingModel, cuckoo_model, rte_hash_model
+from benchmarks.conftest import bench_keys, bench_scale, print_header
+
+FLOW_COUNTS = [1_000_000, 2_000_000, 4_000_000, 8_000_000,
+               16_000_000, 32_000_000]
+FUNCTIONAL_FLOWS = 6_000 * bench_scale()
+
+
+def _model_rows(cache):
+    rows = []
+    for table in (rte_hash_model(), cuckoo_model()):
+        model = ForwardingModel(cache, table)
+        for flows in FLOW_COUNTS:
+            rows.append(
+                (
+                    table.name,
+                    flows,
+                    model.full_duplication_mpps(flows),
+                    model.scalebricks_mpps(flows),
+                )
+            )
+    return rows
+
+
+def _print_rows(rows):
+    print(f"  {'table':12} {'flows':>12} {'full dup':>9} {'ScaleBricks':>12} {'gain':>7}")
+    for name, flows, full, sb in rows:
+        print(
+            f"  {name:12} {flows:>12,} {full:>9.2f} {sb:>12.2f} "
+            f"{100 * (sb / full - 1):>6.1f}%"
+        )
+
+
+def test_fig8_modelled_throughput(benchmark):
+    """The figure's curves on the paper's 30 MiB-L3 machine."""
+    rows = benchmark.pedantic(
+        lambda: _model_rows(XEON_E5_2697V2), rounds=1, iterations=1
+    )
+    print_header("Figure 8 (modelled): single-node PFE Mpps, 30 MiB L3")
+    _print_rows(rows)
+
+    by_key = {(n, f): (full, sb) for n, f, full, sb in rows}
+    # Cuckoo beats rte_hash in every configuration.
+    for flows in FLOW_COUNTS:
+        assert by_key[("cuckoo_hash", flows)][0] > \
+            by_key[("rte_hash", flows)][0]
+    # ScaleBricks wins, and the gain grows with the table size.
+    for name in ("cuckoo_hash", "rte_hash"):
+        small_gain = by_key[(name, FLOW_COUNTS[0])][1] / \
+            by_key[(name, FLOW_COUNTS[0])][0]
+        big_gain = by_key[(name, FLOW_COUNTS[-1])][1] / \
+            by_key[(name, FLOW_COUNTS[-1])][0]
+        assert big_gain > 1.05
+        assert big_gain >= small_gain - 0.01
+    # "Up to ~20%" magnitude.
+    best = max(sb / full - 1 for _, _, full, sb in rows)
+    assert 0.10 < best < 0.35
+
+
+def test_fig8_functional_core_balance(benchmark):
+    """The mechanism check: ScaleBricks moves FIB lookups off the ingress.
+
+    In full duplication the ingress node performs one full-FIB lookup per
+    packet it receives; under ScaleBricks it performs a GPT lookup plus
+    only its local share of FIB lookups, the rest landing on the peers'
+    (otherwise idle) internal path — the §6.2 load-balancing effect.
+    """
+    keys = bench_keys(FUNCTIONAL_FLOWS, seed=40)
+    handlers = (keys % np.uint64(4)).astype(np.int64)
+    values = np.arange(FUNCTIONAL_FLOWS)
+
+    def run(arch):
+        cluster = Cluster.build(arch, 4, keys, handlers, values)
+        cluster.reset_counters()
+        for key in keys[:2_000]:
+            cluster.route(int(key), ingress=0)
+        return cluster
+
+    full = run(Architecture.FULL_DUPLICATION)
+    sb = benchmark.pedantic(
+        lambda: run(Architecture.SCALEBRICKS), rounds=1, iterations=1
+    )
+
+    full_ingress_lookups = full.nodes[0].counters.fib_lookups
+    sb_ingress_fib = sb.nodes[0].counters.fib_lookups
+    sb_ingress_gpt = sb.nodes[0].counters.gpt_lookups
+    peers_fib = sum(n.counters.fib_lookups for n in sb.nodes[1:])
+
+    print_header("Figure 8 (functional): lookup work per core, 2 000 packets")
+    print(f"  full duplication ingress FIB lookups : {full_ingress_lookups}")
+    print(f"  ScaleBricks ingress GPT lookups      : {sb_ingress_gpt}")
+    print(f"  ScaleBricks ingress FIB lookups      : {sb_ingress_fib}")
+    print(f"  ScaleBricks peer FIB lookups         : {peers_fib}")
+
+    # Full duplication: one ingress lookup per packet, plus the handling
+    # lookup for the ~1/4 of flows node 0 itself handles.
+    assert full_ingress_lookups >= 2_000
+    assert sb_ingress_gpt == 2_000
+    # Ingress only does ~1/4 of the exact lookups under ScaleBricks.
+    assert sb_ingress_fib < 0.35 * 2_000
+    assert sb_ingress_fib + peers_fib == 2_000

@@ -1,0 +1,71 @@
+"""Load-latency characterisation: the RFC 2544 sweep (extends Figure 10).
+
+The paper reports one latency point per design; RFC 2544 methodology
+sweeps offered load.  The M/D/1 queueing extension shows *why* the
+architectures separate under load: hash partitioning saturates first (its
+internal cores carry two streams), so its latency knee arrives at a lower
+offered rate, while ScaleBricks holds the 1-hop latency almost to full
+duplication's capacity and beyond.
+"""
+
+import pytest
+
+from repro.model.cache import XEON_E5_2697V2
+from repro.model.perf import cuckoo_model
+from repro.model.queueing import LoadLatencyModel
+from benchmarks.conftest import print_header
+
+NUM_FLOWS = 8_000_000
+MIB = 1024 * 1024
+FRACTIONS = [0.3, 0.6, 0.8, 0.9, 0.95]
+
+
+def test_load_latency_sweep(benchmark):
+    cache = XEON_E5_2697V2.with_l3(15 * MIB)
+    designs = ("full_duplication", "scalebricks", "hash_partition")
+
+    def run():
+        out = {}
+        for design in designs:
+            model = LoadLatencyModel(cache, cuckoo_model(), design=design)
+            capacity = model._capacity_mpps(NUM_FLOWS)
+            out[design] = (
+                capacity,
+                [model.point(f * capacity, NUM_FLOWS) for f in FRACTIONS],
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header(
+        f"RFC 2544 load sweep: latency vs offered load ({NUM_FLOWS:,} flows)"
+    )
+    print(f"  {'design':18} {'capacity':>9} " +
+          " ".join(f"{int(f * 100):>3}%" for f in FRACTIONS))
+    for design, (capacity, points) in results.items():
+        cells = " ".join(f"{p.latency_us:4.0f}" for p in points)
+        print(f"  {design:18} {capacity:>8.2f}M {cells}  (us)")
+
+    sb_capacity = results["scalebricks"][0]
+    fd_capacity = results["full_duplication"][0]
+    hp_capacity = results["hash_partition"][0]
+    # Capacity ordering: ScaleBricks > full duplication > hash partition.
+    assert sb_capacity > fd_capacity > hp_capacity
+    # At equal *fractional* load, latency ordering matches Figure 10.
+    for i, _ in enumerate(FRACTIONS):
+        sb = results["scalebricks"][1][i].latency_us
+        hp = results["hash_partition"][1][i].latency_us
+        assert sb < hp
+
+    # Knee analysis: the load each design can carry within a latency
+    # budget 2 us above ScaleBricks' base latency.
+    budget = LoadLatencyModel(
+        cache, cuckoo_model(), design="scalebricks"
+    )._base_latency_us(NUM_FLOWS) + 2.0
+    print(f"\n  offered load sustaining latency <= {budget:.1f} us:")
+    knees = {}
+    for design in designs:
+        model = LoadLatencyModel(cache, cuckoo_model(), design=design)
+        knees[design] = model.knee_mpps(NUM_FLOWS, budget)
+        print(f"  {design:18} {knees[design]:6.2f} Mpps")
+    assert knees["scalebricks"] > knees["hash_partition"]

@@ -1,0 +1,83 @@
+"""Cross-validation: discrete-event simulation vs the closed-form models.
+
+The Figure 8–10 reproductions use closed-form capacity/latency models;
+this bench re-derives the same operating points from the event-driven
+simulator (per-core queues, switch transits, tail drop) and checks they
+agree — so the figure reproductions do not rest on the closed forms alone.
+"""
+
+import pytest
+
+from repro.model.cache import XEON_E5_2697V2
+from repro.model.perf import ForwardingModel, cuckoo_model, rte_hash_model
+from repro.sim import ClusterSimulation
+from benchmarks.conftest import print_header
+
+FLOWS = 8_000_000
+
+
+def test_sim_vs_closed_form(benchmark):
+    def run():
+        rows = []
+        for table in (cuckoo_model(), rte_hash_model()):
+            forwarding = ForwardingModel(XEON_E5_2697V2, table)
+            for design, predicted in (
+                ("full_duplication", forwarding.full_duplication_mpps(FLOWS)),
+                ("scalebricks", forwarding.scalebricks_mpps(FLOWS)),
+            ):
+                sim = ClusterSimulation(
+                    design, XEON_E5_2697V2, table, num_flows=FLOWS, seed=3
+                )
+                report = sim.offer_load(predicted * 1.4, duration_us=1_500)
+                rows.append((table.name, design, predicted, report))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Simulation vs closed form: saturation throughput (Mpps)")
+    print(f"  {'table':12} {'design':18} {'closed form':>12} {'simulated':>10}")
+    for table_name, design, predicted, report in rows:
+        print(
+            f"  {table_name:12} {design:18} {predicted:>12.2f} "
+            f"{report.delivered_mpps_per_node:>10.2f}"
+        )
+        assert report.delivered_mpps_per_node == pytest.approx(
+            predicted, rel=0.06
+        )
+
+    # The ScaleBricks advantage survives the move from formula to events.
+    by = {(t, d): r for t, d, _, r in rows}
+    for table_name in ("cuckoo_hash", "rte_hash"):
+        assert (
+            by[(table_name, "scalebricks")].delivered_mpps_per_node
+            > by[(table_name, "full_duplication")].delivered_mpps_per_node
+        )
+
+
+def test_sim_latency_knee(benchmark):
+    """The latency knee emerges from queueing as load approaches capacity."""
+    forwarding = ForwardingModel(XEON_E5_2697V2, cuckoo_model())
+    capacity = forwarding.scalebricks_mpps(FLOWS)
+
+    def run():
+        out = []
+        for fraction in (0.3, 0.7, 0.9, 0.97):
+            sim = ClusterSimulation(
+                "scalebricks", XEON_E5_2697V2, cuckoo_model(),
+                num_flows=FLOWS, seed=4,
+            )
+            report = sim.offer_load(capacity * fraction, duration_us=1_200)
+            out.append((fraction, report))
+        return out
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("Simulated latency knee (ScaleBricks, fractions of capacity)")
+    print(f"  {'load':>6} {'mean us':>8} {'p99 us':>8} {'loss':>6}")
+    for fraction, report in points:
+        print(
+            f"  {fraction * 100:>5.0f}% {report.mean_latency_us:>8.2f} "
+            f"{report.p99_latency_us:>8.2f} {report.loss_fraction:>6.3f}"
+        )
+    latencies = [r.mean_latency_us for _, r in points]
+    assert latencies == sorted(latencies)
+    assert latencies[-1] > 3 * latencies[0]  # the knee

@@ -1,0 +1,49 @@
+"""Shared benchmark helpers.
+
+Benchmarks regenerate every table and figure of the paper's §6 at
+reproduction scale.  Absolute numbers from the Python implementation are
+reported next to *model-projected* numbers for the paper's hardware and key
+counts; the shapes (who wins, by what factor, where crossovers fall) are
+the reproduction target — see EXPERIMENTS.md.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` (the ``-s`` lets the
+regenerated figure tables print).  Set ``REPRO_BENCH_SCALE`` to scale the
+workload sizes (default 1 targets a laptop; 10 gets closer to the paper's
+populations at ~10x the runtime).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+
+def bench_scale() -> int:
+    """Workload multiplier from the environment (default 1)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+def bench_keys(count: int, seed: int = 1) -> np.ndarray:
+    """``count`` distinct uint64 keys for benchmark populations."""
+    rng = np.random.default_rng(seed)
+    keys = np.unique(
+        rng.integers(1, 2**62, size=int(count * 2.2), dtype=np.uint64)
+    )
+    if len(keys) < count:
+        raise RuntimeError("key generation under-produced")
+    return keys[:count]
+
+
+def print_header(title: str) -> None:
+    """Figure/table banner in the captured output."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="session")
+def scale() -> int:
+    return bench_scale()

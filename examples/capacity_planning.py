@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Capacity planning an EPC cluster — the operator workflow.
+
+Chains the reproduction's models the way an operator sizing a deployment
+would: (1) how many nodes for the flow population (Fig. 11), (2) what the
+controller's skew costs (§7), (3) what throughput and latency to expect at
+the chosen size (Figs. 8/10 + queueing), and (4) the update headroom for
+the expected bearer churn (§6.2, Erlang sizing).
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.epc.workload import offered_load_erlangs
+from repro.model.cache import XEON_E5_2697V2
+from repro.model.perf import ForwardingModel, cuckoo_model
+from repro.model.queueing import LoadLatencyModel
+from repro.model.scaling import entries_scalebricks
+from repro.model.skew import (
+    capacity_loss_from_skew,
+    effective_nodes,
+    zipf_shares,
+)
+
+TARGET_FLOWS = 30_000_000
+MEMORY_MIB = 64
+PEAK_OFFERED_MPPS = 30.0
+MAX_UTILISATION = 0.8
+ARRIVALS_PER_S = 50_000.0
+MEAN_HOLDING_S = 120.0
+
+
+def step1_size_for_flows() -> int:
+    memory_bits = MEMORY_MIB * 1024 * 1024 * 8
+    print(f"Step 1 — FIB capacity for {TARGET_FLOWS / 1e6:.0f} M flows "
+          f"at {MEMORY_MIB} MiB of table memory per node:")
+    for n in range(1, 33):
+        capacity = entries_scalebricks(memory_bits, n)
+        if capacity >= TARGET_FLOWS:
+            print(f"  {n} nodes suffice "
+                  f"({capacity / 1e6:.0f} M entries available)\n")
+            return n
+    print("  not reachable below 32 nodes; increase per-node memory\n")
+    return 32
+
+
+def step2_skew_margin(nodes: int) -> int:
+    print("Step 2 — margin for controller skew (geographic pinning):")
+    shares = zipf_shares(nodes, 0.6)  # a moderately skewed region mix
+    kept = capacity_loss_from_skew(shares)
+    print(f"  Zipf(0.6) pinning keeps {kept * 100:.0f}% of uniform "
+          f"capacity (effective nodes {effective_nodes(shares):.1f})")
+    padded = nodes
+    memory_bits = MEMORY_MIB * 1024 * 1024 * 8
+    while entries_scalebricks(memory_bits, padded) * kept < TARGET_FLOWS:
+        padded += 1
+        if padded > 32:
+            break
+    print(f"  padded node count: {padded}\n")
+    return padded
+
+
+def step3_performance(nodes: int) -> int:
+    print(f"Step 3 — throughput check at {nodes} nodes "
+          f"({PEAK_OFFERED_MPPS:.0f} Mpps peak, "
+          f"<= {MAX_UTILISATION * 100:.0f}% utilisation):")
+    forwarding = ForwardingModel(
+        XEON_E5_2697V2, cuckoo_model(), num_nodes=nodes
+    )
+    per_node = forwarding.scalebricks_mpps(TARGET_FLOWS)
+    while per_node * nodes * MAX_UTILISATION < PEAK_OFFERED_MPPS:
+        nodes += 1
+        forwarding = ForwardingModel(
+            XEON_E5_2697V2, cuckoo_model(), num_nodes=nodes
+        )
+        per_node = forwarding.scalebricks_mpps(TARGET_FLOWS)
+    aggregate = per_node * nodes
+    print(f"  per-node PFE throughput : {per_node:.1f} Mpps "
+          f"(cluster ~{aggregate:.0f} Mpps at {nodes} nodes)")
+    model = LoadLatencyModel(
+        XEON_E5_2697V2, cuckoo_model(), design="scalebricks",
+        num_nodes=nodes,
+    )
+    utilisation = PEAK_OFFERED_MPPS / aggregate
+    point = model.point(per_node * utilisation, TARGET_FLOWS)
+    print(f"  at the peak ({utilisation * 100:.0f}% utilisation): "
+          f"latency ~{point.latency_us:.1f} us, "
+          f"loss {point.loss_fraction:.0%}\n")
+    return nodes
+
+
+def step4_churn(nodes: int) -> None:
+    print("Step 4 — update headroom for bearer churn:")
+    erlangs = offered_load_erlangs(ARRIVALS_PER_S, MEAN_HOLDING_S)
+    print(f"  offered load: {ARRIVALS_PER_S:,.0f} bearers/s x "
+          f"{MEAN_HOLDING_S:.0f}s = {erlangs / 1e6:.1f} M concurrent")
+    # §6.2: 60 K updates/s/core in C; churn generates ~2 updates per
+    # bearer (connect + disconnect).
+    updates_per_s = 2 * ARRIVALS_PER_S
+    per_core = 60_000.0
+    cores = updates_per_s / per_core
+    print(f"  churn update rate: {updates_per_s:,.0f}/s -> "
+          f"{cores:.1f} dedicated cores cluster-wide "
+          f"({cores / nodes:.2f} per node; §6.2's decentralised protocol "
+          "spreads them)\n")
+
+
+def main() -> None:
+    nodes = step1_size_for_flows()
+    padded = step2_skew_margin(nodes)
+    final = step3_performance(padded)
+    step4_churn(final)
+    print(f"Plan: {final} nodes x {MEMORY_MIB} MiB of table memory.")
+    print("See EXPERIMENTS.md for the models' validation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Failure isolation and recovery (paper §7).
+
+Kills one node of a 4-node cluster under each architecture and measures
+exactly which flows stop forwarding: ScaleBricks and full duplication lose
+only the failed node's own flows (fate sharing), while hash partitioning
+also loses flows that were merely *looked up* there.  Then recovers the
+ScaleBricks cluster by re-homing the dead node's flows through the normal
+update protocol and verifies full service.
+
+Run:  python examples/failure_recovery.py
+"""
+
+import numpy as np
+
+from repro.cluster import Architecture, Cluster, FailoverManager
+
+NUM_NODES = 4
+NUM_FLOWS = 8_000
+FAILED = 2
+
+
+def build(arch):
+    rng = np.random.default_rng(11)
+    keys = np.unique(rng.integers(1, 2**62, NUM_FLOWS * 2, dtype=np.uint64))
+    keys = keys[:NUM_FLOWS]
+    handlers = (keys % NUM_NODES).astype(np.int64)
+    values = np.arange(NUM_FLOWS) + 1
+    cluster = Cluster.build(arch, NUM_NODES, keys, handlers, values)
+    return FailoverManager(cluster), keys, handlers, values
+
+
+def main() -> None:
+    print(f"{NUM_FLOWS:,} flows on {NUM_NODES} nodes; killing node {FAILED}\n")
+    print(f"{'architecture':20} {'own loss':>9} {'collateral':>11} {'isolated?':>10}")
+    for arch in (
+        Architecture.SCALEBRICKS,
+        Architecture.FULL_DUPLICATION,
+        Architecture.HASH_PARTITION,
+    ):
+        manager, *_ = build(arch)
+        impact = manager.impact_report(FAILED)
+        print(
+            f"{arch.value:20} {impact.lost_own_flows:>9,} "
+            f"{impact.lost_collateral_flows:>11,} "
+            f"{'yes' if impact.isolation else 'NO':>10}"
+        )
+
+    print("\nRecovering the ScaleBricks cluster:")
+    manager, keys, handlers, values = build(Architecture.SCALEBRICKS)
+    manager.fail_node(FAILED)
+
+    victims = [int(k) for k, h in zip(keys, handlers) if h == FAILED]
+    sample = victims[:200]
+    lost = sum(manager.route(k, ingress=0).dropped for k in sample)
+    print(f"  before recovery: {lost}/{len(sample)} sampled failed-node "
+          "flows are down")
+
+    moved = manager.recover_flows(FAILED)
+    print(f"  re-homed {moved:,} flows via the §4.5 update protocol "
+          f"({manager.updates.stats.mean_delta_bits:.0f}-bit deltas, "
+          f"{manager.updates.stats.groups_rebuilt:,} group rebuilds)")
+
+    recovered = sum(
+        manager.route(k, ingress=0).delivered for k in sample
+    )
+    print(f"  after recovery : {recovered}/{len(sample)} sampled flows "
+          "forwarding again")
+    survivors = [len(n.fib) for n in manager.cluster.nodes]
+    print(f"  per-node FIB entries now: {survivors} "
+          f"(node {FAILED} drained)")
+
+    untouched = sum(
+        manager.route(int(k), ingress=0).value == v
+        for k, h, v in zip(keys[:300], handlers[:300], values[:300])
+        if h != FAILED
+    )
+    expected = sum(1 for h in handlers[:300] if h != FAILED)
+    print(f"  unaffected flows untouched throughout: {untouched}/{expected}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package, so
+PEP 660 editable installs are unavailable; `pip install -e .` uses this."""
+from setuptools import setup
+
+setup()

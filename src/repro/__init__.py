@@ -1,0 +1,46 @@
+"""ScaleBricks / SetSep reproduction (SIGCOMM 2015).
+
+This package reproduces *"Scaling Up Clustered Network Appliances with
+ScaleBricks"* (Zhou et al., SIGCOMM 2015): the SetSep compact set-separation
+data structure, the Global Partition Table (GPT) built on it, the partial-FIB
+cuckoo hash table, the four cluster FIB architectures the paper compares, and
+the LTE-to-Internet gateway (EPC) application used to evaluate them.
+
+Top-level convenience re-exports cover the most common entry points; the
+subpackages hold the full API:
+
+``repro.core``
+    SetSep and its building blocks (hash family, group search, two-level
+    hashing, deltas, parallel builder).
+``repro.gpt``
+    The Global Partition Table.
+``repro.hashtables``
+    Cuckoo / chaining / rte_hash-style FIB tables.
+``repro.cluster``
+    Cluster nodes, switch fabric, FIB architectures, RIB and update protocol.
+``repro.epc``
+    The LTE Evolved Packet Core gateway application and traffic harness.
+``repro.model``
+    Cache/throughput/latency models and the FIB-scaling analytics.
+``repro.baselines``
+    Related-work comparators (Bloom, BUFFALO, Bloomier, perfect hashing).
+"""
+
+from repro.core.params import SetSepParams
+from repro.core.setsep import SetSep
+from repro.gpt.gpt import GlobalPartitionTable
+from repro.hashtables.cuckoo import CuckooHashTable
+from repro.cluster.cluster import Cluster
+from repro.cluster.architectures import Architecture
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SetSep",
+    "SetSepParams",
+    "GlobalPartitionTable",
+    "CuckooHashTable",
+    "Cluster",
+    "Architecture",
+    "__version__",
+]

@@ -1,0 +1,94 @@
+"""Bloom filter substrate (Bloom 1970; paper §8).
+
+A standard Bloom filter with double hashing — the k probe positions derive
+from two base hashes as ``G1 + i*G2`` (Kirsch & Mitzenmacher), the same
+trick SetSep uses for its hash family.  Used by the BUFFALO baseline and by
+the separator ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core import hashfamily
+from repro.core.setsep import Key
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter over the canonical 64-bit key space.
+
+    Args:
+        num_bits: filter size in bits.
+        num_hashes: probe count k; if omitted, the optimum
+            ``k = (m/n) ln 2`` is derived from ``expected_items``.
+        expected_items: sizing hint used only to derive ``num_hashes``.
+    """
+
+    def __init__(
+        self,
+        num_bits: int,
+        num_hashes: int = 0,
+        expected_items: int = 0,
+    ) -> None:
+        if num_bits < 1:
+            raise ValueError("num_bits must be positive")
+        if num_hashes < 1:
+            if expected_items < 1:
+                raise ValueError(
+                    "provide num_hashes or expected_items to size k"
+                )
+            num_hashes = max(1, round(num_bits / expected_items * math.log(2)))
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = np.zeros(num_bits, dtype=bool)
+        self._count = 0
+
+    def _positions(self, keys: np.ndarray) -> np.ndarray:
+        """(n, k) probe positions via double hashing."""
+        g1, g2 = hashfamily.base_hashes(keys)
+        probes = np.arange(self.num_hashes, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            h = g1[:, None] + probes[None, :] * g2[:, None]
+        return hashfamily.positions(h, self.num_bits)
+
+    def add(self, key: Key) -> None:
+        """Insert one key."""
+        self.add_batch([key])
+
+    def add_batch(self, keys: Union[Sequence[Key], np.ndarray]) -> None:
+        """Insert many keys."""
+        keys_arr = hashfamily.canonical_keys(keys)
+        if keys_arr.size == 0:
+            return
+        self._bits[self._positions(keys_arr).ravel()] = True
+        self._count += len(keys_arr)
+
+    def __contains__(self, key: Key) -> bool:
+        return bool(self.contains_batch([key])[0])
+
+    def contains_batch(
+        self, keys: Union[Sequence[Key], np.ndarray]
+    ) -> np.ndarray:
+        """Vectorised membership test (no false negatives)."""
+        keys_arr = hashfamily.canonical_keys(keys)
+        if keys_arr.size == 0:
+            return np.zeros(0, dtype=bool)
+        pos = self._positions(keys_arr)
+        return self._bits[pos].all(axis=1)
+
+    def false_positive_rate(self) -> float:
+        """Analytic FPR given the current fill."""
+        fill = float(self._bits.mean())
+        return fill ** self.num_hashes
+
+    def size_bits(self) -> int:
+        """Filter size (bits)."""
+        return self.num_bits
+
+    @property
+    def count(self) -> int:
+        """Keys inserted so far."""
+        return self._count

@@ -1,0 +1,156 @@
+"""Bloomier filter: static key-to-value maps via XOR-peeling (paper §8).
+
+Chazelle et al.'s Bloomier filter stores, for each key, the XOR of k cells
+selected by hashing; construction peels a random k-uniform hypergraph to
+find an acyclic assignment order.  Like SetSep it does not store keys and
+returns arbitrary values for unknown keys; unlike SetSep it needs ~1.23*k/3
+cells per key at k=3 plus a full value per cell, and single-key updates that
+change the key set require a rebuild — the scalability gap the paper calls
+out.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core import hashfamily
+from repro.core.setsep import Key
+
+#: Number of cells probed per key (3 gives the classic 1.23 space factor).
+PROBES = 3
+
+#: Cell-count slack over the peeling threshold for k=3 hypergraphs.
+SPACE_FACTOR = 1.23
+
+
+class BloomierBuildError(RuntimeError):
+    """Raised when peeling fails for every attempted seed."""
+
+
+class BloomierFilter:
+    """Immutable key-to-value map over ``value_bits``-wide values."""
+
+    def __init__(
+        self,
+        keys: Union[Sequence[Key], np.ndarray],
+        values: Sequence[int],
+        value_bits: int,
+        max_seed_attempts: int = 16,
+    ) -> None:
+        keys_arr = hashfamily.canonical_keys(keys)
+        values_arr = np.asarray(values, dtype=np.uint32)
+        if keys_arr.shape != values_arr.shape:
+            raise ValueError("keys and values must have equal length")
+        if value_bits < 1 or value_bits > 32:
+            raise ValueError("value_bits must be in [1, 32]")
+        if len(values_arr) and int(values_arr.max()) >= 1 << value_bits:
+            raise ValueError("value does not fit in value_bits")
+        self.value_bits = value_bits
+        self.num_keys = len(keys_arr)
+        self.num_cells = max(PROBES + 1, int(len(keys_arr) * SPACE_FACTOR) + 1)
+
+        for seed in range(max_seed_attempts):
+            if self._try_build(keys_arr, values_arr, seed):
+                self._seed = seed
+                return
+        raise BloomierBuildError(
+            f"peeling failed for {self.num_keys} keys after "
+            f"{max_seed_attempts} seeds"
+        )
+
+    def _cell_positions(self, keys: np.ndarray, seed: int) -> np.ndarray:
+        """(n, PROBES) distinct-ish cell indices per key."""
+        stream = hashfamily.derive_stream(f"bloomier-{seed}")
+        mixed = hashfamily.keyed_hash(keys, stream)
+        g1, g2 = hashfamily.base_hashes(mixed)
+        probes = np.arange(PROBES, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            h = g1[:, None] + probes[None, :] * g2[:, None]
+        return hashfamily.positions(h, self.num_cells)
+
+    def _try_build(
+        self, keys: np.ndarray, values: np.ndarray, seed: int
+    ) -> bool:
+        """Peel the hypergraph; on success fill the cell table."""
+        pos = self._cell_positions(keys, seed)
+        n = len(keys)
+
+        degree = np.bincount(pos.ravel(), minlength=self.num_cells)
+        # XOR-aggregated key index per cell lets us recover the unique
+        # incident key of a degree-1 cell without adjacency lists.
+        key_xor = np.zeros(self.num_cells, dtype=np.int64)
+        for probe in range(PROBES):
+            np.bitwise_xor.at(key_xor, pos[:, probe], np.arange(n))
+
+        stack = list(np.nonzero(degree == 1)[0])
+        peeled_key = np.full(n, -1, dtype=np.int64)
+        peeled_cell = np.full(n, -1, dtype=np.int64)
+        removed = np.zeros(n, dtype=bool)
+        order = 0
+        while stack:
+            cell = int(stack.pop())
+            if degree[cell] != 1:
+                continue
+            key_index = int(key_xor[cell])
+            if removed[key_index]:
+                continue
+            removed[key_index] = True
+            peeled_key[order] = key_index
+            peeled_cell[order] = cell
+            order += 1
+            for probe in range(PROBES):
+                c = int(pos[key_index, probe])
+                degree[c] -= 1
+                key_xor[c] ^= key_index
+                if degree[c] == 1:
+                    stack.append(c)
+        if order != n:
+            return False
+
+        # Assign cells in reverse peeling order: the peeled cell of each key
+        # is untouched by all later assignments, so the XOR equation holds.
+        cells = np.zeros(self.num_cells, dtype=np.uint32)
+        for i in range(n - 1, -1, -1):
+            key_index = int(peeled_key[i])
+            target = int(values[key_index])
+            acc = 0
+            for probe in range(PROBES):
+                c = int(pos[key_index, probe])
+                if c != peeled_cell[i]:
+                    acc ^= int(cells[c])
+            # A key probing its peeled cell several times XORs it that many
+            # times; solve for the cell so the total equals the target.
+            repeats = int((pos[key_index] == peeled_cell[i]).sum())
+            if repeats % 2 == 0:
+                return False  # degenerate; try another seed
+            cells[peeled_cell[i]] = np.uint32(acc ^ target)
+        self._cells = cells
+        self._positions_seed = seed
+        return True
+
+    def lookup(self, key: Key) -> int:
+        """XOR of the key's cells (arbitrary result for unknown keys)."""
+        return int(self.lookup_batch([key])[0])
+
+    def lookup_batch(
+        self, keys: Union[Sequence[Key], np.ndarray]
+    ) -> np.ndarray:
+        """Vectorised lookup."""
+        keys_arr = hashfamily.canonical_keys(keys)
+        if keys_arr.size == 0:
+            return np.zeros(0, dtype=np.uint32)
+        pos = self._cell_positions(keys_arr, self._seed)
+        out = np.zeros(len(keys_arr), dtype=np.uint32)
+        for probe in range(PROBES):
+            out ^= self._cells[pos[:, probe]]
+        return out & np.uint32((1 << self.value_bits) - 1)
+
+    def size_bits(self) -> int:
+        """Cell table size: num_cells * value_bits."""
+        return self.num_cells * self.value_bits
+
+    def bits_per_key(self) -> float:
+        """Measured space per key."""
+        return self.size_bits() / max(1, self.num_keys)

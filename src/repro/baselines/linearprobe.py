@@ -1,0 +1,147 @@
+"""Linear probing (paper §8's 'simple hashing schemes' comparator).
+
+"Simple hashing schemes such as linear probing start to develop
+performance issues once highly loaded (70–90%, depending on the
+implementation)."  This table exists to make that sentence measurable: it
+tracks probe-length statistics so the ablation can chart the blow-up as
+the load factor climbs, against cuckoo's flat two-bucket cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+import numpy as np
+
+from repro.core import hashfamily
+from repro.core.setsep import Key
+from repro.hashtables.interface import FibTable, TableFullError, canonical
+
+
+class LinearProbingTable(FibTable):
+    """Open addressing with linear probing and tombstone-free deletes.
+
+    Deletion uses the standard backward-shift technique so probe chains
+    stay tight without tombstones.
+
+    Args:
+        capacity: maximum entries; the slot array is sized to exactly the
+            requested load factor so tests can pin the load.
+        max_load: refuse inserts beyond this fraction of slots.
+        value_size: bytes charged per value by the size accounting.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        max_load: float = 0.9,
+        value_size: int = 8,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if not 0.1 <= max_load <= 0.99:
+            raise ValueError("max_load must be in [0.1, 0.99]")
+        slots_needed = max(2, int(capacity / max_load) + 1)
+        self._num_slots = 1 << (slots_needed - 1).bit_length()
+        self._mask = self._num_slots - 1
+        self._keys = np.zeros(self._num_slots, dtype=np.uint64)
+        self._occupied = np.zeros(self._num_slots, dtype=bool)
+        self._values: List[Any] = [None] * self._num_slots
+        self._value_size = value_size
+        self._max_load = max_load
+        self._len = 0
+        self.total_probes = 0
+        self.total_lookups = 0
+
+    def _home(self, ckey: int) -> int:
+        arr = np.asarray([ckey], dtype=np.uint64)
+        return int(hashfamily.fib_hash(arr)[0]) & self._mask
+
+    def insert(self, key: Key, value: Any) -> None:
+        ckey = canonical(key)
+        slot = self._home(ckey)
+        for _ in range(self._num_slots):
+            if self._occupied[slot]:
+                if int(self._keys[slot]) == ckey:
+                    self._values[slot] = value
+                    return
+                slot = (slot + 1) & self._mask
+                continue
+            if self._len >= self._num_slots * self._max_load:
+                raise TableFullError(
+                    f"linear probing past max load {self._max_load}"
+                )
+            self._keys[slot] = ckey
+            self._occupied[slot] = True
+            self._values[slot] = value
+            self._len += 1
+            return
+        raise TableFullError("linear probing wrapped the whole table")
+
+    def lookup(self, key: Key) -> Optional[Any]:
+        ckey = canonical(key)
+        slot = self._home(ckey)
+        self.total_lookups += 1
+        for _ in range(self._num_slots):
+            self.total_probes += 1
+            if not self._occupied[slot]:
+                return None
+            if int(self._keys[slot]) == ckey:
+                return self._values[slot]
+            slot = (slot + 1) & self._mask
+        return None
+
+    def delete(self, key: Key) -> bool:
+        ckey = canonical(key)
+        slot = self._home(ckey)
+        for _ in range(self._num_slots):
+            if not self._occupied[slot]:
+                return False
+            if int(self._keys[slot]) == ckey:
+                self._backward_shift(slot)
+                self._len -= 1
+                return True
+            slot = (slot + 1) & self._mask
+        return False
+
+    def _backward_shift(self, hole: int) -> None:
+        """Close the probe chain across the freed slot."""
+        self._occupied[hole] = False
+        self._keys[hole] = 0
+        self._values[hole] = None
+        slot = (hole + 1) & self._mask
+        while self._occupied[slot]:
+            home = self._home(int(self._keys[slot]))
+            # Move back iff the hole lies within [home, slot] cyclically.
+            if self._cyclic_between(home, hole, slot):
+                self._keys[hole] = self._keys[slot]
+                self._values[hole] = self._values[slot]
+                self._occupied[hole] = True
+                self._occupied[slot] = False
+                self._keys[slot] = 0
+                self._values[slot] = None
+                hole = slot
+            slot = (slot + 1) & self._mask
+
+    @staticmethod
+    def _cyclic_between(home: int, hole: int, slot: int) -> bool:
+        if home <= slot:
+            return home <= hole <= slot
+        return hole >= home or hole <= slot
+
+    def __len__(self) -> int:
+        return self._len
+
+    def load_factor(self) -> float:
+        """Fraction of slots in use."""
+        return self._len / self._num_slots
+
+    def mean_probes(self) -> float:
+        """Measured probes per lookup since construction."""
+        if not self.total_lookups:
+            return 0.0
+        return self.total_probes / self.total_lookups
+
+    def size_bytes(self) -> int:
+        """Keys + values across the slot array."""
+        return self._num_slots * (8 + self._value_size)

@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``build``   — build a GPT from a ``key,node`` CSV and write a snapshot.
+* ``lookup``  — query keys against a snapshot.
+* ``scale``   — print the Figure 11 capacity table for given parameters.
+* ``gateway`` — run a quick EPC gateway simulation and print its report.
+* ``info``    — describe a snapshot (config, size, bits/key).
+
+The CLI is deliberately thin: every command is a few calls into the
+library, doubling as usage documentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.architectures import Architecture
+from repro.core import serialize
+from repro.core.hashfamily import canonical_key
+from repro.core.params import SetSepParams
+from repro.gpt.gpt import GlobalPartitionTable
+from repro.model.scaling import peak_scaling_factor, scaling_curve
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    keys: List[int] = []
+    nodes: List[int] = []
+    with open(args.input, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                key_text, node_text = line.split(",")
+                keys.append(canonical_key(key_text.strip()))
+                nodes.append(int(node_text))
+            except ValueError:
+                print(f"{args.input}:{line_no}: expected 'key,node'",
+                      file=sys.stderr)
+                return 2
+    if not keys:
+        print("no entries in input", file=sys.stderr)
+        return 2
+    params = SetSepParams.for_cluster(args.nodes)
+    gpt, stats = GlobalPartitionTable.build(
+        np.asarray(keys, dtype=np.uint64), nodes, args.nodes, params
+    )
+    with open(args.output, "wb") as out:
+        serialize.dump(gpt.setsep, out)
+    print(f"built GPT: {stats.num_keys:,} keys -> {args.nodes} nodes, "
+          f"{gpt.bits_per_key(stats.num_keys):.2f} bits/key, "
+          f"fallback {stats.fallback_ratio * 100:.4f}%")
+    print(f"snapshot written to {args.output}")
+    return 0
+
+
+def _cmd_lookup(args: argparse.Namespace) -> int:
+    with open(args.snapshot, "rb") as handle:
+        setsep = serialize.load(handle)
+    gpt = GlobalPartitionTable(args.nodes, setsep)
+    for key_text in args.keys:
+        node = gpt.lookup(key_text)
+        print(f"{key_text} -> node {node}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    with open(args.snapshot, "rb") as handle:
+        setsep = serialize.load(handle)
+    print(f"config       : {setsep.params.name}, "
+          f"{setsep.params.value_bits}-bit values")
+    print(f"blocks       : {setsep.num_blocks} "
+          f"({setsep.num_groups} groups, {setsep.num_buckets} buckets)")
+    print(f"size         : {setsep.size_bytes():,} bytes")
+    print(f"fallback     : {len(setsep.fallback)} entries")
+    capacity = setsep.num_blocks * 1024
+    print(f"sized for    : ~{capacity:,} keys "
+          f"({setsep.size_bits() / capacity:.2f} bits/key at capacity)")
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    memory_bits = args.memory_mib * 1024 * 1024 * 8
+    print(f"Total FIB entries, {args.memory_mib} MiB/node, "
+          f"{args.entry_bits}-bit entries")
+    print(f"{'nodes':>6} {'full dup':>12} {'hash part':>12} {'ScaleBricks':>12}")
+    for n, full, hashed, sb in scaling_curve(
+        memory_bits, args.max_nodes, args.entry_bits
+    ):
+        print(f"{n:>6} {full:>12,.0f} {hashed:>12,.0f} {sb:>12,.0f}")
+    peak_n, ratio = peak_scaling_factor(args.max_nodes, args.entry_bits)
+    print(f"peak ScaleBricks advantage: {ratio:.2f}x at n={peak_n}")
+    return 0
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    from repro.epc import EpcGateway, FlowGenerator
+    from repro.epc.packets import parse_ip
+    from repro.epc.traffic import run_downstream_trial
+
+    architecture = Architecture(args.architecture)
+    gen = FlowGenerator(seed=args.seed)
+    gateway = EpcGateway(architecture, args.nodes, parse_ip("192.0.2.1"))
+    flows = gen.populate(gateway, args.flows)
+    gateway.start()
+    frames = gen.packet_stream(flows, args.packets, zipf_s=args.zipf)
+    stats = run_downstream_trial(gateway, frames)
+    node0 = gateway.memory_report()[0]
+    print(f"architecture : {architecture.value} ({args.nodes} nodes)")
+    print(f"bearers      : {args.flows:,}")
+    print(f"delivered    : {stats.delivered}/{stats.offered} "
+          f"(loss {stats.loss_rate * 100:.2f}%)")
+    print(f"mean hops    : {stats.mean_hops:.2f}")
+    print(f"node 0 state : FIB {node0['fib_bytes']:,} B"
+          + (f", GPT {node0['gpt_bytes']:,} B" if node0["gpt_bytes"] else ""))
+    print(f"sim rate     : {stats.software_pps:,.0f} packets/s")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ScaleBricks / SetSep reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="build a GPT snapshot from CSV")
+    build.add_argument("input", help="CSV of key,node lines")
+    build.add_argument("output", help="snapshot file to write")
+    build.add_argument("--nodes", type=int, default=4)
+    build.set_defaults(func=_cmd_build)
+
+    lookup = sub.add_parser("lookup", help="query keys against a snapshot")
+    lookup.add_argument("snapshot")
+    lookup.add_argument("keys", nargs="+")
+    lookup.add_argument("--nodes", type=int, default=4)
+    lookup.set_defaults(func=_cmd_lookup)
+
+    info = sub.add_parser("info", help="describe a snapshot")
+    info.add_argument("snapshot")
+    info.set_defaults(func=_cmd_info)
+
+    scale = sub.add_parser("scale", help="print the Figure 11 table")
+    scale.add_argument("--memory-mib", type=int, default=16)
+    scale.add_argument("--entry-bits", type=int, default=64)
+    scale.add_argument("--max-nodes", type=int, default=32)
+    scale.set_defaults(func=_cmd_scale)
+
+    gateway = sub.add_parser("gateway", help="run an EPC simulation")
+    gateway.add_argument(
+        "--architecture",
+        choices=[a.value for a in Architecture],
+        default=Architecture.SCALEBRICKS.value,
+    )
+    gateway.add_argument("--nodes", type=int, default=4)
+    gateway.add_argument("--flows", type=int, default=2_000)
+    gateway.add_argument("--packets", type=int, default=1_000)
+    gateway.add_argument("--zipf", type=float, default=0.0)
+    gateway.add_argument("--seed", type=int, default=0)
+    gateway.set_defaults(func=_cmd_gateway)
+
+    reproduce = sub.add_parser(
+        "reproduce",
+        help="run the quick paper-vs-measured reproduction summary",
+    )
+    reproduce.add_argument("--scale", type=int, default=1)
+    reproduce.set_defaults(func=_cmd_reproduce)
+
+    return parser
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.reproduce import run_reproduction
+
+    checks = run_reproduction(scale=max(1, args.scale))
+    return 0 if all(ok for _, ok in checks) else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

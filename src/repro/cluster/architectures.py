@@ -1,0 +1,57 @@
+"""The four FIB architectures of Figure 2.
+
+Each value describes where forwarding state lives and how many internal
+hops a packet takes from its ingress node to its handling node:
+
+* ``ROUTEBRICKS_VLB`` — servers in a mesh, Valiant load balancing: every
+  packet bounces through a random indirect node (2 hops), full FIB
+  everywhere (Fig. 2a).
+* ``FULL_DUPLICATION`` — switch-connected, full FIB on every node, direct
+  forwarding (1 hop) but zero FIB scaling (Fig. 2b).
+* ``HASH_PARTITION`` — switch-connected, FIB split by key hash; the ingress
+  must detour via the key's lookup node (2 hops) for linear FIB scaling
+  (Fig. 2c).
+* ``SCALEBRICKS`` — switch-connected, compact GPT replicated everywhere,
+  full FIB entries only at their handling node: direct forwarding (1 hop)
+  *and* FIB scaling (Fig. 2d).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Architecture(enum.Enum):
+    """Cluster FIB architecture (paper Figure 2)."""
+
+    ROUTEBRICKS_VLB = "routebricks_vlb"
+    FULL_DUPLICATION = "full_duplication"
+    HASH_PARTITION = "hash_partition"
+    SCALEBRICKS = "scalebricks"
+
+    @property
+    def internal_hops(self) -> int:
+        """Switch/fabric transits between ingress and handling node when
+        they differ (the architectural latency cost, §3.1–§3.2)."""
+        if self in (Architecture.ROUTEBRICKS_VLB, Architecture.HASH_PARTITION):
+            return 2
+        return 1
+
+    @property
+    def replicates_full_fib(self) -> bool:
+        """Whether every node stores every FIB entry."""
+        return self in (
+            Architecture.ROUTEBRICKS_VLB,
+            Architecture.FULL_DUPLICATION,
+        )
+
+    @property
+    def uses_gpt(self) -> bool:
+        """Whether ingress consults a compact Global Partition Table."""
+        return self is Architecture.SCALEBRICKS
+
+    @property
+    def internal_bandwidth_factor(self) -> float:
+        """Aggregate internal bandwidth needed per unit of external
+        bandwidth (§3.1: VLB needs 2R, switch designs need R)."""
+        return 2.0 if self is Architecture.ROUTEBRICKS_VLB else 1.0

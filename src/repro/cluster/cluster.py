@@ -1,0 +1,393 @@
+"""The cluster: packet routing under each FIB architecture (paper §3).
+
+``Cluster.build`` populates every node's tables for the chosen architecture
+from one authoritative flow list, and ``route`` walks a packet's key through
+the exact path Figure 2 draws — including the failure modes: hash-partition
+lookups rejecting unknown keys at the indirect node, ScaleBricks delivering
+unknown keys to an arbitrary node whose exact FIB then drops them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cluster.architectures import Architecture
+from repro.cluster.fabric import SwitchFabric
+from repro.cluster.node import ClusterNode
+from repro.cluster.rib import RoutingInformationBase
+from repro.core import hashfamily, twolevel
+from repro.core.params import SetSepParams
+from repro.core.setsep import Key
+from repro.gpt.gpt import GlobalPartitionTable
+from repro.hashtables.cuckoo import CuckooHashTable
+from repro.hashtables.interface import FibTable
+
+FibFactory = Callable[[int], FibTable]
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of routing one key through the cluster."""
+
+    key: int
+    ingress: int
+    path: Tuple[int, ...]
+    internal_hops: int
+    latency_us: float
+    handled_by: Optional[int]
+    value: Optional[int]
+    dropped: bool
+    reason: str
+
+    @property
+    def delivered(self) -> bool:
+        """Whether the packet reached a node that accepted it."""
+        return not self.dropped
+
+
+class Cluster:
+    """A switch- (or mesh-) connected cluster of forwarding nodes."""
+
+    def __init__(
+        self,
+        architecture: Architecture,
+        nodes: List[ClusterNode],
+        fabric: SwitchFabric,
+        rib: RoutingInformationBase,
+        gpt_params: Optional[SetSepParams] = None,
+    ) -> None:
+        self.architecture = architecture
+        self.nodes = nodes
+        self.fabric = fabric
+        self.rib = rib
+        self.gpt_params = gpt_params
+        self._rng = np.random.default_rng(0xEC)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        architecture: Architecture,
+        num_nodes: int,
+        keys: Union[Sequence[Key], np.ndarray],
+        handling_nodes: Sequence[int],
+        values: Sequence[int],
+        fib_factory: Optional[FibFactory] = None,
+        gpt_params: Optional[SetSepParams] = None,
+        fabric: Optional[SwitchFabric] = None,
+    ) -> "Cluster":
+        """Stand up a cluster pre-populated with the given flows.
+
+        Args:
+            architecture: one of the Figure 2 designs.
+            num_nodes: cluster size.
+            keys: flow keys.
+            handling_nodes: each key's handling node (assigned externally —
+                by the EPC controller in the driving application; §2's
+                "deterministic partitioning" constraint).
+            values: application value per key (e.g. the downstream TEID).
+            fib_factory: ``capacity -> FibTable``; defaults to the extended
+                cuckoo table.
+            gpt_params: SetSep configuration for the GPT (ScaleBricks).
+            fabric: interconnect; defaults to a switch fabric.
+        """
+        keys_arr = hashfamily.canonical_keys(keys)
+        nodes_arr = np.asarray(handling_nodes, dtype=np.int64)
+        values_list = list(values)
+        if not (len(keys_arr) == len(nodes_arr) == len(values_list)):
+            raise ValueError("keys, handling_nodes, values lengths differ")
+        if len(nodes_arr) and (nodes_arr.min() < 0 or nodes_arr.max() >= num_nodes):
+            raise ValueError("handling node out of range")
+        if fib_factory is None:
+            fib_factory = lambda capacity: CuckooHashTable(capacity)
+        if fabric is None:
+            fabric = SwitchFabric(num_nodes)
+
+        # The GPT (and the RIB's block partitioning) exist for ScaleBricks;
+        # the RIB itself is kept for every architecture since updates need
+        # an authoritative source.
+        gpt: Optional[GlobalPartitionTable] = None
+        if architecture.uses_gpt:
+            if gpt_params is None:
+                gpt_params = SetSepParams.for_cluster(num_nodes)
+            gpt, _ = GlobalPartitionTable.build(
+                keys_arr, nodes_arr.tolist(), num_nodes, gpt_params
+            )
+            num_blocks = gpt.setsep.num_blocks
+        else:
+            num_blocks = twolevel.num_blocks_for(len(keys_arr))
+
+        rib = RoutingInformationBase(num_nodes, num_blocks)
+        for key, node, value in zip(keys_arr, nodes_arr, values_list):
+            rib.insert(int(key), int(node), int(value))
+
+        cluster_nodes: List[ClusterNode] = []
+        total = max(1, len(keys_arr))
+        for node_id in range(num_nodes):
+            if architecture.replicates_full_fib:
+                capacity = total
+            elif architecture is Architecture.HASH_PARTITION:
+                # Each entry lives at its lookup node *and* its handling
+                # node, so a slice sees up to 2/N of the population.
+                capacity = max(16, int(total / num_nodes * 3.0))
+            else:
+                # Partitioned slices get head-room for imbalance and for
+                # post-build inserts via the update engine.
+                capacity = max(16, int(total / num_nodes * 2.0))
+            node_gpt = None
+            if gpt is not None:
+                node_gpt = gpt if node_id == 0 else gpt.copy()
+            cluster_nodes.append(
+                ClusterNode(
+                    node_id,
+                    architecture,
+                    fib_factory(capacity),
+                    gpt=node_gpt,
+                )
+            )
+
+        cluster = cls(architecture, cluster_nodes, fabric, rib, gpt_params)
+        for key, node, value in zip(keys_arr, nodes_arr, values_list):
+            cluster._install(int(key), int(node), int(value))
+        return cluster
+
+    def _install(self, key: int, node: int, value: int) -> None:
+        """Place one flow's FIB entry according to the architecture."""
+        arch = self.architecture
+        if arch.replicates_full_fib:
+            for cluster_node in self.nodes:
+                cluster_node.install_route(key, node, value)
+        elif arch is Architecture.HASH_PARTITION:
+            self.nodes[self.lookup_node_of(key)].install_route(
+                key, node, value
+            )
+            # The handling node needs the entry too (it owns the state).
+            if self.lookup_node_of(key) != node:
+                self.nodes[node].install_route(key, node, value)
+        else:  # ScaleBricks: entry only at its handling node.
+            self.nodes[node].install_route(key, node, value)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def lookup_node_of(self, key: Key) -> int:
+        """Hash-partitioning's lookup node for a key."""
+        arr = hashfamily.canonical_keys([key])
+        return int(
+            hashfamily.reduce_range(
+                hashfamily.bucket_hash(arr), len(self.nodes)
+            )[0]
+        )
+
+    def pick_ingress(self) -> int:
+        """ECMP-like ingress selection (§2: any node can receive)."""
+        return int(self._rng.integers(len(self.nodes)))
+
+    def route(
+        self,
+        key: Key,
+        ingress: Optional[int] = None,
+        size: int = 64,
+    ) -> RouteResult:
+        """Walk one packet from its ingress to its handling node."""
+        ckey = hashfamily.canonical_key(key)
+        if ingress is None:
+            ingress = self.pick_ingress()
+        arch = self.architecture
+        if arch is Architecture.SCALEBRICKS:
+            return self._route_scalebricks(ckey, ingress, size)
+        if arch is Architecture.HASH_PARTITION:
+            return self._route_hash_partition(ckey, ingress, size)
+        if arch is Architecture.ROUTEBRICKS_VLB:
+            return self._route_vlb(ckey, ingress, size)
+        return self._route_full_duplication(ckey, ingress, size)
+
+    def route_batch(
+        self,
+        keys: Union[Sequence[Key], np.ndarray],
+        ingress: Optional[Sequence[int]] = None,
+    ) -> List[RouteResult]:
+        """Route many keys (list of per-key results)."""
+        keys_arr = hashfamily.canonical_keys(keys)
+        if ingress is None:
+            ingress_arr = self._rng.integers(
+                len(self.nodes), size=len(keys_arr)
+            )
+        else:
+            ingress_arr = np.asarray(ingress)
+        return [
+            self.route(int(k), int(i))
+            for k, i in zip(keys_arr, ingress_arr)
+        ]
+
+    def _finish(
+        self,
+        ckey: int,
+        ingress: int,
+        path: List[int],
+        latency: float,
+        handler: int,
+    ) -> RouteResult:
+        """Terminal handling at ``handler`` with drop accounting."""
+        value = self.nodes[handler].handle(ckey)
+        dropped = value is None
+        return RouteResult(
+            key=ckey,
+            ingress=ingress,
+            path=tuple(path),
+            internal_hops=len(path) - 1,
+            latency_us=latency,
+            handled_by=None if dropped else handler,
+            value=value,
+            dropped=dropped,
+            reason="unknown_key" if dropped else "handled",
+        )
+
+    def _route_full_duplication(
+        self, ckey: int, ingress: int, size: int
+    ) -> RouteResult:
+        node = self.nodes[ingress]
+        node.counters.external_rx += 1
+        found = node.fib_lookup(ckey)
+        if found is None:
+            node.counters.dropped += 1
+            return RouteResult(
+                key=ckey,
+                ingress=ingress,
+                path=(ingress,),
+                internal_hops=0,
+                latency_us=0.0,
+                handled_by=None,
+                value=None,
+                dropped=True,
+                reason="unknown_at_ingress",
+            )
+        handler, _ = found
+        latency = self.fabric.deliver(ingress, handler, size)
+        path = [ingress] if handler == ingress else [ingress, handler]
+        if handler != ingress:
+            self.nodes[handler].counters.internal_rx += 1
+            node.counters.forwarded += 1
+        return self._finish(ckey, ingress, path, latency, handler)
+
+    def _route_vlb(self, ckey: int, ingress: int, size: int) -> RouteResult:
+        node = self.nodes[ingress]
+        node.counters.external_rx += 1
+        found = node.fib_lookup(ckey)
+        if found is None:
+            node.counters.dropped += 1
+            return RouteResult(
+                key=ckey,
+                ingress=ingress,
+                path=(ingress,),
+                internal_hops=0,
+                latency_us=0.0,
+                handled_by=None,
+                value=None,
+                dropped=True,
+                reason="unknown_at_ingress",
+            )
+        handler, _ = found
+        path = [ingress]
+        latency = 0.0
+        if handler != ingress:
+            indirect = self.fabric.pick_indirect(ingress, handler)
+            latency += self.fabric.deliver(ingress, indirect, size)
+            self.nodes[indirect].counters.internal_rx += 1
+            self.nodes[indirect].counters.forwarded += 1
+            path.append(indirect)
+            latency += self.fabric.deliver(indirect, handler, size)
+            self.nodes[handler].counters.internal_rx += 1
+            node.counters.forwarded += 1
+            path.append(handler)
+        return self._finish(ckey, ingress, path, latency, handler)
+
+    def _route_hash_partition(
+        self, ckey: int, ingress: int, size: int
+    ) -> RouteResult:
+        node = self.nodes[ingress]
+        node.counters.external_rx += 1
+        lookup_node_id = self.lookup_node_of(ckey)
+        path = [ingress]
+        latency = 0.0
+        if lookup_node_id != ingress:
+            latency += self.fabric.deliver(ingress, lookup_node_id, size)
+            self.nodes[lookup_node_id].counters.internal_rx += 1
+            node.counters.forwarded += 1
+            path.append(lookup_node_id)
+        lookup_node = self.nodes[lookup_node_id]
+        found = lookup_node.fib_lookup(ckey)
+        if found is None:
+            lookup_node.counters.dropped += 1
+            return RouteResult(
+                key=ckey,
+                ingress=ingress,
+                path=tuple(path),
+                internal_hops=len(path) - 1,
+                latency_us=latency,
+                handled_by=None,
+                value=None,
+                dropped=True,
+                reason="unknown_at_lookup_node",
+            )
+        handler, _ = found
+        if handler != lookup_node_id:
+            latency += self.fabric.deliver(lookup_node_id, handler, size)
+            self.nodes[handler].counters.internal_rx += 1
+            lookup_node.counters.forwarded += 1
+            path.append(handler)
+        return self._finish(ckey, ingress, path, latency, handler)
+
+    def _route_scalebricks(
+        self, ckey: int, ingress: int, size: int
+    ) -> RouteResult:
+        node = self.nodes[ingress]
+        node.counters.external_rx += 1
+        handler = node.gpt_lookup(ckey)
+        path = [ingress]
+        latency = 0.0
+        if handler != ingress:
+            latency = self.fabric.deliver(ingress, handler, size)
+            self.nodes[handler].counters.internal_rx += 1
+            node.counters.forwarded += 1
+            path.append(handler)
+        return self._finish(ckey, ingress, path, latency, handler)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def memory_report(self) -> List[Dict[str, int]]:
+        """Per-node table footprints (FIB vs GPT)."""
+        return [
+            {
+                "node": n.node_id,
+                "fib_bytes": n.fib_bytes(),
+                "gpt_bytes": n.gpt_bytes(),
+                "fib_entries": len(n.fib),
+            }
+            for n in self.nodes
+        ]
+
+    def total_fib_entries(self) -> int:
+        """Sum of FIB entries across nodes (replication inflates this)."""
+        return sum(len(n.fib) for n in self.nodes)
+
+    def reset_counters(self) -> None:
+        """Zero all node counters and fabric stats."""
+        for node in self.nodes:
+            node.counters.reset()
+        self.fabric.reset_stats()
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(arch={self.architecture.value}, "
+            f"nodes={len(self.nodes)}, flows={len(self.rib)})"
+        )

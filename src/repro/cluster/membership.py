@@ -1,0 +1,139 @@
+"""Cluster membership changes: growing and shrinking (paper §6.3).
+
+Figure 11 is about what happens *when you add nodes*; this module makes
+that an executable operation rather than a formula.  Growing or shrinking
+a ScaleBricks cluster is a structural event:
+
+* the GPT's value width may change (``ceil(log2 N)`` bits), which means a
+  full SetSep rebuild — updates-by-delta only cover same-shape changes;
+* flows handled by removed nodes must be re-pinned first;
+* the RIB re-partitions across the new member set.
+
+``resize`` performs the whole transition from the authoritative RIB and
+returns a fresh cluster plus a report of what moved, preserving every
+surviving flow's (handling node, value) mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.architectures import Architecture
+from repro.cluster.cluster import Cluster, FibFactory
+from repro.core.params import SetSepParams
+
+
+@dataclass(frozen=True)
+class ResizeReport:
+    """What a membership change did."""
+
+    old_nodes: int
+    new_nodes: int
+    total_flows: int
+    repinned_flows: int
+    old_value_bits: int
+    new_value_bits: int
+
+    @property
+    def gpt_rebuilt_wider(self) -> bool:
+        """Whether the value width changed (the §6.3 log2 N term)."""
+        return self.old_value_bits != self.new_value_bits
+
+
+def resize(
+    cluster: Cluster,
+    new_num_nodes: int,
+    repin: Optional[Callable[[int, int], int]] = None,
+    fib_factory: Optional[FibFactory] = None,
+) -> "tuple[Cluster, ResizeReport]":
+    """Rebuild a cluster with a different node count from its RIB.
+
+    Args:
+        cluster: the current cluster (its RIB is authoritative).
+        new_num_nodes: target size.
+        repin: ``(key, old_node) -> new_node`` for flows whose handling
+            node no longer exists; defaults to uniform re-spread over the
+            surviving nodes by key hash.
+        fib_factory: optional FIB constructor for the new cluster.
+
+    Returns:
+        ``(new_cluster, report)``.  Flows pinned to surviving nodes keep
+        their handling node and value verbatim.
+    """
+    if new_num_nodes < 1:
+        raise ValueError("new_num_nodes must be positive")
+    old_num_nodes = len(cluster.nodes)
+    entries = list(cluster.rib.entries())
+
+    def default_repin(key: int, _old: int) -> int:
+        return key % new_num_nodes
+
+    repin = repin or default_repin
+
+    keys: List[int] = []
+    nodes: List[int] = []
+    values: List[int] = []
+    repinned = 0
+    for entry in entries:
+        node = entry.node
+        if node >= new_num_nodes:
+            node = repin(entry.key, entry.node)
+            if not 0 <= node < new_num_nodes:
+                raise ValueError(
+                    f"repin returned out-of-range node {node}"
+                )
+            repinned += 1
+        keys.append(entry.key)
+        nodes.append(node)
+        values.append(entry.value)
+
+    old_bits = _value_bits(cluster, old_num_nodes)
+    gpt_params = None
+    if cluster.architecture.uses_gpt:
+        gpt_params = SetSepParams.for_cluster(new_num_nodes)
+
+    new_cluster = Cluster.build(
+        cluster.architecture,
+        new_num_nodes,
+        np.asarray(keys, dtype=np.uint64),
+        nodes,
+        values,
+        fib_factory=fib_factory,
+        gpt_params=gpt_params,
+    )
+    report = ResizeReport(
+        old_nodes=old_num_nodes,
+        new_nodes=new_num_nodes,
+        total_flows=len(entries),
+        repinned_flows=repinned,
+        old_value_bits=old_bits,
+        new_value_bits=_value_bits(new_cluster, new_num_nodes),
+    )
+    return new_cluster, report
+
+
+def _value_bits(cluster: Cluster, num_nodes: int) -> int:
+    """The GPT's value width (or the would-be width for non-GPT designs)."""
+    if cluster.architecture.uses_gpt and cluster.nodes[0].gpt is not None:
+        return cluster.nodes[0].gpt.setsep.params.value_bits
+    return max(1, (num_nodes - 1).bit_length())
+
+
+def capacity_after_resize(
+    memory_bits: float, old_nodes: int, new_nodes: int, entry_bits: int = 64
+) -> "tuple[float, float]":
+    """Figure 11 deltas for an operator deciding whether to grow.
+
+    Returns (old capacity, new capacity) in total FIB entries.  Growth is
+    not always positive: crossing a power-of-two boundary widens the GPT
+    and can *shrink* capacity (§6.3's non-monotonicity).
+    """
+    from repro.model.scaling import entries_scalebricks
+
+    return (
+        entries_scalebricks(memory_bits, old_nodes, entry_bits),
+        entries_scalebricks(memory_bits, new_nodes, entry_bits),
+    )

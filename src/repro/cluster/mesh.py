@@ -1,0 +1,126 @@
+"""Full-mesh server interconnect with VLB (paper §3.1, Figure 2a).
+
+RouteBricks connects servers directly: every node pair has a dedicated
+link, and Valiant Load Balancing routes each packet via a random
+intermediate node so that *any* traffic matrix fills the links evenly.
+The cost is the §3.1 trade-off ScaleBricks rejects: the mesh must
+provision 2x the external bandwidth internally, and every packet pays the
+indirect node's forwarding work.
+
+This module models the mesh at link granularity — per-link byte counters
+over the full n*(n-1) directed link set — so the 2R bandwidth claim and
+VLB's load-spreading guarantee are measurable, in contrast to the single
+shared :class:`repro.cluster.fabric.SwitchFabric`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class LinkStats:
+    """Per-directed-link accounting."""
+
+    packets: int = 0
+    bytes: int = 0
+
+
+class MeshFabric:
+    """A full mesh of point-to-point links with VLB routing.
+
+    Args:
+        num_nodes: servers in the mesh (n*(n-1) directed links).
+        link_latency_us: per-link propagation+serialisation latency.  A
+            VLB transit costs one link; an indirect detour costs two plus
+            the intermediate node's forwarding work (charged by the
+            caller).
+        seed: RNG for indirect-node selection.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        link_latency_us: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if num_nodes < 2:
+            raise ValueError("a mesh needs at least two nodes")
+        self.num_nodes = num_nodes
+        self.link_latency_us = link_latency_us
+        self._rng = np.random.default_rng(seed)
+        self.links: Dict[Tuple[int, int], LinkStats] = {
+            (a, b): LinkStats()
+            for a in range(num_nodes)
+            for b in range(num_nodes)
+            if a != b
+        }
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} not in mesh")
+
+    def send_direct(self, src: int, dst: int, size: int = 64) -> float:
+        """One link crossing; returns its latency."""
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return 0.0
+        stats = self.links[(src, dst)]
+        stats.packets += 1
+        stats.bytes += size
+        return self.link_latency_us
+
+    def send_vlb(self, src: int, dst: int, size: int = 64) -> Tuple[int, float]:
+        """VLB two-phase routing: src -> random intermediate -> dst.
+
+        Returns (intermediate node, total latency).  When source and
+        destination coincide no links are crossed; with only two nodes the
+        'intermediate' degenerates to the destination (single hop).
+        """
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return src, 0.0
+        candidates = [
+            n for n in range(self.num_nodes) if n not in (src, dst)
+        ]
+        if not candidates:
+            return dst, self.send_direct(src, dst, size)
+        mid = int(self._rng.choice(candidates))
+        latency = self.send_direct(src, mid, size)
+        latency += self.send_direct(mid, dst, size)
+        return mid, latency
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def total_internal_bytes(self) -> int:
+        """All bytes crossing mesh links (the 2R numerator)."""
+        return sum(stats.bytes for stats in self.links.values())
+
+    def link_load_imbalance(self) -> float:
+        """max/mean packets over busy links — VLB keeps this near 1."""
+        counts = [s.packets for s in self.links.values()]
+        mean = np.mean(counts)
+        if mean == 0:
+            return 0.0
+        return float(max(counts) / mean)
+
+    def per_node_capacity_needed(self, external_gbps: float) -> float:
+        """§3.1: aggregate internal link capacity per node under VLB.
+
+        Each node's mesh links must carry 2x its external rate (one
+        transit in, one transit out of the indirect phase).
+        """
+        return 2.0 * external_gbps
+
+    def reset(self) -> None:
+        """Zero all link counters."""
+        for stats in self.links.values():
+            stats.packets = 0
+            stats.bytes = 0

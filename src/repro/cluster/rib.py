@@ -1,0 +1,144 @@
+"""The Routing Information Base and its partitioning (paper §3.2, §4.5).
+
+The RIB is the authoritative mapping ``key -> (handling node, value)`` from
+which both derived structures are generated: FIB entries (pushed to each
+key's handling node) and the GPT (replicated everywhere).  ScaleBricks
+hash-partitions the RIB so that *keys in the same 1024-key SetSep block are
+stored on the same node* — the property that lets the owning node recompute
+a SetSep group locally and broadcast a tiny delta (§4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import hashfamily, twolevel
+from repro.core.params import BUCKETS_PER_BLOCK
+from repro.core.setsep import Key, SetSep
+
+
+@dataclass(frozen=True)
+class RibEntry:
+    """One authoritative routing record."""
+
+    key: int
+    node: int
+    value: int
+
+
+class RoutingInformationBase:
+    """Block-partitioned RIB spread across the cluster.
+
+    Args:
+        num_nodes: cluster size (block owners are assigned round-robin).
+        num_blocks: SetSep block count — must match the GPT's, since the
+            partitioning unit *is* the SetSep block.
+    """
+
+    def __init__(self, num_nodes: int, num_blocks: int) -> None:
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be positive")
+        if num_blocks < 1:
+            raise ValueError("num_blocks must be positive")
+        self.num_nodes = num_nodes
+        self.num_blocks = num_blocks
+        self._blocks: Dict[int, Dict[int, RibEntry]] = {}
+
+    # ------------------------------------------------------------------
+    # Partitioning
+    # ------------------------------------------------------------------
+
+    def block_of(self, key: Key) -> int:
+        """SetSep block id of a key (the partitioning unit)."""
+        keys = hashfamily.canonical_keys([key])
+        bucket = int(twolevel.bucket_ids(keys, self.num_blocks)[0])
+        return bucket // BUCKETS_PER_BLOCK
+
+    def owner_of_block(self, block: int) -> int:
+        """Node owning a block's RIB slice (round-robin assignment)."""
+        if not 0 <= block < self.num_blocks:
+            raise ValueError(f"block {block} out of range")
+        return block % self.num_nodes
+
+    def owner_of_key(self, key: Key) -> int:
+        """Node owning a key's RIB entry."""
+        return self.owner_of_block(self.block_of(key))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Key, node: int, value: int) -> RibEntry:
+        """Insert or overwrite the authoritative record for ``key``."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError("handling node out of range")
+        ckey = hashfamily.canonical_key(key)
+        entry = RibEntry(key=ckey, node=node, value=value)
+        self._blocks.setdefault(self.block_of(ckey), {})[ckey] = entry
+        return entry
+
+    def remove(self, key: Key) -> Optional[RibEntry]:
+        """Remove and return the record, or ``None`` if absent."""
+        ckey = hashfamily.canonical_key(key)
+        block = self.block_of(ckey)
+        return self._blocks.get(block, {}).pop(ckey, None)
+
+    def get(self, key: Key) -> Optional[RibEntry]:
+        """Exact lookup of the authoritative record."""
+        ckey = hashfamily.canonical_key(key)
+        return self._blocks.get(self.block_of(ckey), {}).get(ckey)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._blocks.values())
+
+    def entries(self) -> Iterator[RibEntry]:
+        """All records, block by block."""
+        for block_entries in self._blocks.values():
+            yield from block_entries.values()
+
+    def entries_in_block(self, block: int) -> List[RibEntry]:
+        """All records of one block (what its owner holds)."""
+        return list(self._blocks.get(block, {}).values())
+
+    def entries_on_node(self, node: int) -> List[RibEntry]:
+        """All records owned by ``node``."""
+        out: List[RibEntry] = []
+        for block, block_entries in self._blocks.items():
+            if self.owner_of_block(block) == node:
+                out.extend(block_entries.values())
+        return out
+
+    def group_contents(
+        self, group_id: int, setsep: SetSep
+    ) -> Tuple[List[int], List[int]]:
+        """(keys, nodes) of one SetSep group — the rebuild input (§4.5).
+
+        Only the block owner can produce this, which is exactly why keys of
+        one block must co-reside: group membership depends on the block's
+        bucket-to-group choices.
+        """
+        block = group_id // twolevel.GROUPS_PER_BLOCK
+        records = self.entries_in_block(block)
+        if not records:
+            return [], []
+        keys = np.asarray([r.key for r in records], dtype=np.uint64)
+        groups = setsep.groups_of(keys)
+        member = groups == group_id
+        return (
+            [int(k) for k in keys[member]],
+            [r.node for r, hit in zip(records, member) if hit],
+        )
+
+    def load_per_node(self) -> List[int]:
+        """RIB records held by each node (partitioning balance metric)."""
+        loads = [0] * self.num_nodes
+        for block, block_entries in self._blocks.items():
+            loads[self.owner_of_block(block)] += len(block_entries)
+        return loads

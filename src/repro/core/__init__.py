@@ -1,0 +1,31 @@
+"""SetSep and its building blocks (paper §4–§5.1).
+
+Public surface:
+
+* :class:`repro.core.setsep.SetSep` — the queryable structure.
+* :func:`repro.core.builder.build` — construction (serial or parallel).
+* :class:`repro.core.params.SetSepParams` — the "x+y" configuration.
+* :class:`repro.core.delta.GroupDelta` — the broadcast update unit.
+"""
+
+from repro.core.builder import ConstructionStats, DuplicateKeyError, build
+from repro.core.delta import GroupDelta
+from repro.core.fallback import FallbackTable
+from repro.core.params import SetSepParams
+from repro.core.setsep import SetSep
+from repro.core.serialize import SnapshotError, dump, dump_bytes, load, load_bytes
+
+__all__ = [
+    "SetSep",
+    "SetSepParams",
+    "GroupDelta",
+    "FallbackTable",
+    "ConstructionStats",
+    "DuplicateKeyError",
+    "build",
+    "SnapshotError",
+    "dump",
+    "dump_bytes",
+    "load",
+    "load_bytes",
+]

@@ -1,0 +1,129 @@
+"""Analytical underpinnings of SetSep (paper §4.1–§4.2).
+
+The paper derives SetSep's space bound from the geometric distribution of
+the successful hash-function index — Eq. (1): storing a binary separator
+for n keys costs ~n bits on average, independent of key size.  This module
+provides those closed forms so benchmarks and tests can overlay analytic
+curves on the empirical ones:
+
+* success probability of one candidate function, with and without the
+  m-slot bit array;
+* expected iterations (the Fig. 3a curve, analytically);
+* the index entropy of Eq. (1);
+* balls-into-bins bounds for the §4.4 load-balancing discussion.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+
+def success_probability_direct(n: int) -> float:
+    """P[a candidate separates n keys] without a bit array: (1/2)^n.
+
+    Each key must map directly to its own binary value.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return 0.5**n
+
+
+@lru_cache(maxsize=None)
+def success_probability_array(n: int, m: int) -> float:
+    """P[a candidate separates n keys] with an m-slot bit array.
+
+    Keys land uniformly on m slots; the candidate works iff no slot
+    receives two keys with different values.  With each key's value an
+    independent fair bit, a slot of k >= 1 keys is consistent with
+    probability 2^(1-k), so conditioning on the occupancy profile:
+
+        P = sum over compositions of n into m slots of
+            multinomial(n; k_1..k_m) / m^n * prod_j 2^(1-k_j) for k_j>0
+
+    computed here by dynamic programming over slots.
+    """
+    if n < 0 or m < 1:
+        raise ValueError("need n >= 0 and m >= 1")
+    if n == 0:
+        return 1.0
+    # dp[j] = sum over ways to place j keys into the slots processed so
+    # far of (multinomial weight) * (consistency probability).
+    dp = [0.0] * (n + 1)
+    dp[0] = 1.0
+    for _ in range(m):
+        new = [0.0] * (n + 1)
+        for placed in range(n + 1):
+            if dp[placed] == 0.0:
+                continue
+            remaining = n - placed
+            for k in range(remaining + 1):
+                weight = math.comb(remaining, k)
+                consistency = 1.0 if k == 0 else 2.0 ** (1 - k)
+                new[placed + k] += dp[placed] * weight * consistency
+        dp = new
+    return dp[n] / float(m) ** n
+
+
+def expected_iterations_analytic(n: int, m: int) -> float:
+    """Mean candidates tried until success: 1/p (geometric)."""
+    p = success_probability_array(n, m)
+    if p <= 0.0:
+        return math.inf
+    return 1.0 / p
+
+
+def failure_probability(n: int, m: int, max_index: int) -> float:
+    """P[no candidate below ``max_index`` works] = (1-p)^max_index.
+
+    The analytic fallback rate per group (Table 1's fallback column).
+    """
+    p = success_probability_array(n, m)
+    return (1.0 - p) ** max_index
+
+
+def index_entropy_eq1(n: int) -> float:
+    """Eq. (1): entropy of the geometric index for direct separation.
+
+    ``-((1-p) log2(1-p) + p log2 p) / p ~ -log2 p = n`` bits.
+    """
+    p = success_probability_direct(n)
+    if p in (0.0, 1.0):
+        return 0.0
+    return (-(1 - p) * math.log2(1 - p) - p * math.log2(p)) / p
+
+
+def index_entropy_bits_analytic(n: int, m: int) -> float:
+    """Entropy of the geometric index with an m-slot array."""
+    p = success_probability_array(n, m)
+    if p in (0.0, 1.0):
+        return 0.0
+    return (-(1 - p) * math.log2(1 - p) - p * math.log2(p)) / p
+
+
+def direct_hash_max_load(num_keys: int, num_groups: int) -> float:
+    """Expected maximum group size under direct hashing (§4.4 strawman).
+
+    Classic balls-into-bins estimate for the heavily-loaded regime
+    (mean load mu = n/m >> log m):
+
+        max ~ mu + sqrt(2 * mu * ln m)
+    """
+    if num_keys < 0 or num_groups < 1:
+        raise ValueError("need num_keys >= 0 and num_groups >= 1")
+    if num_keys == 0:
+        return 0.0
+    mu = num_keys / num_groups
+    return mu + math.sqrt(2.0 * mu * math.log(max(2, num_groups)))
+
+
+def bits_per_key_breakdown(
+    n_per_group: float, index_bits: int, array_bits: int, value_bits: int
+) -> dict:
+    """Decompose the storage cost the way Table 1 accounts for it."""
+    per_group = (index_bits + array_bits) * value_bits
+    return {
+        "group_bits_per_key": per_group / n_per_group,
+        "mapping_bits_per_key": 0.5,
+        "total_bits_per_key": per_group / n_per_group + 0.5,
+    }

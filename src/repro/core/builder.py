@@ -1,0 +1,320 @@
+"""SetSep construction: serial, multi-process, and per-partition (paper §4.4–§5.1).
+
+Construction is embarrassingly parallel across 1024-key blocks: each block's
+bucket-to-group assignment and group searches touch only that block's keys.
+The same property drives both the multi-process builder here (the paper's
+multi-threaded construction, Table 1) and the distributed construction in
+:mod:`repro.cluster.rib`, where each RIB node builds only its blocks and the
+slices are exchanged (§4.5).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core import group as group_search
+from repro.core import hashfamily, twolevel
+from repro.core.fallback import FallbackTable
+from repro.core.params import (
+    BUCKETS_PER_BLOCK,
+    GROUPS_PER_BLOCK,
+    SetSepParams,
+)
+from repro.core.setsep import Key, SetSep
+
+
+class DuplicateKeyError(ValueError):
+    """Raised when the input contains the same key twice."""
+
+
+@dataclass(frozen=True)
+class ConstructionStats:
+    """Measurements the paper reports for construction (Table 1)."""
+
+    num_keys: int
+    num_blocks: int
+    num_groups: int
+    failed_groups: int
+    fallback_keys: int
+    total_iterations: int
+    max_group_load: int
+    elapsed_seconds: float
+    workers: int
+
+    @property
+    def fallback_ratio(self) -> float:
+        """Fraction of keys stored in the fallback table."""
+        return self.fallback_keys / self.num_keys if self.num_keys else 0.0
+
+    @property
+    def keys_per_second(self) -> float:
+        """Construction throughput (the Table 1 headline column)."""
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.num_keys / self.elapsed_seconds
+
+    @property
+    def mean_iterations(self) -> float:
+        """Average brute-force trials per (group, value bit)."""
+        searched = max(1, self.num_groups)
+        return self.total_iterations / searched
+
+
+@dataclass
+class _PartitionResult:
+    """Builder output for a contiguous range of blocks."""
+
+    block_lo: int
+    block_hi: int
+    choices: np.ndarray
+    indices: np.ndarray
+    arrays: np.ndarray
+    failed: np.ndarray
+    fallback_pairs: List[Tuple[int, int]]
+    total_iterations: int
+    max_group_load: int
+
+
+def build(
+    keys: Union[Sequence[Key], np.ndarray],
+    values: Sequence[int],
+    params: Optional[SetSepParams] = None,
+    workers: int = 1,
+    num_blocks: Optional[int] = None,
+) -> Tuple[SetSep, ConstructionStats]:
+    """Build a SetSep from key/value pairs.
+
+    Args:
+        keys: unique keys (ints, bytes, strings, or a uint64 array).
+        values: one value per key, each below ``2**params.value_bits``.
+        params: structure configuration; defaults to the paper's 16+8.
+        workers: worker processes; 1 builds in-process.
+        num_blocks: override the block count (testing / load experiments).
+
+    Returns:
+        ``(setsep, stats)`` — the queryable structure and its
+        construction measurements.
+
+    Raises:
+        DuplicateKeyError: if two inputs canonicalise to the same key.
+        ValueError: if a value does not fit in ``value_bits``.
+    """
+    params = params or SetSepParams()
+    started = time.perf_counter()
+
+    keys_arr = hashfamily.canonical_keys(keys)
+    values_arr = np.asarray(values, dtype=np.uint32)
+    if keys_arr.shape != values_arr.shape:
+        raise ValueError("keys and values must have equal length")
+    if len(keys_arr) and int(values_arr.max()) >= (1 << params.value_bits):
+        raise ValueError(
+            f"values must fit in {params.value_bits} bits; "
+            f"got {int(values_arr.max())}"
+        )
+    if len(np.unique(keys_arr)) != len(keys_arr):
+        raise DuplicateKeyError("input contains duplicate keys")
+
+    if num_blocks is None:
+        num_blocks = twolevel.num_blocks_for(len(keys_arr))
+    buckets = twolevel.bucket_ids(keys_arr, num_blocks)
+
+    if workers <= 1:
+        results = [
+            build_partition(
+                keys_arr, values_arr, buckets, params, 0, num_blocks
+            )
+        ]
+    else:
+        results = _build_parallel(
+            keys_arr, values_arr, buckets, params, num_blocks, workers
+        )
+
+    setsep = assemble(params, num_blocks, results)
+    elapsed = time.perf_counter() - started
+    stats = ConstructionStats(
+        num_keys=len(keys_arr),
+        num_blocks=num_blocks,
+        num_groups=setsep.num_groups,
+        failed_groups=int(setsep.failed_groups.sum()),
+        fallback_keys=len(setsep.fallback),
+        total_iterations=sum(r.total_iterations for r in results),
+        max_group_load=max(r.max_group_load for r in results),
+        elapsed_seconds=elapsed,
+        workers=max(1, workers),
+    )
+    return setsep, stats
+
+
+def build_partition(
+    keys: np.ndarray,
+    values: np.ndarray,
+    buckets: np.ndarray,
+    params: SetSepParams,
+    block_lo: int,
+    block_hi: int,
+) -> _PartitionResult:
+    """Build the state slice for blocks ``[block_lo, block_hi)``.
+
+    ``keys``/``values``/``buckets`` may contain entries outside the range;
+    they are filtered here so the multi-process and distributed builders can
+    hand each worker the full input without pre-splitting.
+    """
+    blocks = buckets // BUCKETS_PER_BLOCK
+    in_range = (blocks >= block_lo) & (blocks < block_hi)
+    keys = keys[in_range]
+    values = values[in_range]
+    buckets = buckets[in_range]
+
+    n_blocks = block_hi - block_lo
+    local_buckets = buckets - block_lo * BUCKETS_PER_BLOCK
+    bucket_sizes = np.bincount(
+        local_buckets, minlength=n_blocks * BUCKETS_PER_BLOCK
+    )
+
+    # Per-block randomised greedy assignment (deterministic per block id, so
+    # serial / parallel / distributed builds produce identical structures).
+    choices = np.zeros(n_blocks * BUCKETS_PER_BLOCK, dtype=np.uint8)
+    max_load = 0
+    for b in range(n_blocks):
+        rng = np.random.default_rng((params.seed, block_lo + b))
+        lo = b * BUCKETS_PER_BLOCK
+        block_choices, block_max = twolevel.assign_block(
+            bucket_sizes[lo : lo + BUCKETS_PER_BLOCK],
+            rng,
+            trials=params.assignment_trials,
+        )
+        choices[lo : lo + BUCKETS_PER_BLOCK] = block_choices
+        max_load = max(max_load, block_max)
+
+    groups = twolevel.groups_from_choices(local_buckets, choices)
+
+    n_groups = n_blocks * GROUPS_PER_BLOCK
+    indices = np.zeros((n_groups, params.value_bits), dtype=np.uint16)
+    arrays = np.zeros((n_groups, params.value_bits), dtype=np.uint32)
+    failed = np.zeros(n_groups, dtype=bool)
+    fallback_pairs: List[Tuple[int, int]] = []
+    total_iterations = 0
+
+    g1, g2 = hashfamily.base_hashes(keys)
+    order = np.argsort(groups, kind="stable")
+    sorted_groups = groups[order]
+    boundaries = np.nonzero(np.diff(sorted_groups))[0] + 1
+    segments = np.split(order, boundaries)
+    for segment in segments:
+        if len(segment) == 0:
+            continue
+        gid = int(groups[segment[0]])
+        functions = group_search.search_group(
+            g1[segment], g2[segment], values[segment], params
+        )
+        if functions is None:
+            failed[gid] = True
+            fallback_pairs.extend(
+                (int(k), int(v))
+                for k, v in zip(keys[segment], values[segment])
+            )
+            total_iterations += params.max_index * params.value_bits
+        else:
+            for bit, fn in enumerate(functions):
+                indices[gid, bit] = fn.index
+                arrays[gid, bit] = fn.array
+                total_iterations += fn.iterations
+
+    return _PartitionResult(
+        block_lo=block_lo,
+        block_hi=block_hi,
+        choices=choices,
+        indices=indices,
+        arrays=arrays,
+        failed=failed,
+        fallback_pairs=fallback_pairs,
+        total_iterations=total_iterations,
+        max_group_load=max_load,
+    )
+
+
+def assemble(
+    params: SetSepParams,
+    num_blocks: int,
+    results: Sequence[_PartitionResult],
+) -> SetSep:
+    """Stitch partition slices into a full SetSep.
+
+    Used by the serial builder (one slice), the process-parallel builder
+    (one slice per worker) and the cluster, where each RIB node contributes
+    the slice it built before the exchange step (§4.5).
+    """
+    choices = np.zeros(num_blocks * BUCKETS_PER_BLOCK, dtype=np.uint8)
+    indices = np.zeros(
+        (num_blocks * GROUPS_PER_BLOCK, params.value_bits), dtype=np.uint16
+    )
+    arrays = np.zeros_like(indices, dtype=np.uint32)
+    failed = np.zeros(num_blocks * GROUPS_PER_BLOCK, dtype=bool)
+    fallback = FallbackTable()
+
+    covered = np.zeros(num_blocks, dtype=bool)
+    for result in results:
+        if covered[result.block_lo : result.block_hi].any():
+            raise ValueError("overlapping partition slices")
+        covered[result.block_lo : result.block_hi] = True
+        b_lo = result.block_lo * BUCKETS_PER_BLOCK
+        b_hi = result.block_hi * BUCKETS_PER_BLOCK
+        g_lo = result.block_lo * GROUPS_PER_BLOCK
+        g_hi = result.block_hi * GROUPS_PER_BLOCK
+        choices[b_lo:b_hi] = result.choices
+        indices[g_lo:g_hi] = result.indices
+        arrays[g_lo:g_hi] = result.arrays
+        failed[g_lo:g_hi] = result.failed
+        fallback.insert_many(result.fallback_pairs)
+    if not covered.all():
+        raise ValueError("partition slices do not cover every block")
+
+    return SetSep(
+        params=params,
+        num_blocks=num_blocks,
+        choices=choices,
+        indices=indices,
+        arrays=arrays,
+        failed_groups=failed,
+        fallback=fallback,
+    )
+
+
+def _worker_build(
+    args: Tuple[np.ndarray, np.ndarray, np.ndarray, SetSepParams, int, int],
+) -> _PartitionResult:
+    """Top-level worker entry point (must be picklable)."""
+    keys, values, buckets, params, lo, hi = args
+    return build_partition(keys, values, buckets, params, lo, hi)
+
+
+def _build_parallel(
+    keys: np.ndarray,
+    values: np.ndarray,
+    buckets: np.ndarray,
+    params: SetSepParams,
+    num_blocks: int,
+    workers: int,
+) -> List[_PartitionResult]:
+    """Fan block ranges out to worker processes.
+
+    Each worker receives only its partition's keys to bound pickling cost.
+    """
+    workers = min(workers, num_blocks, os.cpu_count() or 1)
+    bounds = np.linspace(0, num_blocks, workers + 1).astype(int)
+    blocks = buckets // BUCKETS_PER_BLOCK
+    tasks = []
+    for w in range(workers):
+        lo, hi = int(bounds[w]), int(bounds[w + 1])
+        if lo == hi:
+            continue
+        mask = (blocks >= lo) & (blocks < hi)
+        tasks.append((keys[mask], values[mask], buckets[mask], params, lo, hi))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_worker_build, tasks))

@@ -1,0 +1,110 @@
+"""Delta updates for SetSep groups (paper §4.5).
+
+When a key is inserted, changed or removed, only the owning RIB node
+recomputes the affected group and broadcasts the result; every other node
+applies it with a memory copy.  A delta carries the group id plus, per value
+bit, the new hash index and m-bit array — "usually tens of bits".  The
+encoding here is the literal bit-level wire format, so tests can assert the
+paper's size claim and the update-rate benchmark measures realistic payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.params import SetSepParams
+from repro.utils.bits import BitReader, BitWriter
+
+#: Bits used for the group id on the wire.
+GROUP_ID_BITS = 32
+
+#: Bits used for the fallback entry counters.
+COUNT_BITS = 8
+
+#: Bits per fallback key / value on the wire.
+FALLBACK_KEY_BITS = 64
+FALLBACK_VALUE_BITS = 16
+
+
+@dataclass(frozen=True)
+class GroupDelta:
+    """Replacement state for one group, broadcast cluster-wide.
+
+    Attributes:
+        group_id: global group index.
+        failed: whether the group now lives in the fallback table.
+        indices: per-value-bit hash-function index (all zero when failed).
+        arrays: per-value-bit packed m-bit arrays.
+        fallback_upserts: exact entries to add to the fallback table
+            (non-empty only when the group's search failed).
+        fallback_removals: keys to drop from the fallback table (the group
+            used to be failed and now separates, or a key was deleted).
+    """
+
+    group_id: int
+    failed: bool
+    indices: Tuple[int, ...]
+    arrays: Tuple[int, ...]
+    fallback_upserts: Tuple[Tuple[int, int], ...] = field(default=())
+    fallback_removals: Tuple[int, ...] = field(default=())
+
+    def size_bits(self, params: SetSepParams) -> int:
+        """Exact encoded size in bits (the paper's "tens of bits")."""
+        body = GROUP_ID_BITS + 1 + params.value_bits * (
+            params.index_bits + params.array_bits
+        )
+        body += 2 * COUNT_BITS
+        body += len(self.fallback_upserts) * (
+            FALLBACK_KEY_BITS + FALLBACK_VALUE_BITS
+        )
+        body += len(self.fallback_removals) * FALLBACK_KEY_BITS
+        return body
+
+    def encode(self, params: SetSepParams) -> bytes:
+        """Serialise to the bit-level wire format."""
+        if len(self.indices) != params.value_bits:
+            raise ValueError("delta does not match params.value_bits")
+        writer = BitWriter()
+        writer.write(self.group_id, GROUP_ID_BITS)
+        writer.write(int(self.failed), 1)
+        for index, array in zip(self.indices, self.arrays):
+            writer.write(index, params.index_bits)
+            writer.write(array, params.array_bits)
+        writer.write(len(self.fallback_upserts), COUNT_BITS)
+        writer.write(len(self.fallback_removals), COUNT_BITS)
+        for key, value in self.fallback_upserts:
+            writer.write(key, FALLBACK_KEY_BITS)
+            writer.write(value, FALLBACK_VALUE_BITS)
+        for key in self.fallback_removals:
+            writer.write(key, FALLBACK_KEY_BITS)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes, params: SetSepParams) -> "GroupDelta":
+        """Parse a delta from its wire format."""
+        reader = BitReader(data)
+        group_id = reader.read(GROUP_ID_BITS)
+        failed = bool(reader.read(1))
+        indices: List[int] = []
+        arrays: List[int] = []
+        for _ in range(params.value_bits):
+            indices.append(reader.read(params.index_bits))
+            arrays.append(reader.read(params.array_bits))
+        n_upserts = reader.read(COUNT_BITS)
+        n_removals = reader.read(COUNT_BITS)
+        upserts = tuple(
+            (reader.read(FALLBACK_KEY_BITS), reader.read(FALLBACK_VALUE_BITS))
+            for _ in range(n_upserts)
+        )
+        removals = tuple(
+            reader.read(FALLBACK_KEY_BITS) for _ in range(n_removals)
+        )
+        return cls(
+            group_id=group_id,
+            failed=failed,
+            indices=tuple(indices),
+            arrays=tuple(arrays),
+            fallback_upserts=upserts,
+            fallback_removals=removals,
+        )

@@ -1,0 +1,58 @@
+"""Fallback table for groups the brute-force search could not separate.
+
+The paper (§4.1): if no hash function with index below the limit succeeds,
+"a fallback mechanism is triggered to handle this set (e.g., store the keys
+explicitly in a separate, small hash table)".  With the production "16+8"
+configuration fewer than one group in a million falls back, so a plain exact
+dictionary is the right tool; its storage is charged at full key+value width
+by the size accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+
+class FallbackTable:
+    """Exact key-to-value store for failed groups."""
+
+    #: Bits charged per resident entry (64-bit key + 16-bit value slot).
+    ENTRY_BITS = 64 + 16
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries
+
+    def insert(self, key: int, value: int) -> None:
+        """Insert or overwrite an entry."""
+        self._entries[int(key)] = int(value)
+
+    def remove(self, key: int) -> None:
+        """Remove an entry; removing an absent key is a no-op."""
+        self._entries.pop(int(key), None)
+
+    def get(self, key: int) -> Optional[int]:
+        """Exact lookup; ``None`` when the key is absent."""
+        return self._entries.get(int(key))
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over (key, value) pairs."""
+        return iter(self._entries.items())
+
+    def insert_many(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Bulk insert."""
+        for key, value in pairs:
+            self.insert(key, value)
+
+    def size_bits(self) -> int:
+        """Storage charged to the fallback table."""
+        return len(self._entries) * self.ENTRY_BITS
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._entries.clear()

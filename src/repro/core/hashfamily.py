@@ -1,0 +1,183 @@
+"""The parameterised hash-function family at the heart of SetSep (paper §4.1).
+
+SetSep needs, per group of keys, a family ``{H_i(x)}`` that can be iterated
+cheaply during the brute-force search.  Following Kirsch & Mitzenmacher
+("less hashing, same performance"), the paper derives the whole family from
+two base hashes::
+
+    H_i(x) = G1(x) + i * G2(x)        (mod 2**64)
+
+and uses only the *most significant* bits of the sum, because the family has
+a short period in its low bits.  This module provides:
+
+* ``splitmix64`` — a vectorised 64-bit finaliser used as the "strong hash"
+  building block (keys are already 64-bit flat identifiers in ScaleBricks);
+* ``canonical_key`` / ``canonical_keys`` — canonicalisation of ints, bytes
+  and strings into the uint64 key space;
+* ``base_hashes`` — the (G1, G2) pair per key, with G2 forced odd so that
+  ``i -> G1 + i*G2`` walks a full-period sequence mod 2**64;
+* ``positions`` / ``positions_many`` — map ``H_i`` values onto ``[0, m)``
+  bit-array slots using the multiply-shift range reduction on the top 32
+  bits (respecting the paper's use-the-MSBs rule);
+* independent hash streams for the two-level bucket mapping and the cuckoo
+  FIB, derived from distinct mixing constants.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+Key = Union[int, bytes, str]
+
+_U64 = np.uint64
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+# Distinct stream constants.  Each derived hash XORs the key with one of
+# these before mixing, giving approximately independent hash functions from
+# one mixer (the G1/G2 trick from the paper applied once more).
+_STREAM_G1 = np.uint64(0x9E3779B97F4A7C15)
+_STREAM_G2 = np.uint64(0xC2B2AE3D27D4EB4F)
+_STREAM_BUCKET = np.uint64(0x165667B19E3779F9)
+_STREAM_FIB = np.uint64(0x27D4EB2F165667C5)
+_STREAM_TAG = np.uint64(0x94D049BB133111EB)
+
+
+def splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finaliser over a uint64 array.
+
+    This is the standard avalanche mixer from Steele et al.'s SplitMix; it is
+    a bijection on 64-bit integers with full avalanche, which is all SetSep
+    requires of its "standard hashing methods".
+    """
+    x = x.astype(_U64, copy=True)
+    with np.errstate(over="ignore"):
+        x += np.uint64(0x9E3779B97F4A7C15)
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        x ^= x >> np.uint64(31)
+    return x
+
+
+def canonical_key(key: Key) -> int:
+    """Map an int / bytes / str key into the canonical uint64 key space.
+
+    Integers are taken mod 2**64 (ScaleBricks keys are flat 64-bit flow IDs);
+    byte strings and text are digested with BLAKE2b-64 so that arbitrary
+    identifiers (5-tuples, MAC addresses, URLs) can be used as keys.
+    """
+    if isinstance(key, (int, np.integer)):
+        return int(key) & 0xFFFFFFFFFFFFFFFF
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    if isinstance(key, (bytes, bytearray, memoryview)):
+        digest = hashlib.blake2b(bytes(key), digest_size=8).digest()
+        return int.from_bytes(digest, "little")
+    raise TypeError(f"unsupported key type: {type(key).__name__}")
+
+
+def canonical_keys(keys: Iterable[Key]) -> np.ndarray:
+    """Vector version of :func:`canonical_key` returning a uint64 array."""
+    if isinstance(keys, np.ndarray) and keys.dtype == _U64:
+        return keys
+    return np.fromiter(
+        (canonical_key(k) for k in keys), dtype=_U64, count=_length_hint(keys)
+    )
+
+
+def _length_hint(keys: Iterable[Key]) -> int:
+    try:
+        return len(keys)  # type: ignore[arg-type]
+    except TypeError:
+        return -1
+
+
+def base_hashes(keys: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """Compute the (G1, G2) base hash pair for each key.
+
+    G2 is forced odd: ``G1 + i*G2`` then enumerates all 2**64 residues as
+    ``i`` increases, so no candidate index is wasted on a repeated function.
+    """
+    keys = np.asarray(keys, dtype=_U64)
+    g1 = splitmix64(keys ^ _STREAM_G1)
+    g2 = splitmix64(keys ^ _STREAM_G2) | np.uint64(1)
+    return g1, g2
+
+
+def family_values(
+    g1: np.ndarray, g2: np.ndarray, index: int
+) -> np.ndarray:
+    """Evaluate ``H_index = G1 + index*G2`` (mod 2**64) for each key."""
+    with np.errstate(over="ignore"):
+        return g1 + np.uint64(index) * g2
+
+
+def positions(hashes: np.ndarray, m: int) -> np.ndarray:
+    """Reduce 64-bit hash values onto bit-array slots in ``[0, m)``.
+
+    Uses the multiply-shift ("fastrange") reduction on the *top* 32 bits,
+    honouring the paper's observation that only the most significant bits of
+    ``G1 + i*G2`` behave well.
+    """
+    if m <= 0:
+        raise ValueError("m must be positive")
+    top = hashes >> np.uint64(32)
+    with np.errstate(over="ignore"):
+        return ((top * np.uint64(m)) >> np.uint64(32)).astype(np.int64)
+
+
+def positions_many(
+    g1: np.ndarray, g2: np.ndarray, indices: np.ndarray, m: int
+) -> np.ndarray:
+    """Slot positions for *every* (key, candidate index) pair at once.
+
+    Returns an ``(n_keys, n_indices)`` int64 matrix: entry ``[j, c]`` is the
+    bit-array slot that ``H_{indices[c]}`` assigns to key ``j``.  This is the
+    vectorised core of the brute-force search — one call evaluates a whole
+    chunk of the hash family.
+    """
+    indices = np.asarray(indices, dtype=_U64)
+    with np.errstate(over="ignore"):
+        h = g1[:, None] + indices[None, :] * g2[:, None]
+    return positions(h, m)
+
+
+def bucket_hash(keys: np.ndarray) -> np.ndarray:
+    """Independent hash stream for the first-level key-to-bucket mapping."""
+    keys = np.asarray(keys, dtype=_U64)
+    return splitmix64(keys ^ _STREAM_BUCKET)
+
+
+def fib_hash(keys: np.ndarray) -> np.ndarray:
+    """Independent hash stream used by the cuckoo FIB's primary bucket."""
+    keys = np.asarray(keys, dtype=_U64)
+    return splitmix64(keys ^ _STREAM_FIB)
+
+
+def tag_hash(keys: np.ndarray) -> np.ndarray:
+    """Independent hash stream used for cuckoo partial-key tags."""
+    keys = np.asarray(keys, dtype=_U64)
+    return splitmix64(keys ^ _STREAM_TAG)
+
+
+def reduce_range(hashes: np.ndarray, n: int) -> np.ndarray:
+    """Map 64-bit hashes uniformly onto ``[0, n)`` (multiply-shift)."""
+    if n <= 0:
+        raise ValueError("range size must be positive")
+    top = np.asarray(hashes, dtype=_U64) >> np.uint64(32)
+    with np.errstate(over="ignore"):
+        return ((top * np.uint64(n)) >> np.uint64(32)).astype(np.int64)
+
+
+def derive_stream(name: str) -> np.uint64:
+    """Derive a new stream constant from a label (for baselines and tests)."""
+    digest = hashlib.blake2b(name.encode("utf-8"), digest_size=8).digest()
+    return np.uint64(int.from_bytes(digest, "little") | 1)
+
+
+def keyed_hash(keys: np.ndarray, stream: np.uint64) -> np.ndarray:
+    """Hash ``keys`` under the stream constant from :func:`derive_stream`."""
+    keys = np.asarray(keys, dtype=_U64)
+    return splitmix64(keys ^ stream)

@@ -1,0 +1,154 @@
+"""Binary snapshots of SetSep structures.
+
+The paper's construction/exchange step (§4.5) ships whole SetSep slices
+between nodes, and a production appliance wants to persist the GPT across
+restarts instead of rebuilding from the RIB.  This module defines a small
+versioned binary format:
+
+    magic "SSEP" | version u16 | header | arrays
+
+Header fields (little-endian): index_bits, array_bits, value_bits u8;
+num_blocks u32; fallback count u32.  Arrays follow in fixed order:
+choices (u8), indices (u16), arrays (u32), failed bitmap (packed u8),
+fallback entries (u64 key + u16 value each).  Integrity is guarded by a
+trailing CRC32.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import BinaryIO
+
+import numpy as np
+
+from repro.core.fallback import FallbackTable
+from repro.core.params import BUCKETS_PER_BLOCK, GROUPS_PER_BLOCK, SetSepParams
+from repro.core.setsep import SetSep
+
+MAGIC = b"SSEP"
+VERSION = 1
+
+_HEADER = struct.Struct("<4sHBBBBII")
+
+
+class SnapshotError(ValueError):
+    """Raised when a snapshot is malformed or fails integrity checks."""
+
+
+def dump_bytes(setsep: SetSep) -> bytes:
+    """Serialise a SetSep to a self-describing byte string."""
+    params = setsep.params
+    fallback_items = sorted(setsep.fallback.items())
+    header = _HEADER.pack(
+        MAGIC,
+        VERSION,
+        params.index_bits,
+        params.array_bits,
+        params.value_bits,
+        0,  # reserved
+        setsep.num_blocks,
+        len(fallback_items),
+    )
+    failed_packed = np.packbits(setsep.failed_groups.astype(np.uint8))
+    body = b"".join(
+        [
+            header,
+            setsep.choices.astype("<u1").tobytes(),
+            setsep.indices.astype("<u2").tobytes(),
+            setsep.arrays.astype("<u4").tobytes(),
+            failed_packed.tobytes(),
+            b"".join(
+                struct.pack("<QH", key, value)
+                for key, value in fallback_items
+            ),
+        ]
+    )
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+def load_bytes(data: bytes) -> SetSep:
+    """Reconstruct a SetSep from :func:`dump_bytes` output.
+
+    Raises:
+        SnapshotError: on bad magic, version, truncation or CRC mismatch.
+    """
+    if len(data) < _HEADER.size + 4:
+        raise SnapshotError("snapshot truncated")
+    body, crc_raw = data[:-4], data[-4:]
+    if zlib.crc32(body) != struct.unpack("<I", crc_raw)[0]:
+        raise SnapshotError("snapshot CRC mismatch")
+
+    (
+        magic,
+        version,
+        index_bits,
+        array_bits,
+        value_bits,
+        _reserved,
+        num_blocks,
+        fallback_count,
+    ) = _HEADER.unpack_from(body)
+    if magic != MAGIC:
+        raise SnapshotError("not a SetSep snapshot")
+    if version != VERSION:
+        raise SnapshotError(f"unsupported snapshot version {version}")
+
+    params = SetSepParams(
+        index_bits=index_bits, array_bits=array_bits, value_bits=value_bits
+    )
+    num_buckets = num_blocks * BUCKETS_PER_BLOCK
+    num_groups = num_blocks * GROUPS_PER_BLOCK
+
+    offset = _HEADER.size
+    sections = [
+        ("choices", num_buckets, np.dtype("<u1"), (num_buckets,)),
+        ("indices", num_groups * value_bits * 2, np.dtype("<u2"),
+         (num_groups, value_bits)),
+        ("arrays", num_groups * value_bits * 4, np.dtype("<u4"),
+         (num_groups, value_bits)),
+        ("failed", (num_groups + 7) // 8, np.dtype("<u1"),
+         ((num_groups + 7) // 8,)),
+    ]
+    arrays = {}
+    for name, nbytes, dtype, shape in sections:
+        end = offset + nbytes
+        if end > len(body):
+            raise SnapshotError(f"snapshot truncated in {name}")
+        arrays[name] = np.frombuffer(
+            body[offset:end], dtype=dtype
+        ).reshape(shape).copy()
+        offset = end
+
+    fallback = FallbackTable()
+    entry = struct.Struct("<QH")
+    for _ in range(fallback_count):
+        end = offset + entry.size
+        if end > len(body):
+            raise SnapshotError("snapshot truncated in fallback entries")
+        key, value = entry.unpack_from(body, offset)
+        fallback.insert(key, value)
+        offset = end
+    if offset != len(body):
+        raise SnapshotError("trailing bytes after fallback entries")
+
+    failed = np.unpackbits(arrays["failed"])[:num_groups].astype(bool)
+    return SetSep(
+        params=params,
+        num_blocks=num_blocks,
+        choices=arrays["choices"].astype(np.uint8),
+        indices=arrays["indices"].astype(np.uint16),
+        arrays=arrays["arrays"].astype(np.uint32),
+        failed_groups=failed,
+        fallback=fallback,
+    )
+
+
+def dump(setsep: SetSep, stream: BinaryIO) -> None:
+    """Write a snapshot to a binary stream."""
+    stream.write(dump_bytes(setsep))
+
+
+def load(stream: BinaryIO) -> SetSep:
+    """Read a snapshot from a binary stream."""
+    return load_bytes(stream.read())

@@ -1,0 +1,278 @@
+"""SetSep: compact set separation over billions of keys (paper §4).
+
+SetSep stores a mapping from arbitrary 64-bit keys to small values (cluster
+node ids) *without storing the keys*.  Keys flow through two levels of
+hashing into ~16-key groups; each group stores, per value bit, a brute-force
+found hash-function index plus an m-bit array (see :mod:`repro.core.group`).
+Storage is ~1.5 bits/key/value-bit + 0.5 bits/key for the group mapping.
+
+The price of compactness is one-sided error: a lookup for a key that was
+never inserted returns an arbitrary value — SetSep cannot say "not found".
+ScaleBricks tolerates this because the handling node's exact FIB rejects
+unknown keys (§3.2).
+
+Construction lives in :mod:`repro.core.builder`; this module is the queryable
+structure plus in-place delta updates (§4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core import group as group_search
+from repro.core import hashfamily, twolevel
+from repro.core.delta import GroupDelta
+from repro.core.fallback import FallbackTable
+from repro.core.params import (
+    BUCKETS_PER_BLOCK,
+    CHOICE_BITS,
+    GROUPS_PER_BLOCK,
+    SetSepParams,
+)
+
+Key = Union[int, bytes, str]
+
+
+class SetSep:
+    """The queryable set-separation structure.
+
+    Instances are normally created with :func:`repro.core.builder.build`.
+    The constructor takes pre-assembled state so that builders (serial,
+    parallel, distributed across RIB nodes) can produce slices independently.
+    """
+
+    def __init__(
+        self,
+        params: SetSepParams,
+        num_blocks: int,
+        choices: np.ndarray,
+        indices: np.ndarray,
+        arrays: np.ndarray,
+        failed_groups: np.ndarray,
+        fallback: Optional[FallbackTable] = None,
+    ) -> None:
+        num_buckets = num_blocks * BUCKETS_PER_BLOCK
+        num_groups = num_blocks * GROUPS_PER_BLOCK
+        if choices.shape != (num_buckets,):
+            raise ValueError("choices shape does not match num_blocks")
+        if indices.shape != (num_groups, params.value_bits):
+            raise ValueError("indices shape does not match num_blocks/params")
+        if arrays.shape != (num_groups, params.value_bits):
+            raise ValueError("arrays shape does not match num_blocks/params")
+        if failed_groups.shape != (num_groups,):
+            raise ValueError("failed_groups shape does not match num_blocks")
+        self.params = params
+        self.num_blocks = num_blocks
+        self.choices = choices
+        self.indices = indices
+        self.arrays = arrays
+        self.failed_groups = failed_groups
+        self.fallback = fallback if fallback is not None else FallbackTable()
+
+    # ------------------------------------------------------------------
+    # Shape properties
+    # ------------------------------------------------------------------
+
+    @property
+    def num_buckets(self) -> int:
+        """First-level buckets (256 per block)."""
+        return self.num_blocks * BUCKETS_PER_BLOCK
+
+    @property
+    def num_groups(self) -> int:
+        """Second-level groups (64 per block)."""
+        return self.num_blocks * GROUPS_PER_BLOCK
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: Key) -> int:
+        """Map one key to its value.
+
+        Never raises for unknown keys — it returns an arbitrary value
+        instead (the structure's defining one-sided error).
+        """
+        return int(self.lookup_batch([key])[0])
+
+    def lookup_batch(self, keys: Union[Sequence[Key], np.ndarray]) -> np.ndarray:
+        """Vectorised lookup of many keys at once (paper Alg. 1).
+
+        The three stages of the paper's batched lookup (bucket id, bucket to
+        group, group info) appear here as three vectorised passes; NumPy
+        plays the role of the explicit prefetch pipeline.
+        """
+        keys = hashfamily.canonical_keys(keys)
+        if keys.size == 0:
+            return np.zeros(0, dtype=np.uint32)
+        groups = self.groups_of(keys)
+        g1, g2 = hashfamily.base_hashes(keys)
+        m = self.params.array_bits
+        values = np.zeros(len(keys), dtype=np.uint32)
+        for bit in range(self.params.value_bits):
+            idx = self.indices[groups, bit].astype(np.uint64)
+            with np.errstate(over="ignore"):
+                h = g1 + idx * g2
+            pos = hashfamily.positions(h, m).astype(np.uint64)
+            cells = self.arrays[groups, bit].astype(np.uint64)
+            bits = ((cells >> pos) & np.uint64(1)).astype(np.uint32)
+            values |= bits << np.uint32(bit)
+        self._apply_fallback(keys, groups, values)
+        return values
+
+    def _apply_fallback(
+        self, keys: np.ndarray, groups: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Overwrite results for keys whose group lives in the fallback."""
+        if not len(self.fallback):
+            return
+        failed = self.failed_groups[groups]
+        for i in np.nonzero(failed)[0]:
+            exact = self.fallback.get(int(keys[i]))
+            if exact is not None:
+                values[i] = exact
+
+    def buckets_of(self, keys: np.ndarray) -> np.ndarray:
+        """Global bucket id of each (canonical) key."""
+        return twolevel.bucket_ids(keys, self.num_blocks)
+
+    def groups_of(self, keys: np.ndarray) -> np.ndarray:
+        """Global group id of each (canonical) key."""
+        buckets = self.buckets_of(keys)
+        return twolevel.groups_from_choices(buckets, self.choices)
+
+    def group_of(self, key: Key) -> int:
+        """Global group id of a single key."""
+        keys = hashfamily.canonical_keys([key])
+        return int(self.groups_of(keys)[0])
+
+    def block_of(self, key: Key) -> int:
+        """Block id of a single key — the RIB partitioning unit (§4.5)."""
+        return self.group_of(key) // GROUPS_PER_BLOCK
+
+    # ------------------------------------------------------------------
+    # Updates (paper §4.5)
+    # ------------------------------------------------------------------
+
+    def rebuild_group(
+        self,
+        group_id: int,
+        keys: Union[Sequence[Key], np.ndarray],
+        values: Sequence[int],
+        removed_keys: Iterable[Key] = (),
+    ) -> GroupDelta:
+        """Recompute one group and return the delta to broadcast.
+
+        Called by the RIB node that owns the group's block.  ``keys`` and
+        ``values`` are the group's *complete* new contents; ``removed_keys``
+        are keys that left the group (deletions) so stale fallback entries
+        can be dropped cluster-wide.
+
+        The delta is applied locally before being returned, so the owning
+        node and its peers converge on identical state.
+        """
+        keys_arr = hashfamily.canonical_keys(keys)
+        values_arr = np.asarray(list(values), dtype=np.uint32)
+        if keys_arr.shape != values_arr.shape:
+            raise ValueError("keys and values must have equal length")
+        was_failed = bool(self.failed_groups[group_id])
+        g1, g2 = hashfamily.base_hashes(keys_arr)
+        functions = group_search.search_group(g1, g2, values_arr, self.params)
+
+        removals: List[int] = [
+            hashfamily.canonical_key(k) for k in removed_keys
+        ]
+        if functions is not None:
+            if was_failed:
+                removals.extend(int(k) for k in keys_arr)
+            delta = GroupDelta(
+                group_id=group_id,
+                failed=False,
+                indices=tuple(f.index for f in functions),
+                arrays=tuple(f.array for f in functions),
+                fallback_removals=tuple(removals),
+            )
+        else:
+            upserts = tuple(
+                (int(k), int(v)) for k, v in zip(keys_arr, values_arr)
+            )
+            delta = GroupDelta(
+                group_id=group_id,
+                failed=True,
+                indices=(0,) * self.params.value_bits,
+                arrays=(0,) * self.params.value_bits,
+                fallback_upserts=upserts,
+                fallback_removals=tuple(removals),
+            )
+        self.apply_delta(delta)
+        return delta
+
+    def apply_delta(self, delta: GroupDelta) -> None:
+        """Apply a broadcast delta: a few memory writes, no recomputation."""
+        g = delta.group_id
+        if not 0 <= g < self.num_groups:
+            raise ValueError(f"group id {g} out of range")
+        self.indices[g, :] = delta.indices
+        self.arrays[g, :] = delta.arrays
+        self.failed_groups[g] = delta.failed
+        for key in delta.fallback_removals:
+            self.fallback.remove(key)
+        for key, value in delta.fallback_upserts:
+            self.fallback.insert(key, value)
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    def size_bits(self, include_fallback: bool = True) -> int:
+        """Logical structure size in bits.
+
+        Charges 2 bits per bucket choice and (index_bits + array_bits) per
+        value bit per group — the paper's accounting, independent of NumPy's
+        in-memory padding.
+        """
+        bits = self.num_buckets * CHOICE_BITS
+        bits += self.num_groups * self.params.group_bits
+        if include_fallback:
+            bits += self.fallback.size_bits()
+        return bits
+
+    def size_bytes(self) -> int:
+        """Logical size rounded up to bytes (used by the cache model)."""
+        return (self.size_bits() + 7) // 8
+
+    def bits_per_key(self, num_keys: int) -> float:
+        """Measured bits/key for a structure holding ``num_keys`` keys."""
+        if num_keys <= 0:
+            raise ValueError("num_keys must be positive")
+        return self.size_bits() / num_keys
+
+    # ------------------------------------------------------------------
+    # Introspection / (de)serialisation
+    # ------------------------------------------------------------------
+
+    def state(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Raw state arrays (choices, indices, arrays, failed_groups)."""
+        return self.choices, self.indices, self.arrays, self.failed_groups
+
+    def copy(self) -> "SetSep":
+        """Deep copy — used to replicate the GPT to every cluster node."""
+        clone = SetSep(
+            params=self.params,
+            num_blocks=self.num_blocks,
+            choices=self.choices.copy(),
+            indices=self.indices.copy(),
+            arrays=self.arrays.copy(),
+            failed_groups=self.failed_groups.copy(),
+        )
+        clone.fallback.insert_many(self.fallback.items())
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"SetSep(config={self.params.name}, value_bits="
+            f"{self.params.value_bits}, blocks={self.num_blocks}, "
+            f"groups={self.num_groups}, fallback={len(self.fallback)})"
+        )

@@ -1,0 +1,49 @@
+"""The driving application: an LTE-to-Internet gateway (paper §2, §6.2).
+
+A functional software EPC data plane: GTP-U tunnelling, TEID allocation, a
+controller that pins flows to handling nodes, the Packet Forwarding Engine
+that ScaleBricks replaces, and the traffic/latency harness that stands in
+for the Spirent test platform.
+"""
+
+from repro.epc.packets import (
+    EthernetHeader,
+    GtpuHeader,
+    Ipv4Header,
+    UdpHeader,
+    FlowTuple,
+    build_downstream_frame,
+    parse_frame,
+)
+from repro.epc.tunnels import GtpTunnelEndpoint, TeidAllocator
+from repro.epc.controller import EpcController, FlowRecord, AssignmentPolicy
+from repro.epc.dpe import DataPlaneEngine, ChargingRecord, BearerState
+from repro.epc.gateway import EpcGateway, GatewayStats
+from repro.epc.traffic import FlowGenerator, Rfc2544Bench, TrafficStats
+from repro.epc.workload import BearerWorkload, BearerEvent, EventKind
+
+__all__ = [
+    "EthernetHeader",
+    "Ipv4Header",
+    "UdpHeader",
+    "GtpuHeader",
+    "FlowTuple",
+    "build_downstream_frame",
+    "parse_frame",
+    "TeidAllocator",
+    "GtpTunnelEndpoint",
+    "EpcController",
+    "FlowRecord",
+    "AssignmentPolicy",
+    "EpcGateway",
+    "GatewayStats",
+    "DataPlaneEngine",
+    "ChargingRecord",
+    "BearerState",
+    "BearerWorkload",
+    "BearerEvent",
+    "EventKind",
+    "FlowGenerator",
+    "Rfc2544Bench",
+    "TrafficStats",
+]

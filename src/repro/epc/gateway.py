@@ -1,0 +1,346 @@
+"""The LTE-to-Internet gateway: PFE + DPE over a cluster (paper §2, §6.2).
+
+The gateway is the red box of Figure 1: downstream Internet frames enter at
+any cluster node (ECMP), the Packet Forwarding Engine delivers them to
+their flow's handling node, and the Data Plane Engine there charges the
+flow, enforces access control, and re-encapsulates the packet into its
+GTP-U tunnel toward the right base station.  Upstream packets are
+decapsulated and forwarded to the peering routers.
+
+ScaleBricks changes only the PFE (the ``architecture`` argument); the DPE
+here is functional — real byte counters, a real ACL, real encapsulation —
+so the PFE swap is exercised end to end at byte level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.cluster.architectures import Architecture
+from repro.cluster.cluster import Cluster, FibFactory, RouteResult
+from repro.cluster.update import UpdateEngine
+from repro.core.params import SetSepParams
+from repro.epc.controller import AssignmentPolicy, EpcController, FlowRecord
+from repro.epc.dpe import DataPlaneEngine
+from repro.epc.packets import FlowTuple, extract_flow, parse_frame
+from repro.epc.tunnels import GtpTunnelEndpoint
+
+
+@dataclass
+class GatewayStats:
+    """Data-plane accounting."""
+
+    downstream_in: int = 0
+    downstream_tunnelled: int = 0
+    upstream_in: int = 0
+    upstream_forwarded: int = 0
+    dropped_unknown_flow: int = 0
+    dropped_bad_tunnel: int = 0
+    dropped_acl: int = 0
+    dropped_malformed: int = 0
+    bytes_charged: Dict[int, int] = field(default_factory=dict)
+
+    def charge(self, teid: int, size: int) -> None:
+        """DPE charging function: account bytes to a bearer."""
+        self.bytes_charged[teid] = self.bytes_charged.get(teid, 0) + size
+
+
+class AggregateDpeView:
+    """Read-only union over the per-node Data Plane Engines.
+
+    Bearer state is sharded across nodes; operators (and tests) often want
+    cluster-wide views — all CDRs, any bearer's context, total policed
+    drops — without caring where a flow is homed.
+    """
+
+    def __init__(self, dpes) -> None:
+        self._dpes = dpes
+
+    @property
+    def records(self):
+        """All emitted CDRs, across every node."""
+        out = []
+        for dpe in self._dpes:
+            out.extend(dpe.records)
+        return out
+
+    @property
+    def policed_drops(self) -> int:
+        """Total policer drops, across every node."""
+        return sum(dpe.policed_drops for dpe in self._dpes)
+
+    def context(self, teid: int):
+        """The bearer's context, wherever it is homed."""
+        for dpe in self._dpes:
+            found = dpe.context(teid)
+            if found is not None:
+                return found
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(dpe) for dpe in self._dpes)
+
+    def total_bytes(self) -> int:
+        """All accounted bytes, across every node."""
+        return sum(dpe.total_bytes() for dpe in self._dpes)
+
+
+class EpcGateway:
+    """A clustered LTE-to-Internet gateway.
+
+    Args:
+        architecture: the PFE's FIB architecture (the paper's variable).
+        num_nodes: cluster size.
+        gateway_ip: the gateway's tunnel-endpoint IPv4 address.
+        policy: controller flow-assignment policy.
+        gpt_params: SetSep configuration (ScaleBricks only).
+        fib_factory: FIB table constructor (defaults to extended cuckoo).
+        rate_limit_bytes_per_s: optional per-bearer token-bucket policing
+            applied by the DPE (None disables policing).
+
+    The gateway keeps a simple logical clock (``now``, seconds) advanced
+    by ``tick`` per processed packet so the DPE's state machine and
+    policers behave deterministically; tests may set ``now`` directly.
+    """
+
+    def __init__(
+        self,
+        architecture: Architecture,
+        num_nodes: int,
+        gateway_ip: int,
+        policy: AssignmentPolicy = AssignmentPolicy.ROUND_ROBIN,
+        gpt_params: Optional[SetSepParams] = None,
+        fib_factory: Optional[FibFactory] = None,
+        rate_limit_bytes_per_s: Optional[float] = None,
+    ) -> None:
+        self.architecture = architecture
+        self.num_nodes = num_nodes
+        self.gateway_ip = gateway_ip
+        self.controller = EpcController(num_nodes, policy)
+        self.stats = GatewayStats()
+        # One Data Plane Engine per node: bearer state lives where the
+        # flow is handled (the pinning the whole paper exists to serve).
+        self.dpes = [DataPlaneEngine() for _ in range(num_nodes)]
+        self.dpe = AggregateDpeView(self.dpes)
+        self.acl_blocked_sources: Set[int] = set()
+        self.rate_limit_bytes_per_s = rate_limit_bytes_per_s
+        self.now = 0.0
+        self.tick = 1e-5
+        self._gpt_params = gpt_params
+        self._fib_factory = fib_factory
+        self.cluster: Optional[Cluster] = None
+        self.updates: Optional[UpdateEngine] = None
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+
+    def connect(
+        self, flow: FlowTuple, base_station_ip: int, region: int = 0
+    ) -> FlowRecord:
+        """Establish a bearer; if the data plane is live, push the update."""
+        record = self.controller.establish_bearer(flow, base_station_ip, region)
+        self.dpes[record.handling_node].open_bearer(
+            record.teid,
+            now=self.now,
+            rate_limit_bytes_per_s=self.rate_limit_bytes_per_s,
+        )
+        if self.updates is not None:
+            self.updates.insert_flow(
+                record.key, record.handling_node, record.teid
+            )
+        return record
+
+    def disconnect(self, flow: FlowTuple) -> bool:
+        """Tear a bearer down (control + data plane); emits its CDR."""
+        record = self.controller.teardown_bearer(flow)
+        if record is None:
+            return False
+        self.dpes[record.handling_node].close_bearer(record.teid, now=self.now)
+        if self.updates is not None:
+            self.updates.remove_flow(record.key)
+        return True
+
+    def rehome_flow(self, flow: FlowTuple, new_node: int) -> FlowRecord:
+        """Move a live bearer to another handling node (§7 mobility).
+
+        The three pieces that pin a flow move together: the controller
+        record, the FIB entry (+ GPT delta, via the §4.5 update path) and
+        the DPE context with its charging counters — billing continues
+        seamlessly on the new node.
+        """
+        if not 0 <= new_node < self.num_nodes:
+            raise ValueError("new_node out of range")
+        record = self.controller.record_for_key(flow.key())
+        if record is None:
+            raise KeyError(f"no bearer for flow {flow}")
+        if record.handling_node == new_node:
+            return record
+        context = self.dpes[record.handling_node].export_context(record.teid)
+        self.dpes[new_node].import_context(context)
+        moved = self.controller.rehome(flow, new_node)
+        if self.updates is not None:
+            self.updates.insert_flow(moved.key, new_node, moved.teid)
+        return moved
+
+    def start(self) -> None:
+        """Build the forwarding plane from the controller's flow table."""
+        records = list(self.controller.flows.values())
+        keys = [r.key for r in records]
+        nodes = [r.handling_node for r in records]
+        teids = [r.teid for r in records]
+        self.cluster = Cluster.build(
+            self.architecture,
+            self.num_nodes,
+            np.asarray(keys, dtype=np.uint64),
+            nodes,
+            teids,
+            fib_factory=self._fib_factory,
+            gpt_params=self._gpt_params,
+        )
+        self.updates = UpdateEngine(self.cluster)
+
+    def _require_cluster(self) -> Cluster:
+        if self.cluster is None:
+            raise RuntimeError("gateway not started; call start() first")
+        return self.cluster
+
+    # ------------------------------------------------------------------
+    # Data plane: downstream (Internet -> mobile)
+    # ------------------------------------------------------------------
+
+    def process_downstream(
+        self, frame: bytes, ingress: Optional[int] = None
+    ) -> Tuple[RouteResult, Optional[bytes]]:
+        """Forward one downstream frame.
+
+        Returns the PFE routing outcome and, when the packet was accepted,
+        the GTP-U-encapsulated packet headed for the base station.
+        """
+        cluster = self._require_cluster()
+        self.stats.downstream_in += 1
+        try:
+            _eth, l3 = parse_frame(frame)
+            flow, ip_header, _l4 = extract_flow(l3)
+        except ValueError:
+            # A production PFE drops garbage at line rate; it never dies.
+            self.stats.dropped_malformed += 1
+            return RouteResult(
+                key=0,
+                ingress=ingress if ingress is not None else -1,
+                path=(),
+                internal_hops=0,
+                latency_us=0.0,
+                handled_by=None,
+                value=None,
+                dropped=True,
+                reason="malformed",
+            ), None
+
+        if flow.src_ip in self.acl_blocked_sources:
+            self.stats.dropped_acl += 1
+            result = RouteResult(
+                key=flow.key(),
+                ingress=ingress if ingress is not None else -1,
+                path=(),
+                internal_hops=0,
+                latency_us=0.0,
+                handled_by=None,
+                value=None,
+                dropped=True,
+                reason="acl",
+            )
+            return result, None
+
+        result = cluster.route(flow.key(), ingress)
+        if result.dropped:
+            self.stats.dropped_unknown_flow += 1
+            return result, None
+
+        # DPE at the handling node: state/policing, charge, decrement TTL,
+        # re-encapsulate.
+        record = self.controller.record_for_key(flow.key())
+        assert record is not None and result.value == record.teid
+        self.now += self.tick
+        if not self.dpes[record.handling_node].process(
+            record.teid, len(l3), downlink=True, now=self.now
+        ):
+            self.stats.dropped_acl += 1
+            return RouteResult(
+                key=flow.key(),
+                ingress=result.ingress,
+                path=result.path,
+                internal_hops=result.internal_hops,
+                latency_us=result.latency_us,
+                handled_by=None,
+                value=None,
+                dropped=True,
+                reason="policed",
+            ), None
+        self.stats.charge(record.teid, len(l3))
+        forwarded_inner = ip_header.decrement_ttl().pack() + l3[ip_header.SIZE:]
+        endpoint = GtpTunnelEndpoint(
+            local_ip=self.gateway_ip, peer_ip=record.base_station_ip
+        )
+        tunnelled = endpoint.encapsulate(record.teid, forwarded_inner)
+        self.stats.downstream_tunnelled += 1
+        return result, tunnelled
+
+    # ------------------------------------------------------------------
+    # Data plane: upstream (mobile -> Internet)
+    # ------------------------------------------------------------------
+
+    def process_upstream(self, outer_packet: bytes) -> Optional[bytes]:
+        """Decapsulate one upstream GTP-U packet toward the Internet.
+
+        Upstream packets arrive at the flow's handling node directly (the
+        aggregation routers honour the assignment; §2), so no cluster
+        routing is involved — only tunnel validation and DPE work.
+        """
+        self.stats.upstream_in += 1
+        try:
+            teid, inner, _outer = GtpTunnelEndpoint.decapsulate(outer_packet)
+        except ValueError:
+            self.stats.dropped_bad_tunnel += 1
+            return None
+        if teid not in self.controller.teids:
+            self.stats.dropped_bad_tunnel += 1
+            return None
+        try:
+            flow, ip_header, _rest = extract_flow(inner)
+        except ValueError:
+            self.stats.dropped_malformed += 1
+            return None
+        if flow.src_ip in self.acl_blocked_sources:
+            self.stats.dropped_acl += 1
+            return None
+        record = self.controller.record_for_teid(teid)
+        if record is None:
+            self.stats.dropped_bad_tunnel += 1
+            return None
+        self.now += self.tick
+        if not self.dpes[record.handling_node].process(
+            teid, len(inner), downlink=False, now=self.now
+        ):
+            self.stats.dropped_acl += 1
+            return None
+        self.stats.charge(teid, len(inner))
+        self.stats.upstream_forwarded += 1
+        return ip_header.decrement_ttl().pack() + inner[ip_header.SIZE:]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def memory_report(self) -> List[Dict[str, int]]:
+        """Per-node forwarding-state footprint."""
+        return self._require_cluster().memory_report()
+
+    def __repr__(self) -> str:
+        return (
+            f"EpcGateway(arch={self.architecture.value}, "
+            f"nodes={self.num_nodes}, bearers={len(self.controller)})"
+        )

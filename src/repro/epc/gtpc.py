@@ -1,0 +1,316 @@
+"""GTPv2-C control-plane messages: session signalling at byte level (§2).
+
+"When an application running on the mobile initiates a connection, the
+controller assigns the new connection a tunnel ... and a unique Tunnel End
+Point Identifier" — that assignment travels over GTPv2-C (3GPP TS 29.274).
+This module implements the subset the gateway's bearer lifecycle needs:
+
+* the GTPv2-C message header (version 2, TEID flag, sequence number);
+* a small IE (information element) vocabulary: IMSI, F-TEID, bearer
+  context (EBI + F-TEID), cause;
+* Create Session Request/Response and Delete Session Request/Response,
+  composed from those IEs;
+* a :class:`GtpcSessionHandler` that drives an ``EpcController`` from
+  decoded messages — so bearers can be established by *packets*, not just
+  API calls, and tests can exercise the control path end to end.
+
+Encodings follow the TS 29.274 wire layout for the implemented subset
+(type-length-instance IE framing); unsupported IEs round-trip opaquely.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.epc.controller import EpcController
+from repro.epc.packets import FlowTuple
+
+
+class MessageType(enum.IntEnum):
+    """GTPv2-C message types (TS 29.274 §6.1, subset)."""
+
+    CREATE_SESSION_REQUEST = 32
+    CREATE_SESSION_RESPONSE = 33
+    DELETE_SESSION_REQUEST = 36
+    DELETE_SESSION_RESPONSE = 37
+
+
+class IeType(enum.IntEnum):
+    """Information-element types (subset)."""
+
+    IMSI = 1
+    CAUSE = 2
+    FTEID = 87
+    BEARER_CONTEXT = 93
+    EBI = 73
+
+
+class Cause(enum.IntEnum):
+    """GTPv2-C cause values (subset)."""
+
+    REQUEST_ACCEPTED = 16
+    CONTEXT_NOT_FOUND = 64
+    NO_RESOURCES_AVAILABLE = 73
+
+
+@dataclass(frozen=True)
+class InformationElement:
+    """One TLV-I information element."""
+
+    ie_type: int
+    instance: int
+    payload: bytes
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            "!BHB", self.ie_type, len(self.payload), self.instance & 0x0F
+        ) + self.payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> Tuple["InformationElement", bytes]:
+        if len(data) < 4:
+            raise ValueError("truncated IE header")
+        ie_type, length, instance = struct.unpack("!BHB", data[:4])
+        if len(data) < 4 + length:
+            raise ValueError("truncated IE payload")
+        return (
+            cls(ie_type, instance & 0x0F, bytes(data[4 : 4 + length])),
+            data[4 + length :],
+        )
+
+
+def imsi_ie(imsi: str) -> InformationElement:
+    """IMSI as TBCD-encoded digits."""
+    if not imsi.isdigit() or not 6 <= len(imsi) <= 15:
+        raise ValueError("IMSI must be 6-15 digits")
+    digits = imsi + "f" * (len(imsi) % 2)
+    packed = bytes(
+        int(digits[i + 1], 16) << 4 | int(digits[i], 16)
+        for i in range(0, len(digits), 2)
+    )
+    return InformationElement(IeType.IMSI, 0, packed)
+
+
+def decode_imsi(ie: InformationElement) -> str:
+    """Inverse of :func:`imsi_ie`."""
+    digits = []
+    for byte in ie.payload:
+        digits.append(byte & 0x0F)
+        digits.append(byte >> 4)
+    text = "".join("f" if d == 0xF else str(d) for d in digits)
+    return text.rstrip("f")
+
+
+def fteid_ie(teid: int, ipv4: int, instance: int = 0) -> InformationElement:
+    """Fully-qualified TEID (v4 flavour, interface type S1-U eNodeB=0)."""
+    payload = struct.pack("!BI I", 0x80, teid, ipv4)
+    return InformationElement(IeType.FTEID, instance, payload)
+
+
+def decode_fteid(ie: InformationElement) -> Tuple[int, int]:
+    """(teid, ipv4) from an F-TEID IE."""
+    if len(ie.payload) < 9:
+        raise ValueError("truncated F-TEID")
+    _flags, teid, ipv4 = struct.unpack("!BII", ie.payload[:9])
+    return teid, ipv4
+
+
+def cause_ie(cause: Cause) -> InformationElement:
+    """Cause IE (2-byte body: value + flags)."""
+    return InformationElement(IeType.CAUSE, 0, struct.pack("!BB", cause, 0))
+
+
+def decode_cause(ie: InformationElement) -> Cause:
+    """Cause value from a cause IE."""
+    if not ie.payload:
+        raise ValueError("empty cause IE")
+    return Cause(ie.payload[0])
+
+
+@dataclass(frozen=True)
+class GtpcMessage:
+    """A GTPv2-C message: header + IE list."""
+
+    message_type: int
+    teid: int
+    sequence: int
+    ies: Tuple[InformationElement, ...] = field(default=())
+
+    #: Version 2, TEID present.
+    FLAGS = 0x48
+
+    def pack(self) -> bytes:
+        body = b"".join(ie.pack() for ie in self.ies)
+        # Length counts everything after the first 4 bytes.
+        length = 4 + 4 + len(body)
+        header = struct.pack(
+            "!BBH", self.FLAGS, self.message_type, length
+        )
+        header += struct.pack("!I", self.teid)
+        header += struct.pack("!I", (self.sequence & 0xFFFFFF) << 8)
+        return header + body
+
+    @classmethod
+    def parse(cls, data: bytes) -> "GtpcMessage":
+        if len(data) < 12:
+            raise ValueError("truncated GTPv2-C header")
+        flags, message_type, length = struct.unpack("!BBH", data[:4])
+        if flags >> 5 != 2:
+            raise ValueError("not a GTPv2 message")
+        if not flags & 0x08:
+            raise ValueError("TEID-less messages not supported")
+        if len(data) < 4 + length:
+            raise ValueError("truncated GTPv2-C body")
+        teid = struct.unpack("!I", data[4:8])[0]
+        sequence = struct.unpack("!I", data[8:12])[0] >> 8
+        rest = data[12 : 4 + length]
+        ies: List[InformationElement] = []
+        while rest:
+            ie, rest = InformationElement.parse(rest)
+            ies.append(ie)
+        return cls(message_type, teid, sequence, tuple(ies))
+
+    def find(self, ie_type: int, instance: int = 0) -> Optional[InformationElement]:
+        """First IE of a type/instance, or None."""
+        for ie in self.ies:
+            if ie.ie_type == ie_type and ie.instance == instance:
+                return ie
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Message constructors
+# ---------------------------------------------------------------------------
+
+
+def create_session_request(
+    sequence: int,
+    imsi: str,
+    flow: FlowTuple,
+    enodeb_ip: int,
+    enodeb_teid: int,
+) -> GtpcMessage:
+    """MME -> gateway: establish a session for a new downstream flow.
+
+    The flow 5-tuple rides in a vendor bearer-context IE (a simplification
+    of the full TFT encoding).
+    """
+    bearer = InformationElement(
+        IeType.BEARER_CONTEXT,
+        0,
+        struct.pack("!B", 5) + flow.pack(),  # EBI 5 + packed 5-tuple
+    )
+    return GtpcMessage(
+        MessageType.CREATE_SESSION_REQUEST,
+        teid=0,  # first contact: no gateway TEID yet
+        sequence=sequence,
+        ies=(
+            imsi_ie(imsi),
+            fteid_ie(enodeb_teid, enodeb_ip, instance=0),
+            bearer,
+        ),
+    )
+
+
+def delete_session_request(
+    sequence: int, gateway_teid: int
+) -> GtpcMessage:
+    """MME -> gateway: tear a session down."""
+    return GtpcMessage(
+        MessageType.DELETE_SESSION_REQUEST,
+        teid=gateway_teid,
+        sequence=sequence,
+    )
+
+
+class GtpcSessionHandler:
+    """Drives an :class:`EpcController` from decoded GTPv2-C messages.
+
+    Args:
+        controller: the control-plane flow table.
+        gateway_ip: this gateway's tunnel-endpoint address (advertised in
+            Create Session Responses).
+        gateway: when given, bearer changes go through
+            ``EpcGateway.connect``/``disconnect`` so a *live* data plane
+            (FIB installs, GPT deltas, DPE contexts) tracks the signalling.
+    """
+
+    def __init__(
+        self,
+        controller: EpcController,
+        gateway_ip: int,
+        gateway=None,
+    ) -> None:
+        self.controller = controller
+        self.gateway_ip = gateway_ip
+        self.gateway = gateway
+        self.sessions: Dict[int, FlowTuple] = {}  # gateway TEID -> flow
+
+    def handle(self, request_bytes: bytes) -> bytes:
+        """Process one request; returns the encoded response."""
+        request = GtpcMessage.parse(request_bytes)
+        if request.message_type == MessageType.CREATE_SESSION_REQUEST:
+            return self._create(request).pack()
+        if request.message_type == MessageType.DELETE_SESSION_REQUEST:
+            return self._delete(request).pack()
+        raise ValueError(
+            f"unsupported message type {request.message_type}"
+        )
+
+    def _create(self, request: GtpcMessage) -> GtpcMessage:
+        bearer = request.find(IeType.BEARER_CONTEXT)
+        enodeb = request.find(IeType.FTEID)
+        if bearer is None or enodeb is None or len(bearer.payload) < 14:
+            return GtpcMessage(
+                MessageType.CREATE_SESSION_RESPONSE,
+                teid=0,
+                sequence=request.sequence,
+                ies=(cause_ie(Cause.NO_RESOURCES_AVAILABLE),),
+            )
+        flow = FlowTuple(*struct.unpack("!IIBHH", bearer.payload[1:14]))
+        _enb_teid, enb_ip = decode_fteid(enodeb)
+        try:
+            if self.gateway is not None:
+                record = self.gateway.connect(flow, enb_ip)
+            else:
+                record = self.controller.establish_bearer(flow, enb_ip)
+        except ValueError:
+            return GtpcMessage(
+                MessageType.CREATE_SESSION_RESPONSE,
+                teid=0,
+                sequence=request.sequence,
+                ies=(cause_ie(Cause.NO_RESOURCES_AVAILABLE),),
+            )
+        self.sessions[record.teid] = flow
+        return GtpcMessage(
+            MessageType.CREATE_SESSION_RESPONSE,
+            teid=record.teid,
+            sequence=request.sequence,
+            ies=(
+                cause_ie(Cause.REQUEST_ACCEPTED),
+                fteid_ie(record.teid, self.gateway_ip),
+            ),
+        )
+
+    def _delete(self, request: GtpcMessage) -> GtpcMessage:
+        flow = self.sessions.pop(request.teid, None)
+        if flow is None:
+            return GtpcMessage(
+                MessageType.DELETE_SESSION_RESPONSE,
+                teid=request.teid,
+                sequence=request.sequence,
+                ies=(cause_ie(Cause.CONTEXT_NOT_FOUND),),
+            )
+        if self.gateway is not None:
+            self.gateway.disconnect(flow)
+        else:
+            self.controller.teardown_bearer(flow)
+        return GtpcMessage(
+            MessageType.DELETE_SESSION_RESPONSE,
+            teid=request.teid,
+            sequence=request.sequence,
+            ies=(cause_ie(Cause.REQUEST_ACCEPTED),),
+        )

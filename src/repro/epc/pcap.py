@@ -1,0 +1,126 @@
+"""pcap file I/O for generated traffic (libpcap classic format).
+
+The traffic generator's frames are ordinary Ethernet bytes, so they can be
+written to standard ``.pcap`` files and inspected in Wireshark/tcpdump —
+useful for debugging the GTP-U encapsulation and for feeding captured
+traces back into the gateway.  Implements the classic libpcap container
+(magic 0xA1B2C3D4, microsecond timestamps, LINKTYPE_ETHERNET) from
+scratch; no external dependency.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterable, Iterator, List, Tuple
+
+#: Classic pcap magic (big-endian writer variant uses the same value).
+PCAP_MAGIC = 0xA1B2C3D4
+
+#: LINKTYPE_ETHERNET.
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+class PcapError(ValueError):
+    """Raised on malformed pcap input."""
+
+
+@dataclass(frozen=True)
+class CapturedPacket:
+    """One record from a pcap file."""
+
+    timestamp: float
+    data: bytes
+
+    @property
+    def length(self) -> int:
+        """Captured byte count."""
+        return len(self.data)
+
+
+class PcapWriter:
+    """Streams Ethernet frames into a classic pcap file."""
+
+    def __init__(self, stream: BinaryIO, snaplen: int = 65535) -> None:
+        self._stream = stream
+        self._stream.write(
+            _GLOBAL_HEADER.pack(
+                PCAP_MAGIC,
+                2,  # version major
+                4,  # version minor
+                0,  # thiszone
+                0,  # sigfigs
+                snaplen,
+                LINKTYPE_ETHERNET,
+            )
+        )
+        self._count = 0
+
+    def write(self, frame: bytes, timestamp: float = 0.0) -> None:
+        """Append one frame at the given timestamp (seconds)."""
+        seconds = int(timestamp)
+        micros = int(round((timestamp - seconds) * 1_000_000))
+        if micros == 1_000_000:
+            seconds += 1
+            micros = 0
+        self._stream.write(
+            _RECORD_HEADER.pack(seconds, micros, len(frame), len(frame))
+        )
+        self._stream.write(frame)
+        self._count += 1
+
+    def write_all(
+        self, frames: Iterable[bytes], interval_s: float = 1e-5
+    ) -> int:
+        """Append frames at a fixed inter-packet gap; returns the count."""
+        written = 0
+        for i, frame in enumerate(frames):
+            self.write(frame, timestamp=i * interval_s)
+            written += 1
+        return written
+
+    @property
+    def count(self) -> int:
+        """Frames written so far."""
+        return self._count
+
+
+def read_pcap(stream: BinaryIO) -> Iterator[CapturedPacket]:
+    """Iterate over the records of a classic pcap stream.
+
+    Raises:
+        PcapError: on bad magic or truncated records.
+    """
+    header = stream.read(_GLOBAL_HEADER.size)
+    if len(header) < _GLOBAL_HEADER.size:
+        raise PcapError("truncated pcap global header")
+    magic = struct.unpack("<I", header[:4])[0]
+    if magic != PCAP_MAGIC:
+        raise PcapError(f"bad pcap magic 0x{magic:08x}")
+    (_, _major, _minor, _zone, _sigfigs, _snaplen, linktype) = (
+        _GLOBAL_HEADER.unpack(header)
+    )
+    if linktype != LINKTYPE_ETHERNET:
+        raise PcapError(f"unsupported link type {linktype}")
+
+    while True:
+        record = stream.read(_RECORD_HEADER.size)
+        if not record:
+            return
+        if len(record) < _RECORD_HEADER.size:
+            raise PcapError("truncated pcap record header")
+        seconds, micros, incl_len, _orig_len = _RECORD_HEADER.unpack(record)
+        data = stream.read(incl_len)
+        if len(data) < incl_len:
+            raise PcapError("truncated pcap record body")
+        yield CapturedPacket(
+            timestamp=seconds + micros / 1_000_000, data=data
+        )
+
+
+def load_pcap(stream: BinaryIO) -> List[CapturedPacket]:
+    """Read a whole pcap stream into a list."""
+    return list(read_pcap(stream))

@@ -1,0 +1,164 @@
+"""Stochastic bearer workloads: arrivals, holding times, diurnal load.
+
+The paper pre-populates static tunnels for its benchmarks; a live EPC
+sees a churn *process* — connections arrive (Poisson), live for a random
+holding time (exponential or heavy-tailed), and leave.  This generator
+produces that process as a deterministic, seedable event list so churn
+experiments (update-rate stress, capacity head-room, CDR volume) run the
+same way every time.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.epc.packets import FlowTuple
+from repro.epc.traffic import FlowGenerator
+
+
+class EventKind(enum.Enum):
+    """Bearer lifecycle events."""
+
+    CONNECT = "connect"
+    DISCONNECT = "disconnect"
+
+
+@dataclass(frozen=True)
+class BearerEvent:
+    """One arrival or departure."""
+
+    time: float
+    kind: EventKind
+    flow: FlowTuple
+    region: int
+
+
+@dataclass
+class WorkloadStats:
+    """Summary of a generated workload."""
+
+    arrivals: int = 0
+    departures: int = 0
+    peak_concurrent: int = 0
+    mean_holding_time: float = 0.0
+
+
+class BearerWorkload:
+    """Poisson arrivals with exponential (or Pareto) holding times.
+
+    Args:
+        arrival_rate: bearers per second (lambda).
+        mean_holding_s: mean bearer lifetime.
+        duration_s: length of the generated window.
+        heavy_tailed: draw holding times from a Pareto distribution with
+            the same mean instead of exponential (mobile sessions are
+            heavy-tailed in practice).
+        seed: determinism.
+    """
+
+    def __init__(
+        self,
+        arrival_rate: float,
+        mean_holding_s: float,
+        duration_s: float,
+        heavy_tailed: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if arrival_rate <= 0 or mean_holding_s <= 0 or duration_s <= 0:
+            raise ValueError("rates and durations must be positive")
+        self.arrival_rate = arrival_rate
+        self.mean_holding_s = mean_holding_s
+        self.duration_s = duration_s
+        self.heavy_tailed = heavy_tailed
+        self.seed = seed
+        self._flowgen = FlowGenerator(seed=seed)
+
+    def _holding_times(
+        self, rng: np.random.Generator, count: int
+    ) -> np.ndarray:
+        if not self.heavy_tailed:
+            return rng.exponential(self.mean_holding_s, size=count)
+        # Pareto with shape 2.5 has mean scale*shape/(shape-1); solve the
+        # scale so the mean matches the exponential configuration.
+        shape = 2.5
+        scale = self.mean_holding_s * (shape - 1) / shape
+        return (rng.pareto(shape, size=count) + 1.0) * scale
+
+    def events(self) -> "tuple[List[BearerEvent], WorkloadStats]":
+        """Generate the chronologically sorted event list."""
+        rng = np.random.default_rng(self.seed)
+        inter = rng.exponential(
+            1.0 / self.arrival_rate,
+            size=max(4, int(self.arrival_rate * self.duration_s * 2)),
+        )
+        arrival_times = np.cumsum(inter)
+        arrival_times = arrival_times[arrival_times < self.duration_s]
+        count = len(arrival_times)
+        holds = self._holding_times(rng, count)
+        flows = self._flowgen.flows(count)
+
+        events: List[BearerEvent] = []
+        for t, hold, flow in zip(arrival_times, holds, flows):
+            region = self._flowgen.region_for(flow)
+            events.append(
+                BearerEvent(float(t), EventKind.CONNECT, flow, region)
+            )
+            departure = float(t + hold)
+            if departure < self.duration_s:
+                events.append(
+                    BearerEvent(departure, EventKind.DISCONNECT, flow, region)
+                )
+        events.sort(key=lambda e: (e.time, e.kind.value))
+
+        concurrent = 0
+        peak = 0
+        departures = 0
+        for event in events:
+            if event.kind is EventKind.CONNECT:
+                concurrent += 1
+                peak = max(peak, concurrent)
+            else:
+                concurrent -= 1
+                departures += 1
+        stats = WorkloadStats(
+            arrivals=count,
+            departures=departures,
+            peak_concurrent=peak,
+            mean_holding_time=float(np.mean(holds)) if count else 0.0,
+        )
+        return events, stats
+
+    def replay(self, gateway, limit: Optional[int] = None) -> WorkloadStats:
+        """Drive the event list into a *started* gateway.
+
+        Connect events establish bearers (pushed live through the update
+        engine); disconnects tear them down.  Returns the workload stats.
+        """
+        events, stats = self.events()
+        flowgen = self._flowgen
+        applied = 0
+        for event in events:
+            if limit is not None and applied >= limit:
+                break
+            if event.kind is EventKind.CONNECT:
+                gateway.connect(
+                    event.flow,
+                    flowgen.base_station_for(event.flow),
+                    event.region,
+                )
+            else:
+                gateway.disconnect(event.flow)
+            applied += 1
+        return stats
+
+
+def offered_load_erlangs(arrival_rate: float, mean_holding_s: float) -> float:
+    """Erlang offered load = lambda * mean holding (sizing rule of thumb)."""
+    if arrival_rate <= 0 or mean_holding_s <= 0:
+        raise ValueError("rates and durations must be positive")
+    return arrival_rate * mean_holding_s

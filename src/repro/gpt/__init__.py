@@ -1,0 +1,5 @@
+"""The Global Partition Table (paper §3.2)."""
+
+from repro.gpt.gpt import GlobalPartitionTable
+
+__all__ = ["GlobalPartitionTable"]

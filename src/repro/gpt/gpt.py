@@ -1,0 +1,151 @@
+"""Global Partition Table: flow key -> handling node (paper §3.2).
+
+The GPT is the fully replicated, extremely compact table every ingress node
+consults to forward a packet straight to its handling node.  It wraps a
+SetSep whose values are node ids, adding:
+
+* cluster-aware sizing (``value_bits = ceil(log2 num_nodes)``);
+* an update interface in terms of (key, node) pairs backed by SetSep group
+  deltas (§4.5) — the node that owns a key's block recomputes the group and
+  every replica applies the broadcast delta;
+* size accounting used by the FIB-scaling analytics (Fig. 11).
+
+One-sided error is inherited from SetSep: looking up an unknown key returns
+*some* node id.  ScaleBricks relies on the handling node's exact FIB to
+reject such packets, so the GPT never needs to say "not found".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core import builder
+from repro.core.builder import ConstructionStats
+from repro.core.delta import GroupDelta
+from repro.core.hashfamily import canonical_key, canonical_keys
+from repro.core.params import GROUPS_PER_BLOCK, SetSepParams
+from repro.core.setsep import Key, SetSep
+
+
+class GlobalPartitionTable:
+    """Compact key-to-node mapping replicated on every cluster node."""
+
+    def __init__(self, num_nodes: int, setsep: SetSep) -> None:
+        if num_nodes < 1:
+            raise ValueError("cluster must have at least one node")
+        max_value = (1 << setsep.params.value_bits) - 1
+        if num_nodes - 1 > max_value:
+            raise ValueError(
+                f"{setsep.params.value_bits}-bit values cannot index "
+                f"{num_nodes} nodes"
+            )
+        self.num_nodes = num_nodes
+        self.setsep = setsep
+
+    @classmethod
+    def build(
+        cls,
+        keys: Union[Sequence[Key], np.ndarray],
+        nodes: Sequence[int],
+        num_nodes: int,
+        params: Optional[SetSepParams] = None,
+        workers: int = 1,
+    ) -> Tuple["GlobalPartitionTable", ConstructionStats]:
+        """Build a GPT mapping each key to its handling node id."""
+        if params is None:
+            params = SetSepParams.for_cluster(num_nodes)
+        nodes_arr = np.asarray(nodes, dtype=np.uint32)
+        if len(nodes_arr) and int(nodes_arr.max()) >= num_nodes:
+            raise ValueError("node id out of range")
+        setsep, stats = builder.build(keys, nodes_arr, params, workers=workers)
+        return cls(num_nodes, setsep), stats
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: Key) -> int:
+        """Handling node for ``key`` (arbitrary node for unknown keys)."""
+        return self.setsep.lookup(key) % self.num_nodes
+
+    def lookup_batch(self, keys: Union[Sequence[Key], np.ndarray]) -> np.ndarray:
+        """Vectorised handling-node lookup.
+
+        Raw SetSep values are reduced mod ``num_nodes`` so that the
+        arbitrary answers produced for unknown keys still name a real node —
+        the switch fabric can always deliver the packet somewhere, and the
+        receiving node's FIB rejects it (§3.2's one-sided error contract).
+        """
+        values = self.setsep.lookup_batch(keys)
+        if self.num_nodes & (self.num_nodes - 1) == 0:
+            return values & np.uint32(self.num_nodes - 1)
+        return values % np.uint32(self.num_nodes)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def block_of(self, key: Key) -> int:
+        """The RIB partition (block id) that owns ``key`` (§4.5)."""
+        return self.setsep.block_of(key)
+
+    def rebuild_group(
+        self,
+        group_id: int,
+        keys: Union[Sequence[Key], np.ndarray],
+        nodes: Sequence[int],
+        removed_keys: Iterable[Key] = (),
+    ) -> GroupDelta:
+        """Recompute one group after a RIB change; returns the delta."""
+        return self.setsep.rebuild_group(group_id, keys, nodes, removed_keys)
+
+    def apply_delta(self, delta: GroupDelta) -> None:
+        """Apply a broadcast delta from the owning RIB node."""
+        self.setsep.apply_delta(delta)
+
+    def group_of(self, key: Key) -> int:
+        """Global SetSep group id of ``key``."""
+        return self.setsep.group_of(key)
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    def size_bits(self) -> int:
+        """Replicated GPT size in bits."""
+        return self.setsep.size_bits()
+
+    def size_bytes(self) -> int:
+        """Replicated GPT size in bytes (cache-model input)."""
+        return self.setsep.size_bytes()
+
+    def bits_per_key(self, num_keys: int) -> float:
+        """Measured bits per key."""
+        return self.setsep.bits_per_key(num_keys)
+
+    def copy(self) -> "GlobalPartitionTable":
+        """Replica for another cluster node."""
+        return GlobalPartitionTable(self.num_nodes, self.setsep.copy())
+
+    def __repr__(self) -> str:
+        return f"GlobalPartitionTable(nodes={self.num_nodes}, {self.setsep!r})"
+
+
+def rib_view(
+    keys: Union[Sequence[Key], np.ndarray],
+    nodes: Sequence[int],
+    gpt: GlobalPartitionTable,
+) -> Dict[int, Dict[int, int]]:
+    """Group the RIB by SetSep group id (helper for update tests).
+
+    Returns ``{group_id: {canonical_key: node}}`` — the per-group contents an
+    owning RIB node needs when recomputing a group.
+    """
+    keys_arr = canonical_keys(keys)
+    groups = gpt.setsep.groups_of(keys_arr)
+    view: Dict[int, Dict[int, int]] = {}
+    for key, group, node in zip(keys_arr, groups, nodes):
+        view.setdefault(int(group), {})[int(key)] = int(node)
+    return view

@@ -1,0 +1,24 @@
+"""FIB hash tables (paper §5.2 and the Figure 8–10 comparators).
+
+* :class:`repro.hashtables.cuckoo.CuckooHashTable` — the ScaleBricks partial
+  FIB: 4-way cuckoo hashing with the separated value array extension.
+* :class:`repro.hashtables.chaining.ChainingHashTable` — the forwarding
+  engine's original FIB, whose performance collapses as tunnels grow.
+* :class:`repro.hashtables.rtehash.RteHashTable` — a model of DPDK's
+  ``rte_hash`` (bucketised signature table), the paper's other comparator.
+"""
+
+from repro.hashtables.interface import FibTable, TableFullError
+from repro.hashtables.cuckoo import CuckooHashTable
+from repro.hashtables.chaining import ChainingHashTable
+from repro.hashtables.rtehash import RteHashTable
+from repro.hashtables.valuearray import ValueArray
+
+__all__ = [
+    "FibTable",
+    "TableFullError",
+    "CuckooHashTable",
+    "ChainingHashTable",
+    "RteHashTable",
+    "ValueArray",
+]

@@ -1,0 +1,293 @@
+"""Cuckoo-hash FIB with a separated value array (paper §5.2).
+
+ScaleBricks stores each node's slice of the FIB in a concurrent cuckoo hash
+table derived from CuckooSwitch [34].  CuckooSwitch interleaved key/value to
+fetch both in one cache line; ScaleBricks instead needs *configurable-sized*
+values, so it keeps keys in the buckets and moves values into a separate
+array indexed by the slot number — the extension this module implements.
+When a cuckoo insertion relocates a key, the value moves with it, and lookup
+costs one extra (slot-indexed) memory read that the paper measures to be
+nearly free.
+
+The table is 4-way set-associative with partial-key ("tag") alternate-bucket
+derivation as in MemC3 [14]: ``alt(b, tag) = b XOR hash(tag)``, an involution
+that lets either bucket derive the other without the full key.  Insertion
+uses BFS for the shortest relocation path, which keeps high occupancy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import hashfamily
+from repro.core.setsep import Key
+from repro.hashtables.interface import FibTable, TableFullError, canonical
+
+#: Slots per bucket (the associativity CuckooSwitch uses).
+SLOTS_PER_BUCKET = 4
+
+#: Maximum BFS depth when searching for a relocation path.
+MAX_BFS_DEPTH = 4
+
+#: Tag width in bits (partial key stored logically alongside each slot).
+TAG_BITS = 16
+
+
+class CuckooHashTable(FibTable):
+    """4-way cuckoo hash table with values in a separate slot-indexed array.
+
+    Args:
+        capacity: expected number of entries; the bucket count is the next
+            power of two giving a target load factor of ~0.95 (cuckoo with
+            4-way buckets sustains >95% occupancy).
+        value_size: bytes per value (the application-specific data the
+            paper mentions — e.g. a TEID plus per-flow state handle).
+        value_store: ``"object"`` keeps arbitrary Python values and uses
+            ``value_size`` only for the memory model; ``"packed"``
+            materialises the paper's dense byte matrix
+            (:class:`repro.hashtables.valuearray.ValueArray`) and requires
+            every value to be ``value_size`` bytes (ints are packed
+            little-endian).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        value_size: int = 8,
+        value_store: str = "object",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if value_size < 1:
+            raise ValueError("value_size must be positive")
+        if value_store not in ("object", "packed"):
+            raise ValueError("value_store must be 'object' or 'packed'")
+        buckets_needed = max(1, int(capacity / (SLOTS_PER_BUCKET * 0.95)) + 1)
+        self._num_buckets = 1 << (buckets_needed - 1).bit_length()
+        self._bucket_mask = np.uint64(self._num_buckets - 1)
+        num_slots = self._num_buckets * SLOTS_PER_BUCKET
+        self._keys = np.zeros(num_slots, dtype=np.uint64)
+        self._occupied = np.zeros(num_slots, dtype=bool)
+        # The separated value array: element k holds the value of slot k.
+        self._values: Any
+        if value_store == "packed":
+            from repro.hashtables.valuearray import ValueArray
+
+            self._values = ValueArray(num_slots, value_size)
+        else:
+            self._values = [None] * num_slots
+        self.value_store = value_store
+        self._value_size = value_size
+        self._len = 0
+        self._relocations = 0
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+
+    def _index_pair(self, key: int) -> Tuple[int, int]:
+        """Primary and alternate bucket of a key."""
+        arr = np.asarray([key], dtype=np.uint64)
+        primary = int(hashfamily.fib_hash(arr)[0] & self._bucket_mask)
+        return primary, self._alt_bucket(primary, self._tag(key))
+
+    def _tag(self, key: int) -> int:
+        """Partial-key tag (never zero, so zero can mean "empty")."""
+        arr = np.asarray([key], dtype=np.uint64)
+        tag = int(hashfamily.tag_hash(arr)[0]) & ((1 << TAG_BITS) - 1)
+        return tag if tag else 1
+
+    def _alt_bucket(self, bucket: int, tag: int) -> int:
+        """The XOR-derived alternate bucket (an involution, per MemC3)."""
+        arr = np.asarray([tag], dtype=np.uint64)
+        offset = int(hashfamily.tag_hash(arr)[0] & self._bucket_mask)
+        return (bucket ^ offset) & (self._num_buckets - 1)
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Key, value: Any) -> None:
+        ckey = canonical(key)
+        b1, b2 = self._index_pair(ckey)
+
+        # Overwrite if present.
+        slot = self._find_slot(ckey, b1, b2)
+        if slot is not None:
+            self._values[slot] = value
+            return
+
+        # Empty slot in either candidate bucket.
+        for bucket in (b1, b2):
+            slot = self._empty_slot(bucket)
+            if slot is not None:
+                self._place(slot, ckey, value)
+                return
+
+        # BFS for the shortest relocation path.
+        path = self._bfs_path(b1, b2)
+        if path is None:
+            raise TableFullError(
+                f"cuckoo table full at load factor {self.load_factor():.3f}"
+            )
+        self._shift_along(path)
+        self._place(path[0], ckey, value)
+
+    def lookup(self, key: Key) -> Optional[Any]:
+        ckey = canonical(key)
+        b1, b2 = self._index_pair(ckey)
+        slot = self._find_slot(ckey, b1, b2)
+        if slot is None:
+            return None
+        # The separated value array costs exactly one extra indexed read.
+        return self._values[slot]
+
+    def lookup_batch(self, keys) -> List[Optional[Any]]:
+        """Vectorised multi-key lookup (the PFE's batched fast path).
+
+        Candidate buckets, tags and slot comparisons for the whole batch
+        are computed as NumPy array operations — the software analogue of
+        the prefetch pipelining CuckooSwitch uses (§5.1) — and only the
+        final value fetches touch Python objects.
+        """
+        from repro.hashtables.interface import canonical_many
+
+        keys_arr = canonical_many(keys)
+        n = len(keys_arr)
+        if n == 0:
+            return []
+        primary = (hashfamily.fib_hash(keys_arr) & self._bucket_mask).astype(
+            np.int64
+        )
+        tags = hashfamily.tag_hash(keys_arr) & np.uint64((1 << TAG_BITS) - 1)
+        tags = np.where(tags == 0, np.uint64(1), tags)
+        offsets = (hashfamily.tag_hash(tags) & self._bucket_mask).astype(
+            np.int64
+        )
+        alternate = primary ^ offsets
+
+        # All 8 candidate slots per key: (n, 8).
+        slot_base = np.stack([primary, alternate], axis=1) * SLOTS_PER_BUCKET
+        slots = slot_base[:, :, None] + np.arange(SLOTS_PER_BUCKET)[None, None, :]
+        slots = slots.reshape(n, 2 * SLOTS_PER_BUCKET)
+        match = self._occupied[slots] & (self._keys[slots] == keys_arr[:, None])
+
+        out: List[Optional[Any]] = [None] * n
+        hit_rows, hit_cols = np.nonzero(match)
+        for row, col in zip(hit_rows.tolist(), hit_cols.tolist()):
+            if out[row] is None:
+                out[row] = self._values[int(slots[row, col])]
+        return out
+
+    def delete(self, key: Key) -> bool:
+        ckey = canonical(key)
+        b1, b2 = self._index_pair(ckey)
+        slot = self._find_slot(ckey, b1, b2)
+        if slot is None:
+            return False
+        self._occupied[slot] = False
+        self._keys[slot] = 0
+        self._values[slot] = None
+        self._len -= 1
+        return True
+
+    def __len__(self) -> int:
+        return self._len
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _slots_of(self, bucket: int) -> range:
+        start = bucket * SLOTS_PER_BUCKET
+        return range(start, start + SLOTS_PER_BUCKET)
+
+    def _find_slot(self, ckey: int, b1: int, b2: int) -> Optional[int]:
+        for bucket in (b1, b2):
+            for slot in self._slots_of(bucket):
+                if self._occupied[slot] and int(self._keys[slot]) == ckey:
+                    return slot
+        return None
+
+    def _empty_slot(self, bucket: int) -> Optional[int]:
+        for slot in self._slots_of(bucket):
+            if not self._occupied[slot]:
+                return slot
+        return None
+
+    def _place(self, slot: int, ckey: int, value: Any) -> None:
+        self._keys[slot] = ckey
+        self._occupied[slot] = True
+        self._values[slot] = value
+        self._len += 1
+
+    def _bfs_path(self, b1: int, b2: int) -> Optional[List[int]]:
+        """Shortest chain of slots ending at an empty slot.
+
+        Returns slot ids ``[s0, s1, ..., empty]`` where each occupant of
+        ``s_i`` moves to ``s_{i+1}``; ``s0`` is freed for the new key.
+        """
+        # Each queue entry: (bucket, path-of-slots-to-reach-it).
+        queue: Deque[Tuple[int, Tuple[int, ...]]] = deque()
+        visited = {b1, b2}
+        for bucket in (b1, b2):
+            for slot in self._slots_of(bucket):
+                queue.append((slot, (slot,)))
+        depth_limit = MAX_BFS_DEPTH * SLOTS_PER_BUCKET * 2
+        steps = 0
+        while queue and steps < 4096:
+            steps += 1
+            slot, path = queue.popleft()
+            if not self._occupied[slot]:
+                return list(path)
+            if len(path) > MAX_BFS_DEPTH:
+                continue
+            occupant = int(self._keys[slot])
+            tag = self._tag(occupant)
+            bucket = slot // SLOTS_PER_BUCKET
+            alt = self._alt_bucket(bucket, tag)
+            if alt in visited:
+                continue
+            visited.add(alt)
+            for nxt in self._slots_of(alt):
+                queue.append((nxt, path + (nxt,)))
+        return None
+
+    def _shift_along(self, path: List[int]) -> None:
+        """Move occupants backwards along the path, values included."""
+        for i in range(len(path) - 1, 0, -1):
+            src, dst = path[i - 1], path[i]
+            self._keys[dst] = self._keys[src]
+            self._values[dst] = self._values[src]  # value moves with the key
+            self._occupied[dst] = True
+            self._occupied[src] = False
+            self._values[src] = None
+            self._relocations += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def load_factor(self) -> float:
+        """Fraction of slots in use."""
+        return self._len / (self._num_buckets * SLOTS_PER_BUCKET)
+
+    @property
+    def num_buckets(self) -> int:
+        """Bucket count (power of two)."""
+        return self._num_buckets
+
+    @property
+    def relocations(self) -> int:
+        """Total cuckoo moves performed (insertion-cost metric)."""
+        return self._relocations
+
+    def size_bytes(self) -> int:
+        """Keys + tags region plus the separated value array."""
+        num_slots = self._num_buckets * SLOTS_PER_BUCKET
+        key_region = num_slots * (8 + TAG_BITS // 8)
+        value_region = num_slots * self._value_size
+        return key_region + value_region

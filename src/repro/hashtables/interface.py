@@ -1,0 +1,75 @@
+"""Common interface for the exact FIB tables.
+
+Every FIB design the paper compares (cuckoo, chaining, rte_hash) offers the
+same contract: exact key-to-value lookup with a real "not found" answer —
+the property the compact GPT deliberately gives up, and the reason the
+handling node can reject packets the GPT misroutes (§3.2).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.hashfamily import canonical_key, canonical_keys
+from repro.core.setsep import Key
+
+
+class TableFullError(RuntimeError):
+    """Raised when an insert cannot be placed (table at capacity)."""
+
+
+class FibTable(abc.ABC):
+    """Exact key/value table with size accounting for the cache model."""
+
+    @abc.abstractmethod
+    def insert(self, key: Key, value: Any) -> None:
+        """Insert or overwrite an entry.
+
+        Raises:
+            TableFullError: if no slot can be found for the key.
+        """
+
+    @abc.abstractmethod
+    def lookup(self, key: Key) -> Optional[Any]:
+        """Exact lookup; returns ``None`` when the key is absent."""
+
+    @abc.abstractmethod
+    def delete(self, key: Key) -> bool:
+        """Remove an entry; returns whether it existed."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of resident entries."""
+
+    @abc.abstractmethod
+    def size_bytes(self) -> int:
+        """Memory footprint charged to this table (cache-model input)."""
+
+    def __contains__(self, key: Key) -> bool:
+        return self.lookup(key) is not None
+
+    def lookup_batch(
+        self, keys: Union[Sequence[Key], np.ndarray]
+    ) -> List[Optional[Any]]:
+        """Look up many keys; subclasses may vectorise."""
+        if isinstance(keys, np.ndarray):
+            keys = keys.tolist()
+        return [self.lookup(k) for k in keys]
+
+    def insert_many(self, pairs: Sequence[Tuple[Key, Any]]) -> None:
+        """Bulk insert."""
+        for key, value in pairs:
+            self.insert(key, value)
+
+
+def canonical(key: Key) -> int:
+    """Shared key canonicalisation (same space as SetSep keys)."""
+    return canonical_key(key)
+
+
+def canonical_many(keys: Union[Sequence[Key], np.ndarray]) -> np.ndarray:
+    """Vector key canonicalisation."""
+    return canonical_keys(keys)

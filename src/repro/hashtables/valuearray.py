@@ -1,0 +1,68 @@
+"""The separated, fixed-width value array (paper §5.2).
+
+ScaleBricks' FIB extension: "When the table is initialized at run-time,
+the value size is fixed for all entries based on the application
+requirements. ... we create a separate value array in which the k-th
+element is the value associated with the k-th slot in the hash table."
+
+This module is that array, literally: a dense ``(num_slots, value_size)``
+byte matrix indexed by slot number.  The cuckoo table composes with it via
+its ``value_store="packed"`` mode, at which point values are materialised
+bytes and the size accounting reflects real storage rather than a model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class ValueArray:
+    """Dense slot-indexed storage for fixed-size binary values.
+
+    Args:
+        num_slots: one element per hash-table slot.
+        value_size: bytes per value, fixed at initialisation (the §5.2
+            contract — applications pick it once, e.g. TEID + state ref).
+    """
+
+    def __init__(self, num_slots: int, value_size: int) -> None:
+        if num_slots < 1:
+            raise ValueError("num_slots must be positive")
+        if value_size < 1:
+            raise ValueError("value_size must be positive")
+        self.num_slots = num_slots
+        self.value_size = value_size
+        self._data = np.zeros((num_slots, value_size), dtype=np.uint8)
+
+    def __setitem__(self, slot: int, value: Optional[bytes]) -> None:
+        """Store a value; ``None`` clears the slot (zero fill)."""
+        if value is None:
+            self._data[slot, :] = 0
+            return
+        if isinstance(value, int):
+            value = int(value).to_bytes(self.value_size, "little")
+        if len(value) != self.value_size:
+            raise ValueError(
+                f"value must be exactly {self.value_size} bytes, "
+                f"got {len(value)}"
+            )
+        self._data[slot, :] = np.frombuffer(bytes(value), dtype=np.uint8)
+
+    def __getitem__(self, slot: int) -> bytes:
+        """Read the slot's value bytes (zero-filled when never written)."""
+        return self._data[slot].tobytes()
+
+    def get_int(self, slot: int) -> int:
+        """Read the slot as a little-endian unsigned integer."""
+        return int.from_bytes(self[slot], "little")
+
+    def move(self, src: int, dst: int) -> None:
+        """Relocate a value alongside its cuckooed key (§5.2)."""
+        self._data[dst, :] = self._data[src, :]
+        self._data[src, :] = 0
+
+    def size_bytes(self) -> int:
+        """Real storage footprint of the array."""
+        return int(self._data.nbytes)

@@ -1,0 +1,88 @@
+"""Internal-fabric bandwidth requirements (paper §3.1).
+
+The topology choice turns on bandwidth economics: to support R Gbps of
+external traffic a VLB mesh needs 2R of aggregate internal bandwidth
+(every packet crosses two internal links), while a switch-based design
+needs only R — and the switch itself became cheap (~$9/Gbps for a
+Mellanox 36-port 40 GbE box vs the RouteBricks-era estimate, an 80% drop).
+
+These closed forms quantify that argument and the per-architecture fabric
+load; ``bench_ablation_bandwidth`` checks them against the functional
+simulation's per-link counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.architectures import Architecture
+
+
+@dataclass(frozen=True)
+class FabricRequirement:
+    """Internal bandwidth needed to support a given external load."""
+
+    architecture: Architecture
+    external_gbps: float
+
+    @property
+    def internal_transits_per_packet(self) -> float:
+        """Expected internal link crossings per packet.
+
+        With N nodes and uniform flow placement a fraction ``(N-1)/N`` of
+        packets leaves its ingress node; one-hop designs cross one link
+        for those, two-hop designs cross two.  The closed forms below use
+        the ``N -> inf`` limit (every packet forwards), matching §3.1's
+        sizing argument, which must provision for the worst case anyway.
+        """
+        return float(self.architecture.internal_hops)
+
+    @property
+    def internal_gbps(self) -> float:
+        """Aggregate internal bandwidth to provision."""
+        return self.external_gbps * self.internal_transits_per_packet
+
+    def per_node_internal_gbps(self, num_nodes: int) -> float:
+        """Internal bandwidth per node at uniform traffic."""
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be positive")
+        return self.internal_gbps / num_nodes
+
+
+def expected_transits(architecture: Architecture, num_nodes: int) -> float:
+    """Exact expected internal transits per packet at N nodes.
+
+    Uniform ingress and uniform handling nodes: a packet stays local with
+    probability 1/N.  One-hop designs: ``(N-1)/N`` transits.  Two-hop
+    designs: hash partitioning detours via the lookup node (local with
+    probability 1/N at each step); VLB always takes two hops for remote
+    packets.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be positive")
+    n = num_nodes
+    remote = (n - 1) / n
+    if architecture in (
+        Architecture.FULL_DUPLICATION,
+        Architecture.SCALEBRICKS,
+    ):
+        return remote
+    if architecture is Architecture.ROUTEBRICKS_VLB:
+        return 2.0 * remote
+    # Hash partitioning: ingress -> lookup node (remote w.p. (n-1)/n) then
+    # lookup node -> handler (remote w.p. (n-1)/n, independent placements).
+    return remote + remote
+
+
+def switch_cost_per_gbps(
+    port_count: int = 36, port_gbps: int = 40, switch_price: float = 13_000.0
+) -> float:
+    """§3.1's switch economics: dollars per Gbps of switching capacity."""
+    if port_count < 1 or port_gbps < 1:
+        raise ValueError("ports and speed must be positive")
+    return switch_price / (port_count * port_gbps)
+
+
+def routebricks_era_cost_per_gbps() -> float:
+    """The cost point the RouteBricks paper argued from (~5x higher)."""
+    return switch_cost_per_gbps() / 0.2  # "80% lower than ... RouteBricks"

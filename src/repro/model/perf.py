@@ -1,0 +1,327 @@
+"""Lookup / forwarding / latency cost models (Figures 7–10 substitution).
+
+Absolute Mops/Mpps cannot be reproduced without the paper's testbed, but
+every curve in §6 is driven by mechanisms these models encode explicitly:
+
+* lookup cost = fixed CPU work + dependent memory accesses whose latency
+  depends on whether the structure fits in cache (``repro.model.cache``);
+* batching overlaps misses up to the hardware's memory-level parallelism,
+  at a small register-pressure cost (Figure 7's batch-size behaviour);
+* a node's PFE throughput is set by its busiest core: under full
+  duplication the external core does everything while the internal core
+  idles, under ScaleBricks the GPT lookup and the partial-FIB lookups split
+  across both (Figure 8/9's 20–23% gain);
+* end-to-end latency counts endpoint overhead, per-hop switch and batch
+  time, and the lookup work on each visited node (Figure 10's orderings:
+  hash partitioning pays one extra hop, ScaleBricks' smaller tables answer
+  from cache).
+
+Calibration constants are module-level and documented; the benchmarks
+report shapes (ratios, crossovers), not the absolute values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.model.cache import CacheHierarchy
+
+#: Fixed CPU work per SetSep lookup (hashing + arithmetic), ns.
+SETSEP_CPU_NS = 14.0
+
+#: Register-pressure penalty per unit of batch size, ns per lookup.
+BATCH_PRESSURE_NS = 0.35
+
+#: DPDK packet rx+tx CPU cost per packet, ns.
+PACKET_IO_NS = 55.0
+
+#: Lookup batch used by the PFE (DPDK burst size).
+PFE_BATCH = 17
+
+#: Per-side endpoint overhead (NIC, DMA, generator), microseconds.
+ENDPOINT_US = 8.0
+
+#: Hardware switch transit, microseconds per hop.
+SWITCH_US = 0.6
+
+#: Batch accumulation wait per hop, microseconds.
+BATCH_WAIT_US = 2.0
+
+#: Packets per latency-relevant processing batch.
+LATENCY_BATCH = 32
+
+
+# ---------------------------------------------------------------------------
+# SetSep lookup model (Figure 7)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SetSepLookupModel:
+    """Models the GPT's local lookup throughput on a given machine.
+
+    The structure splits into the bucket-choice array and the group-info
+    array; a lookup reads one line of each (two dependent accesses), plus
+    hashing work on the core.
+    """
+
+    cache: CacheHierarchy
+    value_bits: int = 2
+    threads: int = 16
+
+    def structure_bytes(self, num_keys: int) -> int:
+        """Logical GPT size: 0.5 bits/key mapping + 1.5 bits/key/value-bit."""
+        bits = num_keys * (0.5 + 1.5 * self.value_bits)
+        return int(bits / 8)
+
+    def _split(self, num_keys: int) -> Dict[str, int]:
+        choices = int(num_keys * 0.5 / 8)
+        groups = int(num_keys * 1.5 * self.value_bits / 8)
+        return {"choices": choices, "groups": groups}
+
+    def lookup_ns(self, num_keys: int, batch: int = 1) -> float:
+        """Mean per-lookup latency on one thread."""
+        parts = self._split(num_keys)
+        stall = sum(
+            self.cache.overlapped_access_ns(ws, batch)
+            for ws in parts.values()
+        )
+        pressure = BATCH_PRESSURE_NS * max(0, batch - 1)
+        return SETSEP_CPU_NS + stall + pressure
+
+    def throughput_mops(self, num_keys: int, batch: int = 1) -> float:
+        """Aggregate lookup throughput in Mops across all threads."""
+        return self.threads * 1e3 / self.lookup_ns(num_keys, batch)
+
+
+# ---------------------------------------------------------------------------
+# FIB table cost models
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableCostModel:
+    """Per-lookup cost profile of one exact-FIB design.
+
+    Attributes:
+        name: display label.
+        accesses_per_lookup: expected dependent memory accesses.
+        cpu_ns: fixed per-lookup CPU work.
+        bytes_per_entry: memory footprint per stored entry, including the
+            design's occupancy slack (rte_hash provisions ~2x slots).
+    """
+
+    name: str
+    accesses_per_lookup: float
+    cpu_ns: float
+    bytes_per_entry: float
+
+    def table_bytes(self, num_entries: int) -> int:
+        """Table footprint for ``num_entries`` FIB entries."""
+        return int(num_entries * self.bytes_per_entry)
+
+    def lookup_ns(
+        self, num_entries: int, cache: CacheHierarchy, batch: int = PFE_BATCH
+    ) -> float:
+        """Mean per-lookup latency with the PFE's batched pipeline."""
+        if num_entries <= 0:
+            return self.cpu_ns
+        stall = self.accesses_per_lookup * cache.overlapped_access_ns(
+            self.table_bytes(num_entries), batch
+        )
+        return self.cpu_ns + stall
+
+
+def cuckoo_model(value_size: int = 8) -> TableCostModel:
+    """The extended cuckoo FIB (§5.2): 1.5 bucket reads + 1 value read.
+
+    95% occupancy; per slot: 8 B key + 2 B tag + ``value_size`` B value in
+    the separated array.  The extra value read is the separation's cost —
+    visible in the access count, negligible in throughput, as measured.
+    """
+    return TableCostModel(
+        name="cuckoo_hash",
+        accesses_per_lookup=2.5,
+        cpu_ns=20.0,
+        bytes_per_entry=(8 + 2 + value_size) / 0.95,
+    )
+
+
+def rte_hash_model(value_size: int = 8) -> TableCostModel:
+    """DPDK rte_hash: bucketised, interleaved, ~50% occupancy.
+
+    Slightly fewer dependent reads (values interleaved with keys) but twice
+    the footprint and more key comparisons per bucket — the 50% throughput
+    deficit the paper measures comes mostly from the footprint.
+    """
+    return TableCostModel(
+        name="rte_hash",
+        accesses_per_lookup=2.0,
+        cpu_ns=35.0,
+        bytes_per_entry=(8 + 4 + value_size) / 0.5,
+    )
+
+
+def chaining_model(value_size: int = 8, load: float = 4.0) -> TableCostModel:
+    """The original chaining FIB: one read per chain link."""
+    return TableCostModel(
+        name="chaining",
+        accesses_per_lookup=1.0 + load / 2.0,
+        cpu_ns=12.0,
+        bytes_per_entry=24 + value_size,
+    )
+
+
+# ---------------------------------------------------------------------------
+# PFE forwarding throughput (Figures 8 and 9)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ForwardingModel:
+    """Single-node PFE throughput under each FIB architecture (§6.2).
+
+    The node has an *external* core (traffic-generator port) and an
+    *internal* core (switch port).  Downstream packets all arrive at the
+    external core; under ScaleBricks a fraction ``(N-1)/N`` continues to a
+    peer whose internal core finishes the lookup.
+    """
+
+    cache: CacheHierarchy
+    table: TableCostModel
+    num_nodes: int = 4
+    value_bits: int = 2
+
+    def _gpt_bytes(self, num_flows: int) -> int:
+        bits = num_flows * (0.5 + 1.5 * self.value_bits)
+        return int(bits / 8)
+
+    def _gpt_lookup_ns(self, num_flows: int) -> float:
+        stall = 2 * self.cache.overlapped_access_ns(
+            self._gpt_bytes(num_flows), PFE_BATCH
+        )
+        return SETSEP_CPU_NS + stall
+
+    def full_duplication_mpps(self, num_flows: int) -> float:
+        """Every node stores all flows; the external core does all work."""
+        lookup = self.table.lookup_ns(num_flows, self.cache)
+        return 1e3 / (PACKET_IO_NS + lookup)
+
+    def scalebricks_mpps(self, num_flows: int) -> float:
+        """GPT on the external core, partial FIB split across both cores."""
+        n = self.num_nodes
+        local_entries = max(1, num_flows // n)
+        fib = self.table.lookup_ns(local_entries, self.cache)
+        gpt = self._gpt_lookup_ns(num_flows)
+        # External core: io + GPT for every packet, plus the local share of
+        # FIB lookups.
+        ext_ns = PACKET_IO_NS + gpt + fib / n
+        # Internal core: io + FIB lookup for each packet arriving from a
+        # peer; it only sees (n-1)/n of the node's external rate.
+        int_ns = PACKET_IO_NS + fib
+        ext_cap = 1e3 / ext_ns
+        int_cap = (1e3 / int_ns) * n / max(1, n - 1)
+        return min(ext_cap, int_cap)
+
+    def hash_partition_mpps(self, num_flows: int) -> float:
+        """1/N of the FIB per node, but every packet takes two hops.
+
+        The ingress core only hashes; the indirect node's internal core
+        performs the FIB lookup and forwards again.  Each node's internal
+        core therefore handles a full extra packet stream, halving the
+        usable per-node rate at equal core counts.
+        """
+        n = self.num_nodes
+        local_entries = max(1, num_flows // n)
+        fib = self.table.lookup_ns(local_entries, self.cache)
+        ext_ns = PACKET_IO_NS + 10.0  # hash only
+        # Internal core: receives the indirect stream (lookup + re-forward)
+        # and the final handling stream (arrival io).
+        int_ns = (PACKET_IO_NS + fib + PACKET_IO_NS) + PACKET_IO_NS
+        return min(1e3 / ext_ns, 1e3 / int_ns)
+
+    def improvement(self, num_flows: int) -> float:
+        """ScaleBricks throughput gain over full duplication (Fig. 8/9)."""
+        base = self.full_duplication_mpps(num_flows)
+        return self.scalebricks_mpps(num_flows) / base - 1.0
+
+
+# ---------------------------------------------------------------------------
+# End-to-end latency (Figure 10)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """RFC 2544-style average latency for the six §6.2 designs.
+
+    Lookup work along the packet path (every lookup unbatched — RFC 2544
+    latency probes travel at a rate where the prefetch pipeline is empty):
+
+    * Full duplication: ingress searches the *full* FIB to pick the handler;
+      the handler searches the full FIB again for the flow's TEID and state
+      handle.  Two full-table lookups per packet.
+    * ScaleBricks: ingress consults the compact GPT; the handler searches
+      only its 1/N FIB slice.  Both structures answer largely from cache —
+      the mechanism the paper credits for its latency win.
+    * Hash partitioning: ingress only hashes, but the packet visits an extra
+      lookup node (one more switch transit + batch wait) whose 1/N slice is
+      searched there; the handler then searches its own slice.
+
+    The Figure 10 benchmark evaluates this under a *shared* cache (the DPE
+    competes for L3, as the paper's bubble experiment establishes), which is
+    where full duplication's big tables start missing.
+    """
+
+    cache: CacheHierarchy
+    table: TableCostModel
+    num_nodes: int = 4
+    value_bits: int = 2
+
+    def _hop_us(self, proc_ns: float) -> float:
+        """Switch transit + batch wait + a batch of node processing."""
+        return SWITCH_US + BATCH_WAIT_US + LATENCY_BATCH * proc_ns / 1e3
+
+    def _gpt_lookup_ns(self, num_flows: int) -> float:
+        bits = num_flows * (0.5 + 1.5 * self.value_bits)
+        stall = 2 * self.cache.overlapped_access_ns(int(bits / 8), 1)
+        return SETSEP_CPU_NS + stall
+
+    def _fib_lookup_ns(self, num_entries: int) -> float:
+        return self.table.lookup_ns(num_entries, self.cache, batch=1)
+
+    def full_duplication_us(self, num_flows: int) -> float:
+        """Full-FIB lookup at the ingress *and* at the handling node."""
+        ingress_ns = PACKET_IO_NS + self._fib_lookup_ns(num_flows)
+        handler_ns = PACKET_IO_NS + self._fib_lookup_ns(num_flows)
+        return (
+            2 * ENDPOINT_US
+            + self._hop_us(ingress_ns)
+            + self._hop_us(handler_ns)
+        )
+
+    def scalebricks_us(self, num_flows: int) -> float:
+        """Compact GPT at the ingress; 1/N FIB slice at the handler."""
+        local_entries = max(1, num_flows // self.num_nodes)
+        ingress_ns = PACKET_IO_NS + self._gpt_lookup_ns(num_flows)
+        handler_ns = PACKET_IO_NS + self._fib_lookup_ns(local_entries)
+        return (
+            2 * ENDPOINT_US
+            + self._hop_us(ingress_ns)
+            + self._hop_us(handler_ns)
+        )
+
+    def hash_partition_us(self, num_flows: int) -> float:
+        """Two internal hops: ingress -> lookup node -> handling node."""
+        local_entries = max(1, num_flows // self.num_nodes)
+        ingress_ns = PACKET_IO_NS + 10.0  # hash only
+        lookup_ns = PACKET_IO_NS + self._fib_lookup_ns(local_entries)
+        handler_ns = PACKET_IO_NS + self._fib_lookup_ns(local_entries)
+        return (
+            2 * ENDPOINT_US
+            + self._hop_us(ingress_ns)
+            + self._hop_us(lookup_ns)
+            + self._hop_us(handler_ns)
+        )

@@ -1,0 +1,131 @@
+"""Queueing behaviour: latency and loss vs offered load (§6.2 context).
+
+The paper reports average latency at one operating point; an RFC 2544
+characterisation sweeps offered load, and the interesting physics — the
+latency knee as a node's bottleneck core approaches saturation, and loss
+beyond it — come from queueing.  Each PFE core is modelled as an M/D/1
+queue (deterministic per-packet service, Poisson arrivals):
+
+    wait = rho / (2 * (1 - rho)) * service_time,   rho = lambda * service
+
+on top of the base path latency from :class:`repro.model.perf.LatencyModel`.
+Above saturation the model reports the sustainable throughput and the loss
+fraction instead of a finite latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.model.cache import CacheHierarchy
+from repro.model.perf import ForwardingModel, LatencyModel, TableCostModel
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One point of a load sweep."""
+
+    offered_mpps: float
+    utilization: float
+    latency_us: Optional[float]
+    loss_fraction: float
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the bottleneck core is at or past capacity."""
+        return self.latency_us is None
+
+
+def md1_wait_us(service_us: float, rho: float) -> float:
+    """M/D/1 mean queueing delay for utilisation ``rho`` in [0, 1)."""
+    if not 0.0 <= rho < 1.0:
+        raise ValueError("rho must be in [0, 1)")
+    if service_us < 0:
+        raise ValueError("service time must be non-negative")
+    return rho / (2.0 * (1.0 - rho)) * service_us
+
+
+@dataclass(frozen=True)
+class LoadLatencyModel:
+    """Latency/loss vs offered load for one design on one machine."""
+
+    cache: CacheHierarchy
+    table: TableCostModel
+    design: str = "scalebricks"
+    num_nodes: int = 4
+
+    def _capacity_mpps(self, num_flows: int) -> float:
+        forwarding = ForwardingModel(
+            self.cache, self.table, num_nodes=self.num_nodes
+        )
+        if self.design == "scalebricks":
+            return forwarding.scalebricks_mpps(num_flows)
+        if self.design == "full_duplication":
+            return forwarding.full_duplication_mpps(num_flows)
+        if self.design == "hash_partition":
+            return forwarding.hash_partition_mpps(num_flows)
+        raise ValueError(f"unknown design {self.design!r}")
+
+    def _base_latency_us(self, num_flows: int) -> float:
+        latency = LatencyModel(
+            self.cache, self.table, num_nodes=self.num_nodes
+        )
+        if self.design == "scalebricks":
+            return latency.scalebricks_us(num_flows)
+        if self.design == "full_duplication":
+            return latency.full_duplication_us(num_flows)
+        if self.design == "hash_partition":
+            return latency.hash_partition_us(num_flows)
+        raise ValueError(f"unknown design {self.design!r}")
+
+    def point(self, offered_mpps: float, num_flows: int) -> LoadPoint:
+        """Evaluate one offered-load point."""
+        if offered_mpps < 0:
+            raise ValueError("offered load must be non-negative")
+        capacity = self._capacity_mpps(num_flows)
+        rho = offered_mpps / capacity
+        if rho >= 1.0:
+            return LoadPoint(
+                offered_mpps=offered_mpps,
+                utilization=rho,
+                latency_us=None,
+                loss_fraction=1.0 - capacity / offered_mpps,
+            )
+        service_us = 1.0 / capacity  # Mpps -> us per packet
+        wait = md1_wait_us(service_us, rho)
+        return LoadPoint(
+            offered_mpps=offered_mpps,
+            utilization=rho,
+            latency_us=self._base_latency_us(num_flows) + wait,
+            loss_fraction=0.0,
+        )
+
+    def sweep(
+        self, num_flows: int, fractions: Optional[List[float]] = None
+    ) -> List[LoadPoint]:
+        """Evaluate a sweep of load fractions of the design's capacity."""
+        if fractions is None:
+            fractions = [0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 1.05]
+        capacity = self._capacity_mpps(num_flows)
+        return [self.point(f * capacity, num_flows) for f in fractions]
+
+    def knee_mpps(
+        self, num_flows: int, latency_budget_us: float
+    ) -> float:
+        """Max offered load meeting a latency budget (bisection)."""
+        base = self._base_latency_us(num_flows)
+        if latency_budget_us <= base:
+            return 0.0
+        capacity = self._capacity_mpps(num_flows)
+        lo, hi = 0.0, capacity * (1 - 1e-9)
+        for _ in range(64):
+            mid = (lo + hi) / 2
+            point = self.point(mid, num_flows)
+            assert point.latency_us is not None
+            if point.latency_us <= latency_budget_us:
+                lo = mid
+            else:
+                hi = mid
+        return lo

@@ -1,0 +1,94 @@
+"""Skewed FIB distribution analysis (paper §7).
+
+ScaleBricks cannot choose the key-to-handling-node assignment, so a
+skewed controller policy (e.g. geographic pinning) skews the partial FIBs
+with it: the fullest node's memory bounds the cluster's total capacity.
+Hash partitioning is immune (its lookup slices are hash-spread) but pays
+the extra hop.  §7 calls this trade-off fundamental; these closed forms
+quantify it so the skew ablation can chart it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.model.scaling import gpt_bits_per_key
+
+
+def zipf_shares(num_nodes: int, s: float) -> List[float]:
+    """Per-node flow shares under a Zipf(s) popularity of nodes.
+
+    ``s = 0`` is uniform; larger s concentrates flows on few nodes.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be positive")
+    if s < 0:
+        raise ValueError("s must be non-negative")
+    weights = np.arange(1, num_nodes + 1, dtype=float) ** -s
+    return list(weights / weights.sum())
+
+
+def scalebricks_capacity_skewed(
+    memory_bits: float,
+    shares: Sequence[float],
+    entry_bits: int = 64,
+) -> float:
+    """Total flows an n-node ScaleBricks cluster holds under skew.
+
+    Node i stores ``F * share_i`` full entries plus the replicated GPT of
+    ``F * gpt_bits`` — the fullest node saturates first::
+
+        F = M / (max_share * entry_bits + gpt_bits)
+
+    With uniform shares this reduces to the Figure 11 formula.
+    """
+    shares = list(shares)
+    if not shares or abs(sum(shares) - 1.0) > 1e-6:
+        raise ValueError("shares must sum to 1")
+    n = len(shares)
+    gpt = gpt_bits_per_key(n)
+    max_share = max(shares)
+    return memory_bits / (max_share * entry_bits + gpt)
+
+
+def hash_partition_capacity(
+    memory_bits: float, num_nodes: int, entry_bits: int = 64
+) -> float:
+    """Hash partitioning's capacity — skew-independent (but two hops).
+
+    Lookup slices are hash-spread regardless of handling-node skew, and
+    handling-node state is per-flow context, not FIB.  Each entry is
+    stored twice (lookup node + handling node), halving the headline
+    linear capacity; §6.3's idealised curve ignores that factor, so it is
+    exposed via ``entry_copies`` here for the ablation to chart both.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be positive")
+    return num_nodes * memory_bits / entry_bits
+
+
+def capacity_loss_from_skew(shares: Sequence[float]) -> float:
+    """Fractional ScaleBricks capacity lost vs a uniform assignment.
+
+    Ratio of skewed to uniform capacity at equal memory, in [0, 1]:
+    1 means no loss, 1/ (n*max_share) in the entry-dominated limit.
+    """
+    shares = list(shares)
+    n = len(shares)
+    uniform = scalebricks_capacity_skewed(1.0, [1.0 / n] * n)
+    skewed = scalebricks_capacity_skewed(1.0, shares)
+    return skewed / uniform
+
+
+def effective_nodes(shares: Sequence[float]) -> float:
+    """The 'effective cluster size' under skew: ``1 / max_share``.
+
+    A 16-node cluster where one node handles half the flows scales like a
+    2-node cluster for capacity purposes.
+    """
+    shares = list(shares)
+    if not shares:
+        raise ValueError("shares must be non-empty")
+    return 1.0 / max(shares)

@@ -1,0 +1,154 @@
+"""One-shot reproduction summary: ``python -m repro reproduce``.
+
+Runs scaled-down versions of the key experiments in one pass and prints a
+paper-vs-measured table — the fast way to sanity-check the reproduction
+on a new machine without the full benchmark suite.  Each section mirrors
+one of the ``benchmarks/bench_*.py`` harnesses (which remain the
+authoritative, asserted versions).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core import SetSepParams, build
+from repro.core.group import expected_iterations
+from repro.core import twolevel
+from repro.core.params import BUCKETS_PER_BLOCK, GROUPS_PER_BLOCK
+from repro.cluster import Architecture, Cluster, UpdateEngine
+from repro.model.cache import XEON_E5_2680, XEON_E5_2697V2
+from repro.model.perf import (
+    ForwardingModel,
+    LatencyModel,
+    SetSepLookupModel,
+    cuckoo_model,
+)
+from repro.model.scaling import crossover_node_count, peak_scaling_factor
+
+
+def _keys(count: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    keys = np.unique(rng.integers(1, 2**62, size=count * 2, dtype=np.uint64))
+    return keys[:count]
+
+
+def _section(title: str) -> None:
+    print()
+    print(f"--- {title} ---")
+
+
+def run_reproduction(scale: int = 1) -> List[Tuple[str, bool]]:
+    """Run every quick check; returns (name, passed) pairs."""
+    checks: List[Tuple[str, bool]] = []
+    n = 20_000 * scale
+
+    _section("Table 1: construction and space (16+8, 2-bit values)")
+    keys = _keys(n, seed=1)
+    values = (keys % np.uint64(4)).astype(np.uint32)
+    started = time.perf_counter()
+    setsep, stats = build(keys, values, SetSepParams(value_bits=2))
+    elapsed = time.perf_counter() - started
+    bits = setsep.bits_per_key(n)
+    correct = bool(np.array_equal(setsep.lookup_batch(keys), values))
+    print(f"  {n:,} keys in {elapsed:.2f}s "
+          f"({stats.keys_per_second / 1e3:.0f} Kkeys/s), "
+          f"{bits:.2f} bits/key (paper: 3.50), "
+          f"fallback {stats.fallback_ratio * 100:.3f}% (paper: 0.00%)")
+    checks.append(("bits/key ~ 3.5", abs(bits - 3.5) < 0.2))
+    checks.append(("all keys correct", correct))
+    checks.append(("fallback ~ 0", stats.fallback_ratio < 0.001))
+
+    _section("Figure 3a: search cost vs bit-array size m (n=16)")
+    it_small = expected_iterations(16, 4, trials=40, seed=2)
+    it_big = expected_iterations(16, 16, trials=40, seed=2)
+    print(f"  m=4: {it_small:.0f} iters; m=16: {it_big:.0f} iters "
+          "(paper: ~100x cheaper by m>=12)")
+    checks.append(("m sweep collapses cost", it_big * 10 < it_small))
+
+    _section("Figure 5: two-level load balance")
+    block_keys = _keys(16 * 1024, seed=3)
+    num_blocks = twolevel.num_blocks_for(len(block_keys))
+    buckets = twolevel.bucket_ids(block_keys, num_blocks)
+    worst = 0
+    for b in range(num_blocks):
+        lo = b * BUCKETS_PER_BLOCK
+        inside = (buckets >= lo) & (buckets < lo + BUCKETS_PER_BLOCK)
+        sizes = np.bincount(buckets[inside] - lo, minlength=BUCKETS_PER_BLOCK)
+        _, block_max = twolevel.assign_block(
+            sizes, np.random.default_rng(b)
+        )
+        worst = max(worst, block_max)
+    direct = twolevel.max_group_load(
+        twolevel.direct_group_ids(
+            block_keys, num_blocks * GROUPS_PER_BLOCK
+        ),
+        num_blocks * GROUPS_PER_BLOCK,
+    )
+    print(f"  two-level worst group {worst} vs direct {direct} "
+          "(paper: 21 vs >40 at full scale)")
+    checks.append(("two-level <= 21", worst <= 21))
+    checks.append(("beats direct hashing", worst < direct))
+
+    _section("Figure 7: lookup-throughput shape (modelled)")
+    model = SetSepLookupModel(XEON_E5_2680)
+    small_unbatched = model.throughput_mops(500_000, 1)
+    small_batched = model.throughput_mops(500_000, 17)
+    big_unbatched = model.throughput_mops(64_000_000, 1)
+    big_batched = model.throughput_mops(64_000_000, 17)
+    print(f"  500K: {small_unbatched:.0f} (b=1) vs {small_batched:.0f} "
+          f"(b=17); 64M: {big_unbatched:.0f} vs {big_batched:.0f} Mops")
+    checks.append(
+        ("batching helps big only",
+         small_unbatched > small_batched and big_batched > big_unbatched)
+    )
+    checks.append(("64M b=17 in paper range", 300 < big_batched < 800))
+
+    _section("Figures 8/10: forwarding gains (modelled)")
+    forwarding = ForwardingModel(XEON_E5_2697V2, cuckoo_model())
+    gain = forwarding.improvement(32_000_000)
+    latency = LatencyModel(
+        XEON_E5_2697V2.with_l3(15 * 1024 * 1024), cuckoo_model()
+    )
+    reduction = 1 - latency.scalebricks_us(1_000_000) / \
+        latency.full_duplication_us(1_000_000)
+    print(f"  throughput gain at 32M flows: {gain * 100:.1f}% "
+          "(paper: up to 22%)")
+    print(f"  latency reduction at 1M tunnels: {reduction * 100:.1f}% "
+          "(paper: up to 10%)")
+    checks.append(("throughput gain positive", gain > 0.05))
+    checks.append(("latency reduction in range", 0.02 < reduction < 0.25))
+
+    _section("Figure 11: FIB scaling analytics")
+    peak_n, ratio = peak_scaling_factor()
+    crossover = crossover_node_count()
+    print(f"  peak {ratio:.1f}x at n={peak_n} (paper: 5.7x); "
+          f"growth turns negative past n={crossover} (paper: ~32)")
+    checks.append(("peak ratio ~ paper", 5.0 < ratio < 7.0))
+    checks.append(("crossover ~ 32", 30 <= crossover <= 64))
+
+    _section("§4.5/§6.2: update path")
+    cl_keys = _keys(3_000 * scale, seed=4)
+    handlers = (cl_keys % np.uint64(4)).astype(np.int64)
+    cluster = Cluster.build(
+        Architecture.SCALEBRICKS, 4, cl_keys, handlers,
+        np.arange(len(cl_keys)),
+    )
+    engine = UpdateEngine(cluster)
+    started = time.perf_counter()
+    for i in range(150):
+        engine.insert_flow(int(cl_keys[i]), (int(handlers[i]) + 1) % 4, i)
+    rate = 150 / (time.perf_counter() - started)
+    print(f"  {rate:,.0f} updates/s single-owner (paper: 60K/s in C); "
+          f"mean delta {engine.stats.mean_delta_bits:.0f} bits "
+          "(paper: tens of bits)")
+    checks.append(("delta tens of bits", engine.stats.mean_delta_bits < 300))
+
+    _section("Verdict")
+    passed = sum(1 for _, ok in checks if ok)
+    for name, ok in checks:
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+    print(f"  {passed}/{len(checks)} checks passed")
+    return checks

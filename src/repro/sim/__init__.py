@@ -1,0 +1,28 @@
+"""Discrete-event cluster simulation.
+
+The closed forms in :mod:`repro.model` compute throughput and latency
+directly; this package *simulates* them: packets arrive as timed events,
+queue at per-core NIC queues, receive deterministic service from the same
+calibrated cost models, and traverse the switch between nodes.  Saturation,
+queue build-up and the latency knee then emerge from the event dynamics
+instead of being assumed — the cross-validation for Figures 8–10
+(``bench_sim_validation.py``).
+"""
+
+from repro.sim.events import EventQueue, Event
+from repro.sim.pfe import CoreModel, PfeNode, SimPacket
+from repro.sim.runner import ClusterSimulation, SimulationReport
+from repro.sim.rfc2544 import ThroughputResult, compare_designs, throughput_search
+
+__all__ = [
+    "ThroughputResult",
+    "compare_designs",
+    "throughput_search",
+    "Event",
+    "EventQueue",
+    "CoreModel",
+    "PfeNode",
+    "SimPacket",
+    "ClusterSimulation",
+    "SimulationReport",
+]

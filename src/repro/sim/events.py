@@ -1,0 +1,73 @@
+"""The discrete-event core: a time-ordered event queue.
+
+Minimal and deterministic: events are (time, sequence, callback) triples;
+ties break by insertion order so simulations replay identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled occurrence."""
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """A deterministic priority queue of timed callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self.processed = 0
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` ``delay`` time units from now (delay >= 0)."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(
+            self._heap, (self.now + delay, next(self._counter), action)
+        )
+
+    def schedule_at(self, when: float, action: Callable[[], None]) -> None:
+        """Run ``action`` at absolute time ``when`` (>= now)."""
+        if when < self.now:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._heap, (when, next(self._counter), action))
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 10_000_000,
+    ) -> int:
+        """Drain events (optionally up to time ``until``); returns count."""
+        executed = 0
+        while self._heap and executed < max_events:
+            when, _seq, action = self._heap[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = when
+            action()
+            executed += 1
+            self.processed += 1
+        if until is not None and (not self._heap or self._heap[0][0] > until):
+            self.now = max(self.now, until)
+        return executed
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def empty(self) -> bool:
+        """Whether anything remains scheduled."""
+        return not self._heap

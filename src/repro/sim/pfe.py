@@ -1,0 +1,240 @@
+"""Simulated PFE nodes: per-core queues with model-derived service times.
+
+Each node has an *external* core (traffic-generator port) and an
+*internal* core (switch port), exactly the §6.2 core assignment.  A core
+is a single server with a bounded FIFO: packets that arrive while the
+queue is full are dropped (tail drop), everything else is serviced in
+order at a deterministic per-packet cost taken from the calibrated table
+and GPT cost models — so the simulation and the closed forms share their
+physics and can disagree only about queueing, which is the point.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional
+
+from repro.model.cache import CacheHierarchy
+from repro.model.perf import (
+    PACKET_IO_NS,
+    PFE_BATCH,
+    SETSEP_CPU_NS,
+    TableCostModel,
+)
+from repro.sim.events import EventQueue
+
+
+@dataclass(frozen=True)
+class SimPacket:
+    """A packet in flight through the simulation."""
+
+    packet_id: int
+    handling_node: int
+    entered_at: float
+
+
+@dataclass
+class CoreStats:
+    """Per-core accounting."""
+
+    serviced: int = 0
+    dropped: int = 0
+    busy_ns: float = 0.0
+    peak_queue: int = 0
+
+
+class CoreModel:
+    """One CPU core: single-server FIFO with deterministic service."""
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        service_ns: Callable[[SimPacket], float],
+        on_done: Callable[[SimPacket], None],
+        queue_limit: int = 512,
+    ) -> None:
+        self._events = queue
+        self._service_ns = service_ns
+        self._on_done = on_done
+        self._queue: Deque[SimPacket] = deque()
+        self._queue_limit = queue_limit
+        self._busy = False
+        self.stats = CoreStats()
+
+    def enqueue(self, packet: SimPacket) -> bool:
+        """Offer a packet; returns False on tail drop."""
+        if len(self._queue) >= self._queue_limit:
+            self.stats.dropped += 1
+            return False
+        self._queue.append(packet)
+        self.stats.peak_queue = max(self.stats.peak_queue, len(self._queue))
+        if not self._busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        packet = self._queue.popleft()
+        cost_ns = self._service_ns(packet)
+        self.stats.busy_ns += cost_ns
+        def finish() -> None:
+            self.stats.serviced += 1
+            self._on_done(packet)
+            self._start_next()
+        self._events.schedule(cost_ns, finish)
+
+    @property
+    def depth(self) -> int:
+        """Packets waiting (not counting the one in service)."""
+        return len(self._queue)
+
+
+class PfeNode:
+    """One cluster node in the simulation: external + internal cores.
+
+    Args:
+        node_id: position in the cluster.
+        events: shared event queue.
+        cache: the machine's cache hierarchy.
+        table: FIB cost model.
+        design: ``"scalebricks"`` or ``"full_duplication"``.
+        num_flows: FIB population (drives table sizes).
+        num_nodes: cluster size (drives the partial-FIB split).
+        forward: callback ``(packet, target_node)`` delivering a packet
+            to ``target_node``'s internal core via the switch.
+        deliver: callback invoked when a packet finishes at its handler.
+        lookup_node_of: for ``hash_partition``: the key's lookup node
+            (callers provide a deterministic hash of the packet id).
+        pick_indirect: for ``routebricks_vlb``: indirect-node selection.
+    """
+
+    DESIGNS = (
+        "scalebricks",
+        "full_duplication",
+        "hash_partition",
+        "routebricks_vlb",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        events: EventQueue,
+        cache: CacheHierarchy,
+        table: TableCostModel,
+        design: str,
+        num_flows: int,
+        num_nodes: int,
+        forward: Callable[[SimPacket, int], None],
+        deliver: Callable[[SimPacket], None],
+        lookup_node_of: Optional[Callable[[SimPacket], int]] = None,
+        pick_indirect: Optional[Callable[[SimPacket], int]] = None,
+    ) -> None:
+        if design not in self.DESIGNS:
+            raise ValueError(f"unsupported design {design!r}")
+        if design == "hash_partition" and lookup_node_of is None:
+            raise ValueError("hash_partition needs lookup_node_of")
+        if design == "routebricks_vlb" and pick_indirect is None:
+            raise ValueError("routebricks_vlb needs pick_indirect")
+        self.node_id = node_id
+        self.design = design
+        self._forward = forward
+        self._deliver = deliver
+        self._lookup_node_of = lookup_node_of
+        self._pick_indirect = pick_indirect
+
+        local_entries = max(1, num_flows // num_nodes)
+        self._full_fib_ns = table.lookup_ns(num_flows, cache, batch=PFE_BATCH)
+        self._partial_fib_ns = table.lookup_ns(
+            local_entries, cache, batch=PFE_BATCH
+        )
+        gpt_bits = num_flows * (0.5 + 1.5 * 2)
+        self._gpt_ns = SETSEP_CPU_NS + 2 * cache.overlapped_access_ns(
+            int(gpt_bits / 8), PFE_BATCH
+        )
+
+        self.external = CoreModel(
+            events, self._service_external, self._external_done
+        )
+        self.internal = CoreModel(
+            events, self._service_internal, self._internal_done
+        )
+
+    # ------------------------------------------------------------------
+    # Service-time functions
+    # ------------------------------------------------------------------
+
+    def _service_external(self, packet: SimPacket) -> float:
+        if self.design == "full_duplication":
+            return PACKET_IO_NS + self._full_fib_ns
+        if self.design == "scalebricks":
+            cost = PACKET_IO_NS + self._gpt_ns
+            if packet.handling_node == self.node_id:
+                cost += self._partial_fib_ns
+            return cost
+        if self.design == "hash_partition":
+            # Ingress hashes only; local lookup happens when this node is
+            # also the key's lookup node.
+            cost = PACKET_IO_NS + 10.0
+            if self._lookup_node_of(packet) == self.node_id:
+                cost += self._partial_fib_ns
+            return cost
+        # VLB: full FIB at ingress (RouteBricks replicates it).
+        return PACKET_IO_NS + self._full_fib_ns
+
+    def _service_internal(self, packet: SimPacket) -> float:
+        if self.design == "full_duplication":
+            return PACKET_IO_NS
+        if self.design == "scalebricks":
+            return PACKET_IO_NS + self._partial_fib_ns
+        if self.design == "hash_partition":
+            # The indirect (lookup) node looks up and re-forwards; the
+            # final handler just receives.
+            if self._lookup_node_of(packet) == self.node_id and \
+                    packet.handling_node != self.node_id:
+                return PACKET_IO_NS + self._partial_fib_ns + PACKET_IO_NS
+            if self._lookup_node_of(packet) == self.node_id:
+                return PACKET_IO_NS + self._partial_fib_ns
+            return PACKET_IO_NS
+        # VLB indirect node relays; the handler receives.
+        if packet.handling_node != self.node_id:
+            return 2 * PACKET_IO_NS  # rx + tx relay work
+        return PACKET_IO_NS
+
+    # ------------------------------------------------------------------
+    # Completion handlers
+    # ------------------------------------------------------------------
+
+    def _external_done(self, packet: SimPacket) -> None:
+        if self.design in ("full_duplication", "scalebricks"):
+            if packet.handling_node == self.node_id:
+                self._deliver(packet)
+            else:
+                self._forward(packet, packet.handling_node)
+            return
+        if self.design == "hash_partition":
+            lookup_node = self._lookup_node_of(packet)
+            if lookup_node == self.node_id:
+                # Already looked up locally; go straight to the handler.
+                if packet.handling_node == self.node_id:
+                    self._deliver(packet)
+                else:
+                    self._forward(packet, packet.handling_node)
+            else:
+                self._forward(packet, lookup_node)
+            return
+        # VLB: detour via an indirect node unless handled locally.
+        if packet.handling_node == self.node_id:
+            self._deliver(packet)
+        else:
+            self._forward(packet, self._pick_indirect(packet))
+
+    def _internal_done(self, packet: SimPacket) -> None:
+        if packet.handling_node == self.node_id:
+            self._deliver(packet)
+        else:
+            # Indirect node (hash partition / VLB): relay to the handler.
+            self._forward(packet, packet.handling_node)

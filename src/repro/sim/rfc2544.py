@@ -1,0 +1,117 @@
+"""RFC 2544 throughput search over the discrete-event simulator.
+
+RFC 2544 defines *throughput* as the highest offered rate with zero loss,
+found by binary search over trial runs — exactly what the Spirent platform
+does to the paper's cluster.  This module runs that methodology against
+:class:`repro.sim.ClusterSimulation`, yielding the no-drop rate (NDR) and
+the latency-at-NDR figure the paper's Figure 10 corresponds to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.model.cache import CacheHierarchy
+from repro.model.perf import TableCostModel
+from repro.sim.runner import ClusterSimulation, SimulationReport
+
+SimFactory = Callable[[], ClusterSimulation]
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Outcome of an RFC 2544 throughput search."""
+
+    no_drop_mpps: float
+    latency_at_ndr_us: float
+    trials: int
+    trial_history: Tuple[Tuple[float, bool], ...]
+
+
+def throughput_search(
+    make_sim: SimFactory,
+    hi_mpps: float,
+    lo_mpps: float = 0.0,
+    duration_us: float = 800.0,
+    resolution_mpps: float = 0.1,
+    loss_tolerance: float = 0.0,
+) -> ThroughputResult:
+    """Binary-search the no-drop rate (RFC 2544 §26.1).
+
+    Args:
+        make_sim: fresh-simulation factory (one trial per instance —
+            RFC 2544 trials are independent).
+        hi_mpps: known-lossy upper bound to start from.
+        lo_mpps: known-clean lower bound.
+        duration_us: trial length.
+        resolution_mpps: stop when the bracket is this tight.
+        loss_tolerance: acceptable loss fraction (0 = strict NDR).
+
+    Returns:
+        The NDR, the average latency measured at it, and the trial log.
+    """
+    if hi_mpps <= lo_mpps:
+        raise ValueError("hi_mpps must exceed lo_mpps")
+    if resolution_mpps <= 0:
+        raise ValueError("resolution must be positive")
+
+    history: List[Tuple[float, bool]] = []
+    best_report: Optional[SimulationReport] = None
+    best_rate = lo_mpps
+    trials = 0
+
+    lo, hi = lo_mpps, hi_mpps
+    while hi - lo > resolution_mpps:
+        rate = (lo + hi) / 2
+        report = make_sim().offer_load(rate, duration_us=duration_us)
+        trials += 1
+        clean = report.loss_fraction <= loss_tolerance
+        history.append((rate, clean))
+        if clean:
+            lo = rate
+            best_rate = rate
+            best_report = report
+        else:
+            hi = rate
+
+    if best_report is None:
+        # Even the lowest probe lost packets; rerun at the floor.
+        best_report = make_sim().offer_load(
+            max(lo_mpps, resolution_mpps), duration_us=duration_us
+        )
+        trials += 1
+        best_rate = max(lo_mpps, resolution_mpps)
+
+    return ThroughputResult(
+        no_drop_mpps=best_rate,
+        latency_at_ndr_us=best_report.mean_latency_us,
+        trials=trials,
+        trial_history=tuple(history),
+    )
+
+
+def compare_designs(
+    cache: CacheHierarchy,
+    table: TableCostModel,
+    designs: Tuple[str, ...] = (
+        "full_duplication",
+        "scalebricks",
+        "hash_partition",
+    ),
+    num_flows: int = 8_000_000,
+    hi_mpps: float = 20.0,
+    duration_us: float = 600.0,
+    seed: int = 0,
+) -> "dict[str, ThroughputResult]":
+    """RFC 2544 NDR per design on one machine/population."""
+    out = {}
+    for design in designs:
+        out[design] = throughput_search(
+            lambda d=design: ClusterSimulation(
+                d, cache, table, num_flows=num_flows, seed=seed
+            ),
+            hi_mpps=hi_mpps,
+            duration_us=duration_us,
+        )
+    return out

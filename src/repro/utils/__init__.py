@@ -1,0 +1,13 @@
+"""Shared low-level utilities: bit packing and summary statistics."""
+
+from repro.utils.bits import BitWriter, BitReader, pack_bits, unpack_bits
+from repro.utils.stats import Summary, summarize
+
+__all__ = [
+    "BitWriter",
+    "BitReader",
+    "pack_bits",
+    "unpack_bits",
+    "Summary",
+    "summarize",
+]

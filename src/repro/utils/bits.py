@@ -1,0 +1,86 @@
+"""Bit-level packing helpers.
+
+SetSep deltas and the GPT wire format are specified in bits, not bytes
+(a delta is "usually tens of bits", per the paper).  These helpers provide a
+small MSB-first bit stream used by :mod:`repro.core.delta` and by the size
+accounting in benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+class BitWriter:
+    """Accumulates fields of arbitrary bit width into a byte string.
+
+    Bits are written MSB-first, so the encoded stream is independent of host
+    endianness and easy to inspect in tests.
+    """
+
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+
+    def write(self, value: int, width: int) -> "BitWriter":
+        """Append ``value`` as a ``width``-bit big-endian field."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if value < 0 or (width < 64 and value >> width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+        return self
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return len(self._bits)
+
+    def getvalue(self) -> bytes:
+        """Return the stream as bytes, zero-padded to a byte boundary."""
+        out = bytearray((len(self._bits) + 7) // 8)
+        for pos, bit in enumerate(self._bits):
+            if bit:
+                out[pos // 8] |= 0x80 >> (pos % 8)
+        return bytes(out)
+
+
+class BitReader:
+    """Reads MSB-first bit fields produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def read(self, width: int) -> int:
+        """Consume and return the next ``width`` bits as an unsigned int."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if self._pos + width > len(self._data) * 8:
+            raise EOFError("bit stream exhausted")
+        value = 0
+        for _ in range(width):
+            byte = self._data[self._pos // 8]
+            bit = (byte >> (7 - self._pos % 8)) & 1
+            value = (value << 1) | bit
+            self._pos += 1
+        return value
+
+    @property
+    def bits_remaining(self) -> int:
+        """Number of unread bits left in the stream."""
+        return len(self._data) * 8 - self._pos
+
+
+def pack_bits(values: Iterable[int], width: int) -> bytes:
+    """Pack equal-width unsigned fields into bytes (MSB-first)."""
+    writer = BitWriter()
+    for value in values:
+        writer.write(value, width)
+    return writer.getvalue()
+
+
+def unpack_bits(data: bytes, width: int, count: int) -> List[int]:
+    """Unpack ``count`` equal-width fields previously packed by ``pack_bits``."""
+    reader = BitReader(data)
+    return [reader.read(width) for _ in range(count)]

@@ -1,0 +1,58 @@
+"""Small summary-statistics helpers used by benchmarks and models."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3f} std={self.std:.3f} "
+            f"min={self.minimum:.3f} max={self.maximum:.3f}"
+        )
+
+
+def summarize(sample: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of ``sample`` (population std)."""
+    if not sample:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(sample)
+    mean = sum(sample) / n
+    var = sum((x - mean) ** 2 for x in sample) / n
+    return Summary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(var),
+        minimum=min(sample),
+        maximum=max(sample),
+    )
+
+
+def percentile(sample: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100] of ``sample``."""
+    if not sample:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(sample)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac

@@ -1,0 +1,44 @@
+"""Shared fixtures: deterministic key populations and pre-built structures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SetSepParams, build
+
+
+def unique_keys(count: int, seed: int = 1, low: int = 1, high: int = 2**62) -> np.ndarray:
+    """``count`` distinct uint64 keys, deterministic in ``seed``."""
+    rng = np.random.default_rng(seed)
+    keys = np.unique(rng.integers(low, high, size=count * 2, dtype=np.uint64))
+    if len(keys) < count:
+        raise RuntimeError("not enough unique keys generated")
+    return keys[:count]
+
+
+@pytest.fixture(scope="session")
+def small_keys() -> np.ndarray:
+    """2 000 distinct keys (session-scoped; treat as read-only)."""
+    return unique_keys(2_000)
+
+
+@pytest.fixture(scope="session")
+def small_values(small_keys) -> np.ndarray:
+    """2-bit values matching ``small_keys``."""
+    rng = np.random.default_rng(2)
+    return rng.integers(0, 4, size=len(small_keys), dtype=np.uint32)
+
+
+@pytest.fixture(scope="session")
+def built_setsep(small_keys, small_values):
+    """A SetSep over the small population (session-scoped, read-mostly)."""
+    params = SetSepParams(value_bits=2)
+    setsep, stats = build(small_keys, small_values, params)
+    return setsep, stats
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Per-test deterministic generator."""
+    return np.random.default_rng(0xDECAF)

@@ -1,0 +1,104 @@
+"""Tests for the analytical model (repro.core.analysis) vs the paper and
+the empirical implementation."""
+
+import math
+
+import pytest
+
+from repro.core.analysis import (
+    bits_per_key_breakdown,
+    direct_hash_max_load,
+    expected_iterations_analytic,
+    failure_probability,
+    index_entropy_eq1,
+    success_probability_array,
+    success_probability_direct,
+)
+from repro.core.group import expected_iterations
+
+
+class TestSuccessProbability:
+    def test_direct_halves_per_key(self):
+        assert success_probability_direct(0) == 1.0
+        assert success_probability_direct(1) == 0.5
+        assert success_probability_direct(16) == 0.5**16
+
+    def test_array_m1_known_values(self):
+        # One slot: all keys share it; consistent iff all bits equal.
+        assert success_probability_array(1, 1) == pytest.approx(1.0)
+        assert success_probability_array(2, 1) == pytest.approx(0.5)
+        assert success_probability_array(3, 1) == pytest.approx(0.25)
+
+    def test_array_beats_direct(self):
+        for n in (4, 8, 16):
+            assert success_probability_array(n, 8) > \
+                success_probability_direct(n)
+
+    def test_monotone_in_m(self):
+        probs = [success_probability_array(16, m) for m in (2, 4, 8, 16, 30)]
+        assert probs == sorted(probs)
+
+    def test_empty_group_always_succeeds(self):
+        assert success_probability_array(0, 8) == 1.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            success_probability_array(-1, 8)
+        with pytest.raises(ValueError):
+            success_probability_array(1, 0)
+
+
+class TestIterationPrediction:
+    @pytest.mark.parametrize("m", [4, 8, 16])
+    def test_analytic_matches_empirical(self, m):
+        """The analytic 1/p curve predicts the measured Fig. 3a points."""
+        analytic = expected_iterations_analytic(16, m)
+        empirical = expected_iterations(16, m, trials=80, seed=4)
+        assert empirical == pytest.approx(analytic, rel=0.5)
+
+    def test_matches_paper_magnitudes(self):
+        """Fig. 3a's anchor points: >10k at m=2, <100 at m>=12 (n=16)."""
+        assert expected_iterations_analytic(16, 2) > 10_000
+        assert expected_iterations_analytic(16, 12) < 100
+
+    def test_failure_probability_16_8_is_negligible(self):
+        """Table 1: 16+8 'almost never needs the fallback table'."""
+        assert failure_probability(16, 8, max_index=65535) < 1e-6
+
+    def test_failure_probability_explodes_past_21_keys(self):
+        """The feasibility cliff that makes load balancing critical."""
+        ok = failure_probability(18, 8, max_index=65535)
+        bad = failure_probability(24, 8, max_index=65535)
+        assert ok < 0.001
+        assert bad > 0.05
+
+
+class TestEntropy:
+    def test_eq1_approximates_n_bits(self):
+        """Eq. (1): a binary separator for n keys costs ~n bits.
+
+        The exact geometric entropy sits slightly above -log2(p) = n (by
+        up to log2(e) + o(1) bits), which the paper's approximation drops.
+        """
+        for n in (4, 8, 16):
+            assert n <= index_entropy_eq1(n) <= n + 2
+
+    def test_bits_per_key_breakdown_16_8(self):
+        out = bits_per_key_breakdown(16, 16, 8, 1)
+        assert out["total_bits_per_key"] == pytest.approx(2.0)
+        out2 = bits_per_key_breakdown(16, 16, 8, 2)
+        assert out2["total_bits_per_key"] == pytest.approx(3.5)
+
+
+class TestBallsIntoBins:
+    def test_direct_hash_max_load_magnitude(self):
+        """§4.4: 16 M keys into 1 M groups -> max load ~40 for direct."""
+        estimate = direct_hash_max_load(16_000_000, 1_000_000)
+        assert 35 < estimate < 50
+
+    def test_zero_keys(self):
+        assert direct_hash_max_load(0, 10) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            direct_hash_max_load(1, 0)

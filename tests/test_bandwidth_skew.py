@@ -1,0 +1,119 @@
+"""Tests for the §3.1 bandwidth and §7 skew models."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Architecture, Cluster
+from repro.model.bandwidth import (
+    FabricRequirement,
+    expected_transits,
+    routebricks_era_cost_per_gbps,
+    switch_cost_per_gbps,
+)
+from repro.model.skew import (
+    capacity_loss_from_skew,
+    effective_nodes,
+    hash_partition_capacity,
+    scalebricks_capacity_skewed,
+    zipf_shares,
+)
+from repro.model.scaling import entries_scalebricks
+from tests.conftest import unique_keys
+
+
+class TestBandwidth:
+    def test_vlb_needs_double(self):
+        vlb = FabricRequirement(Architecture.ROUTEBRICKS_VLB, 40.0)
+        switch = FabricRequirement(Architecture.SCALEBRICKS, 40.0)
+        assert vlb.internal_gbps == 80.0
+        assert switch.internal_gbps == 40.0
+
+    def test_per_node_share(self):
+        req = FabricRequirement(Architecture.SCALEBRICKS, 40.0)
+        assert req.per_node_internal_gbps(4) == 10.0
+        with pytest.raises(ValueError):
+            req.per_node_internal_gbps(0)
+
+    @pytest.mark.parametrize("arch,expected", [
+        (Architecture.SCALEBRICKS, 0.75),
+        (Architecture.FULL_DUPLICATION, 0.75),
+        (Architecture.ROUTEBRICKS_VLB, 1.5),
+        (Architecture.HASH_PARTITION, 1.5),
+    ])
+    def test_expected_transits_at_4_nodes(self, arch, expected):
+        assert expected_transits(arch, 4) == pytest.approx(expected)
+
+    def test_expected_transits_match_simulation(self):
+        keys = unique_keys(1_500, seed=600)
+        handlers = (keys % 4).astype(np.int64)
+        values = np.arange(len(keys))
+        for arch in Architecture:
+            cluster = Cluster.build(arch, 4, keys, handlers, values)
+            results = cluster.route_batch(keys[:600])
+            measured = np.mean([r.internal_hops for r in results])
+            analytic = expected_transits(arch, 4)
+            assert measured == pytest.approx(analytic, abs=0.12), arch
+
+    def test_switch_economics(self):
+        # §3.1: ~$9/Gbps today, 80% below the RouteBricks-era figure.
+        today = switch_cost_per_gbps()
+        assert today == pytest.approx(9.03, abs=0.1)
+        assert today == pytest.approx(
+            routebricks_era_cost_per_gbps() * 0.2
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            expected_transits(Architecture.SCALEBRICKS, 0)
+        with pytest.raises(ValueError):
+            switch_cost_per_gbps(port_count=0)
+
+
+class TestSkew:
+    def test_zipf_shares_sum_to_one(self):
+        for s in (0.0, 0.8, 1.5):
+            shares = zipf_shares(8, s)
+            assert sum(shares) == pytest.approx(1.0)
+
+    def test_zipf_zero_is_uniform(self):
+        assert zipf_shares(4, 0.0) == pytest.approx([0.25] * 4)
+
+    def test_zipf_concentrates(self):
+        shares = zipf_shares(8, 1.5)
+        assert shares[0] > 0.4
+        assert shares == sorted(shares, reverse=True)
+
+    def test_uniform_matches_figure11_formula(self):
+        m = 16 * 1024 * 1024 * 8
+        for n in (2, 4, 8, 16):
+            skewed = scalebricks_capacity_skewed(m, [1.0 / n] * n)
+            assert skewed == pytest.approx(entries_scalebricks(m, n))
+
+    def test_skew_reduces_capacity(self):
+        m = 16 * 1024 * 1024 * 8
+        uniform = scalebricks_capacity_skewed(m, [0.25] * 4)
+        skewed = scalebricks_capacity_skewed(m, [0.7, 0.1, 0.1, 0.1])
+        assert skewed < uniform
+
+    def test_capacity_loss_bounds(self):
+        assert capacity_loss_from_skew([0.25] * 4) == pytest.approx(1.0)
+        loss = capacity_loss_from_skew([0.97, 0.01, 0.01, 0.01])
+        assert loss < 0.5
+
+    def test_effective_nodes(self):
+        assert effective_nodes([0.25] * 4) == pytest.approx(4.0)
+        assert effective_nodes([0.5, 0.25, 0.25]) == pytest.approx(2.0)
+
+    def test_hash_partition_skew_free(self):
+        m = 16 * 1024 * 1024 * 8
+        assert hash_partition_capacity(m, 4) == 4 * m / 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_shares(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_shares(4, -1.0)
+        with pytest.raises(ValueError):
+            scalebricks_capacity_skewed(1.0, [0.5, 0.6])
+        with pytest.raises(ValueError):
+            effective_nodes([])

@@ -1,0 +1,172 @@
+"""Tests for the related-work comparators (repro.baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BloomFilter,
+    BloomierBuildError,
+    BloomierFilter,
+    BuffaloSeparator,
+    ChdPerfectHash,
+)
+from repro.baselines.perfecthash import ChdValueTable
+from tests.conftest import unique_keys
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        keys = unique_keys(2_000, seed=70)
+        bloom = BloomFilter(num_bits=len(keys) * 10, expected_items=len(keys))
+        bloom.add_batch(keys)
+        assert bloom.contains_batch(keys).all()
+
+    def test_scalar_api(self):
+        bloom = BloomFilter(num_bits=128, num_hashes=3)
+        bloom.add(7)
+        assert 7 in bloom
+
+    def test_false_positive_rate_reasonable(self):
+        keys = unique_keys(2_000, seed=71)
+        bloom = BloomFilter(num_bits=len(keys) * 10, expected_items=len(keys))
+        bloom.add_batch(keys)
+        unknown = unique_keys(4_000, seed=72, low=2**62, high=2**63)
+        measured = bloom.contains_batch(unknown).mean()
+        assert measured < 0.05
+        assert bloom.false_positive_rate() < 0.05
+
+    def test_empty_batches(self):
+        bloom = BloomFilter(num_bits=64, num_hashes=2)
+        bloom.add_batch([])
+        assert bloom.contains_batch([]).shape == (0,)
+
+    def test_sizing_requires_k_or_items(self):
+        with pytest.raises(ValueError):
+            BloomFilter(num_bits=64)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            BloomFilter(num_bits=0, num_hashes=1)
+
+    def test_count_tracks_inserts(self):
+        bloom = BloomFilter(num_bits=256, num_hashes=2)
+        bloom.add_batch([1, 2, 3])
+        assert bloom.count == 3
+
+
+class TestBuffalo:
+    @pytest.fixture(scope="class")
+    def populated(self):
+        keys = unique_keys(3_000, seed=73)
+        nodes = (keys % 4).astype(np.int64)
+        sep = BuffaloSeparator(4, bits_per_key=10, expected_items=len(keys))
+        sep.insert_batch(keys, nodes)
+        return sep, keys, nodes
+
+    def test_known_keys_mostly_route_correctly(self, populated):
+        sep, keys, nodes = populated
+        _, misroute = sep.lookup_stats(keys[:800], nodes[:800])
+        assert misroute < 0.1
+
+    def test_multipositive_rate_nonzero_at_tight_budget(self):
+        keys = unique_keys(3_000, seed=74)
+        nodes = (keys % 4).astype(np.int64)
+        sep = BuffaloSeparator(4, bits_per_key=4, expected_items=len(keys))
+        sep.insert_batch(keys, nodes)
+        multi, _ = sep.lookup_stats(keys[:800], nodes[:800])
+        assert multi > 0.0  # the §8 resolution problem exists
+
+    def test_lookup_always_names_a_node(self, populated):
+        sep, _, _ = populated
+        for key in unique_keys(50, seed=75, low=2**62, high=2**63):
+            assert 0 <= sep.lookup(int(key)) < 4
+
+    def test_node_range_validated(self, populated):
+        sep, _, _ = populated
+        with pytest.raises(ValueError):
+            sep.insert(1, 4)
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            BuffaloSeparator(1)
+
+    def test_size_is_sum_of_filters(self, populated):
+        sep, keys, _ = populated
+        assert sep.size_bits() >= 4 * 8
+
+
+class TestBloomier:
+    def test_correct_for_all_keys(self):
+        keys = unique_keys(2_000, seed=76)
+        values = (keys % 4).astype(np.uint32)
+        filt = BloomierFilter(keys, values, value_bits=2)
+        assert np.array_equal(filt.lookup_batch(keys), values)
+
+    def test_scalar_lookup(self):
+        keys = unique_keys(100, seed=77)
+        values = (keys % 2).astype(np.uint32)
+        filt = BloomierFilter(keys, values, value_bits=1)
+        assert filt.lookup(int(keys[0])) == values[0]
+
+    def test_unknown_keys_in_range(self):
+        keys = unique_keys(500, seed=78)
+        values = (keys % 4).astype(np.uint32)
+        filt = BloomierFilter(keys, values, value_bits=2)
+        unknown = unique_keys(300, seed=79, low=2**62, high=2**63)
+        out = filt.lookup_batch(unknown)
+        assert out.max() < 4
+
+    def test_bits_per_key_near_1_23_times_value_bits(self):
+        keys = unique_keys(4_000, seed=80)
+        values = (keys % 4).astype(np.uint32)
+        filt = BloomierFilter(keys, values, value_bits=2)
+        assert filt.bits_per_key() == pytest.approx(2.46, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomierFilter([1, 2], [0], value_bits=1)
+        with pytest.raises(ValueError):
+            BloomierFilter([1, 2], [0, 2], value_bits=1)
+        with pytest.raises(ValueError):
+            BloomierFilter([1], [0], value_bits=0)
+
+
+class TestChd:
+    def test_slots_are_distinct(self):
+        keys = unique_keys(3_000, seed=81)
+        phf = ChdPerfectHash(keys)
+        slots = phf.slot_batch(keys)
+        assert len(np.unique(slots)) == len(keys)
+        assert slots.max() < phf.num_slots
+
+    def test_scalar_slot(self):
+        keys = unique_keys(200, seed=82)
+        phf = ChdPerfectHash(keys)
+        assert phf.slot(int(keys[0])) == phf.slot_batch(keys[:1])[0]
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError):
+            ChdPerfectHash([1, 1, 2])
+
+    def test_value_table_correct(self):
+        keys = unique_keys(1_500, seed=83)
+        values = (keys % 4).astype(np.uint32)
+        table = ChdValueTable(keys, values, value_bits=2)
+        assert np.array_equal(table.lookup_batch(keys), values)
+        assert table.lookup(int(keys[0])) == values[0]
+
+    def test_index_cost_metrics(self):
+        keys = unique_keys(1_000, seed=84)
+        phf = ChdPerfectHash(keys)
+        assert phf.index_bits_per_key() > 0
+        assert 0 < phf.index_entropy_bits_per_key() < phf.index_bits_per_key()
+
+    def test_setsep_smaller_than_chd_table(self):
+        """The §8 comparison: perfect hashing must still store values."""
+        from repro.core import SetSepParams, build
+
+        keys = unique_keys(2_000, seed=85)
+        values = (keys % 4).astype(np.uint32)
+        setsep, _ = build(keys, values, SetSepParams(value_bits=2))
+        chd = ChdValueTable(keys, values, value_bits=2)
+        assert setsep.size_bits() < chd.size_bits()

@@ -1,0 +1,48 @@
+"""Tests for the Figure 7 model calibration (repro.model.calibration)."""
+
+import pytest
+
+from repro.model.calibration import (
+    FIG7_ANCHORS,
+    FittedParams,
+    default_fit_error,
+    evaluate_fit,
+    fit_lookup_model,
+)
+
+
+class TestFit:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        return fit_lookup_model()
+
+    def test_fit_improves_on_defaults(self, fitted):
+        assert fitted.rms_error_mops < default_fit_error()
+
+    def test_fit_is_tight(self, fitted):
+        # Anchors span 190-700 Mops; a good fit lands within ~10% RMS.
+        assert fitted.rms_error_mops < 60.0
+
+    def test_parameters_physically_plausible(self, fitted):
+        assert 5.0 < fitted.cpu_ns < 40.0
+        assert 0.0 <= fitted.pressure_ns < 2.0
+        assert 5.0 < fitted.l3_latency_ns < 40.0
+        assert fitted.dram_latency_ns > fitted.l3_latency_ns
+
+    def test_evaluate_fit_covers_all_anchors(self, fitted):
+        rows = evaluate_fit(fitted)
+        assert len(rows) == len(FIG7_ANCHORS)
+        for _n, _b, paper, model in rows:
+            assert model == pytest.approx(paper, rel=0.25)
+
+    def test_fit_deterministic(self):
+        a = fit_lookup_model()
+        b = fit_lookup_model()
+        assert a.rms_error_mops == pytest.approx(b.rms_error_mops)
+
+    def test_as_dict(self, fitted):
+        d = fitted.as_dict()
+        assert set(d) == {
+            "cpu_ns", "pressure_ns", "l3_latency_ns",
+            "dram_latency_ns", "max_outstanding", "rms_error_mops",
+        }

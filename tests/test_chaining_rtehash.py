@@ -1,0 +1,116 @@
+"""Tests for the baseline FIB tables (chaining, rte_hash)."""
+
+import numpy as np
+import pytest
+
+from repro.hashtables import ChainingHashTable, RteHashTable, TableFullError
+from tests.conftest import unique_keys
+
+
+class TestChaining:
+    def test_insert_lookup_delete(self):
+        table = ChainingHashTable(num_buckets=16)
+        table.insert(1, "a")
+        assert table.lookup(1) == "a"
+        assert table.delete(1)
+        assert table.lookup(1) is None
+
+    def test_overwrite(self):
+        table = ChainingHashTable(num_buckets=16)
+        table.insert(1, "a")
+        table.insert(1, "b")
+        assert table.lookup(1) == "b"
+        assert len(table) == 1
+
+    def test_collisions_resolved_by_chains(self):
+        table = ChainingHashTable(num_buckets=1)  # everything collides
+        for i in range(1, 40):
+            table.insert(i, i * 2)
+        for i in range(1, 40):
+            assert table.lookup(i) == i * 2
+
+    def test_chain_length_grows_with_load(self):
+        """The §6.2 degradation: chains lengthen as tunnels multiply."""
+        table = ChainingHashTable(num_buckets=64)
+        keys = unique_keys(2_000, seed=60)
+        lengths = []
+        inserted = 0
+        for count in (128, 512, 2_000):
+            for key in keys[inserted:count]:
+                table.insert(int(key), 0)
+            inserted = count
+            lengths.append(table.average_chain_length())
+        assert lengths[0] < lengths[1] < lengths[2]
+
+    def test_max_chain_length(self):
+        table = ChainingHashTable(num_buckets=1)
+        assert table.max_chain_length() == 0
+        table.insert(1, 1)
+        table.insert(2, 2)
+        assert table.max_chain_length() == 2
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError):
+            ChainingHashTable(num_buckets=0)
+
+    def test_size_grows_with_entries(self):
+        table = ChainingHashTable(num_buckets=8)
+        empty = table.size_bytes()
+        table.insert(1, 1)
+        assert table.size_bytes() > empty
+
+
+class TestRteHash:
+    def test_insert_lookup_delete(self):
+        table = RteHashTable(capacity=100)
+        table.insert(1, "a")
+        assert table.lookup(1) == "a"
+        assert table.delete(1)
+        assert table.lookup(1) is None
+        assert not table.delete(1)
+
+    def test_overwrite(self):
+        table = RteHashTable(capacity=100)
+        table.insert(1, "a")
+        table.insert(1, "b")
+        assert table.lookup(1) == "b"
+        assert len(table) == 1
+
+    def test_bulk_population_at_capacity(self):
+        n = 10_000
+        keys = unique_keys(n, seed=61)
+        table = RteHashTable(capacity=n)
+        for i, key in enumerate(keys):
+            table.insert(int(key), i)
+        assert len(table) == n
+        for i, key in enumerate(keys[:500]):
+            assert table.lookup(int(key)) == i
+
+    def test_load_factor_stays_low(self):
+        """rte_hash provisions ~2x slots — its memory disadvantage."""
+        n = 5_000
+        keys = unique_keys(n, seed=62)
+        table = RteHashTable(capacity=n)
+        for i, key in enumerate(keys):
+            table.insert(int(key), i)
+        assert table.load_factor() < 0.55
+
+    def test_overflow_raises(self):
+        table = RteHashTable(capacity=8)
+        keys = unique_keys(4_000, seed=63)
+        with pytest.raises(TableFullError):
+            for i, key in enumerate(keys):
+                table.insert(int(key), i)
+
+    def test_size_larger_than_cuckoo_at_equal_entries(self):
+        from repro.hashtables import CuckooHashTable
+
+        n = 4_000
+        assert (
+            RteHashTable(capacity=n).size_bytes()
+            > CuckooHashTable(capacity=n).size_bytes()
+        )
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RteHashTable(capacity=0)

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def flow_csv(tmp_path):
+    path = tmp_path / "flows.csv"
+    lines = ["# comment", ""]
+    lines += [f"flow-{i},{i % 4}" for i in range(2_000)]
+    path.write_text("\n".join(lines))
+    return path
+
+
+class TestBuildAndQuery:
+    def test_build_lookup_roundtrip(self, flow_csv, tmp_path, capsys):
+        snapshot = tmp_path / "gpt.snap"
+        assert main(["build", str(flow_csv), str(snapshot), "--nodes", "4"]) == 0
+        assert snapshot.exists()
+        out = capsys.readouterr().out
+        assert "2,000 keys" in out
+
+        assert main(
+            ["lookup", str(snapshot), "flow-5", "flow-6", "--nodes", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "flow-5 -> node 1" in out
+        assert "flow-6 -> node 2" in out
+
+    def test_info(self, flow_csv, tmp_path, capsys):
+        snapshot = tmp_path / "gpt.snap"
+        main(["build", str(flow_csv), str(snapshot)])
+        capsys.readouterr()
+        assert main(["info", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "16+8" in out
+        assert "2-bit values" in out
+
+    def test_build_rejects_malformed_lines(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("justonefield\n")
+        assert main(["build", str(bad), str(tmp_path / "x.snap")]) == 2
+
+    def test_build_rejects_empty_input(self, tmp_path, capsys):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("# nothing\n")
+        assert main(["build", str(empty), str(tmp_path / "x.snap")]) == 2
+
+
+class TestScale:
+    def test_scale_prints_table(self, capsys):
+        assert main(["scale", "--max-nodes", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "ScaleBricks" in out
+        assert "peak ScaleBricks advantage" in out
+        assert out.count("\n") >= 10
+
+    def test_scale_respects_entry_bits(self, capsys):
+        main(["scale", "--max-nodes", "4", "--entry-bits", "128"])
+        out = capsys.readouterr().out
+        assert "128-bit entries" in out
+
+
+class TestGateway:
+    def test_gateway_simulation(self, capsys):
+        code = main(
+            [
+                "gateway",
+                "--architecture", "scalebricks",
+                "--flows", "500",
+                "--packets", "200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loss 0.00%" in out
+        assert "GPT" in out
+
+    def test_gateway_other_architecture(self, capsys):
+        code = main(
+            [
+                "gateway",
+                "--architecture", "hash_partition",
+                "--flows", "400",
+                "--packets", "150",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hash_partition" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,179 @@
+"""Tests for cluster routing under each FIB architecture (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Architecture, Cluster
+from repro.hashtables import RteHashTable
+from tests.conftest import unique_keys
+
+NUM_NODES = 4
+NUM_FLOWS = 1_500
+
+
+@pytest.fixture(scope="module")
+def population():
+    keys = unique_keys(NUM_FLOWS, seed=100)
+    handlers = (keys % NUM_NODES).astype(np.int64)
+    values = np.arange(NUM_FLOWS) + 10_000
+    return keys, handlers, values
+
+
+def build_cluster(arch, population, **kwargs):
+    keys, handlers, values = population
+    return Cluster.build(arch, NUM_NODES, keys, handlers, values, **kwargs)
+
+
+@pytest.fixture(scope="module", params=list(Architecture))
+def any_cluster(request, population):
+    return build_cluster(request.param, population), population
+
+
+class TestDeliveryCorrectness:
+    def test_known_keys_reach_their_handler_with_value(self, any_cluster):
+        cluster, (keys, handlers, values) = any_cluster
+        for i in range(0, 400, 7):
+            result = cluster.route(int(keys[i]), ingress=i % NUM_NODES)
+            assert result.delivered
+            assert result.handled_by == handlers[i]
+            assert result.value == values[i]
+
+    def test_unknown_keys_always_dropped(self, any_cluster):
+        cluster, _ = any_cluster
+        unknown = unique_keys(300, seed=101, low=2**62, high=2**63)
+        results = cluster.route_batch(unknown)
+        assert all(r.dropped for r in results)
+        assert all(r.value is None for r in results)
+
+    def test_route_batch_matches_route(self, any_cluster):
+        cluster, (keys, handlers, values) = any_cluster
+        ingress = [i % NUM_NODES for i in range(50)]
+        results = cluster.route_batch(keys[:50], ingress)
+        for i, result in enumerate(results):
+            assert result.value == values[i]
+
+
+class TestHopCounts:
+    def test_one_hop_architectures(self, population):
+        for arch in (Architecture.FULL_DUPLICATION, Architecture.SCALEBRICKS):
+            cluster = build_cluster(arch, population)
+            keys, handlers, _ = population
+            for i in range(100):
+                result = cluster.route(int(keys[i]), ingress=0)
+                expected = 0 if handlers[i] == 0 else 1
+                assert result.internal_hops == expected
+
+    def test_hash_partition_up_to_two_hops(self, population):
+        cluster = build_cluster(Architecture.HASH_PARTITION, population)
+        keys, _, _ = population
+        hops = [cluster.route(int(k), ingress=0).internal_hops for k in keys[:200]]
+        assert max(hops) == 2
+        assert min(hops) >= 0
+
+    def test_vlb_detours_via_indirect(self, population):
+        cluster = build_cluster(Architecture.ROUTEBRICKS_VLB, population)
+        keys, handlers, _ = population
+        remote = [
+            int(k) for k, h in zip(keys[:200], handlers[:200]) if h != 0
+        ]
+        results = [cluster.route(k, ingress=0) for k in remote]
+        assert all(r.internal_hops == 2 for r in results)
+        # The indirect node is neither ingress nor handler.
+        for r in results:
+            assert r.path[1] not in (r.path[0], r.path[-1])
+
+    def test_mean_hops_ordering(self, population):
+        """ScaleBricks and full duplication beat the 2-hop designs."""
+        keys, _, _ = population
+        means = {}
+        for arch in Architecture:
+            cluster = build_cluster(arch, population)
+            results = cluster.route_batch(keys[:400])
+            means[arch] = np.mean([r.internal_hops for r in results])
+        assert means[Architecture.SCALEBRICKS] < means[Architecture.HASH_PARTITION]
+        assert means[Architecture.SCALEBRICKS] < means[Architecture.ROUTEBRICKS_VLB]
+        assert means[Architecture.FULL_DUPLICATION] == pytest.approx(
+            means[Architecture.SCALEBRICKS], abs=0.05
+        )
+
+
+class TestStatePlacement:
+    def test_scalebricks_stores_each_entry_once(self, population):
+        cluster = build_cluster(Architecture.SCALEBRICKS, population)
+        assert cluster.total_fib_entries() == NUM_FLOWS
+
+    def test_full_duplication_replicates_everything(self, population):
+        cluster = build_cluster(Architecture.FULL_DUPLICATION, population)
+        assert cluster.total_fib_entries() == NUM_FLOWS * NUM_NODES
+
+    def test_scalebricks_entries_live_at_their_handler(self, population):
+        cluster = build_cluster(Architecture.SCALEBRICKS, population)
+        keys, handlers, values = population
+        for i in range(0, 300, 11):
+            node = cluster.nodes[int(handlers[i])]
+            assert node.fib.lookup(int(keys[i])) == values[i]
+
+    def test_hash_partition_lookup_node_has_entry(self, population):
+        cluster = build_cluster(Architecture.HASH_PARTITION, population)
+        keys, handlers, _ = population
+        for i in range(0, 300, 13):
+            lookup_node = cluster.lookup_node_of(int(keys[i]))
+            found = cluster.nodes[lookup_node].fib.lookup(int(keys[i]))
+            assert found is not None and found[0] == handlers[i]
+
+    def test_gpt_only_on_scalebricks(self, population):
+        for arch in Architecture:
+            cluster = build_cluster(arch, population)
+            has_gpt = all(n.gpt is not None for n in cluster.nodes)
+            assert has_gpt == (arch is Architecture.SCALEBRICKS)
+
+    def test_memory_report_shows_gpt_savings(self, population):
+        full = build_cluster(Architecture.FULL_DUPLICATION, population)
+        sb = build_cluster(Architecture.SCALEBRICKS, population)
+        full_node = full.memory_report()[0]
+        sb_node = sb.memory_report()[0]
+        # GPT (bits/key) is far smaller than the replicated FIB it replaces.
+        assert sb_node["gpt_bytes"] < full_node["fib_bytes"] / 10
+        assert sb_node["fib_bytes"] < full_node["fib_bytes"]
+
+
+class TestCounters:
+    def test_counters_track_traffic(self, population):
+        cluster = build_cluster(Architecture.SCALEBRICKS, population)
+        keys, _, _ = population
+        cluster.reset_counters()
+        cluster.route_batch(keys[:100], ingress=[0] * 100)
+        assert cluster.nodes[0].counters.external_rx == 100
+        assert cluster.nodes[0].counters.gpt_lookups == 100
+        total_handled = sum(n.counters.handled for n in cluster.nodes)
+        assert total_handled == 100
+
+    def test_fabric_stats_accumulate(self, population):
+        cluster = build_cluster(Architecture.SCALEBRICKS, population)
+        cluster.reset_counters()
+        keys, handlers, _ = population
+        remote = [int(k) for k, h in zip(keys, handlers) if h != 0][:50]
+        for key in remote:
+            cluster.route(key, ingress=0)
+        assert cluster.fabric.stats.packets == 50
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Cluster.build(Architecture.SCALEBRICKS, 2, [1, 2], [0], [5, 6])
+
+    def test_handler_out_of_range(self):
+        with pytest.raises(ValueError):
+            Cluster.build(Architecture.SCALEBRICKS, 2, [1, 2], [0, 2], [5, 6])
+
+    def test_custom_fib_factory(self, population):
+        cluster = build_cluster(
+            Architecture.FULL_DUPLICATION,
+            population,
+            fib_factory=lambda cap: RteHashTable(cap),
+        )
+        keys, _, values = population
+        result = cluster.route(int(keys[0]))
+        assert result.value == values[0]
+        assert isinstance(cluster.nodes[0].fib, RteHashTable)

@@ -1,0 +1,78 @@
+"""Tests for the vectorised cuckoo batch lookup."""
+
+import numpy as np
+import pytest
+
+from repro.hashtables import CuckooHashTable
+from tests.conftest import unique_keys
+
+
+@pytest.fixture(scope="module")
+def loaded_table():
+    n = 5_000
+    keys = unique_keys(n, seed=1100)
+    table = CuckooHashTable(capacity=n)
+    for i, key in enumerate(keys):
+        table.insert(int(key), i)
+    return table, keys
+
+
+class TestBatchLookup:
+    def test_matches_scalar_lookup(self, loaded_table):
+        table, keys = loaded_table
+        out = table.lookup_batch(keys[:500])
+        assert out == [table.lookup(int(k)) for k in keys[:500]]
+
+    def test_all_present_correct(self, loaded_table):
+        table, keys = loaded_table
+        out = table.lookup_batch(keys)
+        assert out == list(range(len(keys)))
+
+    def test_absent_keys_are_none(self, loaded_table):
+        table, _ = loaded_table
+        absent = unique_keys(200, seed=1101, low=2**62, high=2**63)
+        assert table.lookup_batch(absent) == [None] * 200
+
+    def test_mixed_batch(self, loaded_table):
+        table, keys = loaded_table
+        absent = unique_keys(5, seed=1102, low=2**62, high=2**63)
+        mixed = list(keys[:5]) + [int(a) for a in absent]
+        out = table.lookup_batch(mixed)
+        assert out[:5] == list(range(5))
+        assert out[5:] == [None] * 5
+
+    def test_empty_batch(self, loaded_table):
+        table, _ = loaded_table
+        assert table.lookup_batch([]) == []
+        assert table.lookup_batch(np.zeros(0, dtype=np.uint64)) == []
+
+    def test_batch_after_deletes(self, loaded_table):
+        n = 600
+        keys = unique_keys(n, seed=1103)
+        table = CuckooHashTable(capacity=n)
+        for i, key in enumerate(keys):
+            table.insert(int(key), i)
+        for key in keys[::2]:
+            table.delete(int(key))
+        out = table.lookup_batch(keys)
+        for i, value in enumerate(out):
+            assert value == (None if i % 2 == 0 else i)
+
+    def test_batch_with_string_keys(self):
+        table = CuckooHashTable(capacity=32)
+        table.insert("alpha", 1)
+        table.insert("beta", 2)
+        assert table.lookup_batch(["alpha", "beta", "gamma"]) == [1, 2, None]
+
+    def test_faster_than_scalar(self, loaded_table):
+        import time
+
+        table, keys = loaded_table
+        started = time.perf_counter()
+        table.lookup_batch(keys)
+        batched = time.perf_counter() - started
+        started = time.perf_counter()
+        for key in keys[:500]:
+            table.lookup(int(key))
+        scalar = (time.perf_counter() - started) * (len(keys) / 500)
+        assert batched < scalar  # the point of the fast path

@@ -1,0 +1,117 @@
+"""Tests for the d-left and linear-probing comparators (§8)."""
+
+import pytest
+
+from repro.baselines import DLeftHashTable, LinearProbingTable
+from repro.hashtables import TableFullError
+from tests.conftest import unique_keys
+
+
+class TestDLeft:
+    def test_insert_lookup_delete(self):
+        table = DLeftHashTable(capacity=100)
+        table.insert(1, "a")
+        assert table.lookup(1) == "a"
+        assert table.delete(1)
+        assert table.lookup(1) is None
+        assert not table.delete(1)
+
+    def test_overwrite(self):
+        table = DLeftHashTable(capacity=100)
+        table.insert(1, "a")
+        table.insert(1, "b")
+        assert table.lookup(1) == "b"
+        assert len(table) == 1
+
+    def test_bulk_population(self):
+        n = 4_000
+        keys = unique_keys(n, seed=1300)
+        table = DLeftHashTable(capacity=n)
+        for i, key in enumerate(keys):
+            table.insert(int(key), i)
+        assert len(table) == n
+        for i in range(0, n, 97):
+            assert table.lookup(int(keys[i])) == i
+
+    def test_probe_count_is_d(self):
+        assert DLeftHashTable(capacity=10).probes_per_lookup() == 4
+
+    def test_overflow(self):
+        table = DLeftHashTable(capacity=16)
+        keys = unique_keys(4_000, seed=1301)
+        with pytest.raises(TableFullError):
+            for i, key in enumerate(keys):
+                table.insert(int(key), i)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DLeftHashTable(capacity=0)
+
+    def test_size_accounting(self):
+        table = DLeftHashTable(capacity=100, value_size=16)
+        assert table.size_bytes() > 0
+
+
+class TestLinearProbing:
+    def test_insert_lookup_delete(self):
+        table = LinearProbingTable(capacity=64)
+        table.insert(5, "x")
+        assert table.lookup(5) == "x"
+        assert table.delete(5)
+        assert table.lookup(5) is None
+
+    def test_overwrite(self):
+        table = LinearProbingTable(capacity=64)
+        table.insert(5, "x")
+        table.insert(5, "y")
+        assert table.lookup(5) == "y"
+        assert len(table) == 1
+
+    def test_backward_shift_preserves_chains(self):
+        n = 800
+        keys = unique_keys(n, seed=1302)
+        table = LinearProbingTable(capacity=n, max_load=0.85)
+        for i, key in enumerate(keys):
+            table.insert(int(key), i)
+        # Delete every third key, then verify the rest still resolve.
+        for key in keys[::3]:
+            assert table.delete(int(key))
+        for i, key in enumerate(keys):
+            expected = None if i % 3 == 0 else i
+            assert table.lookup(int(key)) == expected
+
+    def test_probe_count_blows_up_with_load(self):
+        """§8: linear probing degrades at 70-90% load."""
+        keys = unique_keys(8_000, seed=1303)
+
+        def probes_at(load):
+            table = LinearProbingTable(capacity=4_000, max_load=0.95)
+            # Fill to the target fraction of the *actual* slot array so
+            # the power-of-two rounding cannot dilute the load.
+            count = int(table._num_slots * load)
+            for i in range(count):
+                table.insert(int(keys[i]), i)
+            assert table.load_factor() == pytest.approx(load, abs=0.01)
+            for i in range(0, count, 7):
+                table.lookup(int(keys[i]))
+            return table.mean_probes()
+
+        low = probes_at(0.3)
+        high = probes_at(0.9)
+        assert high > 2 * low
+
+    def test_max_load_enforced(self):
+        table = LinearProbingTable(capacity=64, max_load=0.5)
+        keys = unique_keys(200, seed=1304)
+        with pytest.raises(TableFullError):
+            for i, key in enumerate(keys):
+                table.insert(int(key), i)
+
+    def test_mean_probes_zero_without_lookups(self):
+        assert LinearProbingTable(capacity=8).mean_probes() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearProbingTable(capacity=0)
+        with pytest.raises(ValueError):
+            LinearProbingTable(capacity=8, max_load=1.5)

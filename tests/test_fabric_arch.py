@@ -1,0 +1,78 @@
+"""Tests for the switch fabric and architecture taxonomy."""
+
+import pytest
+
+from repro.cluster import Architecture, SwitchFabric
+
+
+class TestArchitecture:
+    def test_internal_hops(self):
+        assert Architecture.FULL_DUPLICATION.internal_hops == 1
+        assert Architecture.SCALEBRICKS.internal_hops == 1
+        assert Architecture.HASH_PARTITION.internal_hops == 2
+        assert Architecture.ROUTEBRICKS_VLB.internal_hops == 2
+
+    def test_full_fib_replication(self):
+        assert Architecture.FULL_DUPLICATION.replicates_full_fib
+        assert Architecture.ROUTEBRICKS_VLB.replicates_full_fib
+        assert not Architecture.SCALEBRICKS.replicates_full_fib
+        assert not Architecture.HASH_PARTITION.replicates_full_fib
+
+    def test_only_scalebricks_uses_gpt(self):
+        assert Architecture.SCALEBRICKS.uses_gpt
+        for arch in Architecture:
+            if arch is not Architecture.SCALEBRICKS:
+                assert not arch.uses_gpt
+
+    def test_vlb_needs_double_internal_bandwidth(self):
+        assert Architecture.ROUTEBRICKS_VLB.internal_bandwidth_factor == 2.0
+        assert Architecture.SCALEBRICKS.internal_bandwidth_factor == 1.0
+
+
+class TestSwitchFabric:
+    def test_delivery_records_stats(self):
+        fabric = SwitchFabric(4)
+        latency = fabric.deliver(0, 2, size=100)
+        assert latency == fabric.transit_latency_us
+        assert fabric.stats.packets == 1
+        assert fabric.stats.bytes == 100
+        assert fabric.stats.per_link_packets[(0, 2)] == 1
+
+    def test_self_delivery_is_free(self):
+        fabric = SwitchFabric(4)
+        assert fabric.deliver(1, 1) == 0.0
+        assert fabric.stats.packets == 0
+
+    def test_unknown_node_rejected(self):
+        fabric = SwitchFabric(2)
+        with pytest.raises(ValueError):
+            fabric.deliver(0, 2)
+        with pytest.raises(ValueError):
+            fabric.deliver(-1, 0)
+
+    def test_pick_indirect_avoids_endpoints(self):
+        fabric = SwitchFabric(4)
+        for _ in range(50):
+            indirect = fabric.pick_indirect(0, 1)
+            assert indirect not in (0, 1)
+
+    def test_pick_indirect_degenerate_two_nodes(self):
+        fabric = SwitchFabric(2)
+        assert fabric.pick_indirect(0, 1) == 1
+
+    def test_max_link_packets(self):
+        fabric = SwitchFabric(3)
+        fabric.deliver(0, 1)
+        fabric.deliver(0, 1)
+        fabric.deliver(1, 2)
+        assert fabric.stats.max_link_packets() == 2
+
+    def test_reset(self):
+        fabric = SwitchFabric(3)
+        fabric.deliver(0, 1)
+        fabric.reset_stats()
+        assert fabric.stats.packets == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            SwitchFabric(0)

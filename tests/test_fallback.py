@@ -1,0 +1,49 @@
+"""Tests for the fallback exact table (repro.core.fallback)."""
+
+from repro.core.fallback import FallbackTable
+
+
+class TestFallbackTable:
+    def test_insert_and_get(self):
+        table = FallbackTable()
+        table.insert(42, 3)
+        assert table.get(42) == 3
+        assert 42 in table
+
+    def test_missing_key(self):
+        table = FallbackTable()
+        assert table.get(1) is None
+        assert 1 not in table
+
+    def test_overwrite(self):
+        table = FallbackTable()
+        table.insert(1, 1)
+        table.insert(1, 2)
+        assert table.get(1) == 2
+        assert len(table) == 1
+
+    def test_remove(self):
+        table = FallbackTable()
+        table.insert(1, 1)
+        table.remove(1)
+        assert table.get(1) is None
+
+    def test_remove_absent_is_noop(self):
+        FallbackTable().remove(99)
+
+    def test_insert_many_and_items(self):
+        table = FallbackTable()
+        table.insert_many([(1, 10), (2, 20)])
+        assert sorted(table.items()) == [(1, 10), (2, 20)]
+
+    def test_size_bits(self):
+        table = FallbackTable()
+        assert table.size_bits() == 0
+        table.insert(1, 1)
+        assert table.size_bits() == FallbackTable.ENTRY_BITS
+
+    def test_clear(self):
+        table = FallbackTable()
+        table.insert(1, 1)
+        table.clear()
+        assert len(table) == 0

@@ -1,0 +1,142 @@
+"""End-to-end tests for the LTE-to-Internet gateway (repro.epc.gateway)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Architecture
+from repro.epc import EpcGateway, FlowGenerator
+from repro.epc.packets import build_downstream_frame, parse_ip
+from repro.epc.traffic import GATEWAY_MAC, GENERATOR_MAC
+from repro.epc.tunnels import GtpTunnelEndpoint
+
+GW_IP = parse_ip("192.0.2.1")
+
+
+@pytest.fixture(scope="module")
+def started_gateway():
+    gen = FlowGenerator(seed=7)
+    gateway = EpcGateway(Architecture.SCALEBRICKS, 4, GW_IP)
+    flows = gen.populate(gateway, 1_500)
+    gateway.start()
+    return gateway, gen, flows
+
+
+def frame_for(flow, payload=b"data"):
+    return build_downstream_frame(GENERATOR_MAC, GATEWAY_MAC, flow, payload)
+
+
+class TestDownstream:
+    def test_known_flow_gets_tunnelled(self, started_gateway):
+        gateway, _, flows = started_gateway
+        result, tunnelled = gateway.process_downstream(frame_for(flows[0]))
+        assert result.delivered
+        assert tunnelled is not None
+        record = gateway.controller.record_for_key(flows[0].key())
+        teid, inner, outer = GtpTunnelEndpoint.decapsulate(tunnelled)
+        assert teid == record.teid
+        assert outer.src == GW_IP
+        assert outer.dst == record.base_station_ip
+
+    def test_inner_ttl_decremented(self, started_gateway):
+        gateway, _, flows = started_gateway
+        _, tunnelled = gateway.process_downstream(frame_for(flows[1]))
+        _, inner, _ = GtpTunnelEndpoint.decapsulate(tunnelled)
+        from repro.epc.packets import Ipv4Header
+
+        header, _ = Ipv4Header.parse(inner)
+        assert header.ttl == 63  # generator frames start at 64
+
+    def test_unknown_flow_dropped(self, started_gateway):
+        gateway, gen, flows = started_gateway
+        stranger = gen.flows(1)[0]
+        assert stranger.key() not in gateway.controller.flows
+        before = gateway.stats.dropped_unknown_flow
+        result, tunnelled = gateway.process_downstream(frame_for(stranger))
+        assert result.dropped and tunnelled is None
+        assert gateway.stats.dropped_unknown_flow == before + 1
+
+    def test_acl_blocks_sources(self, started_gateway):
+        gateway, _, flows = started_gateway
+        gateway.acl_blocked_sources.add(flows[2].src_ip)
+        try:
+            result, tunnelled = gateway.process_downstream(frame_for(flows[2]))
+            assert tunnelled is None and result.reason == "acl"
+        finally:
+            gateway.acl_blocked_sources.clear()
+
+    def test_charging_accumulates(self, started_gateway):
+        gateway, _, flows = started_gateway
+        record = gateway.controller.record_for_key(flows[3].key())
+        before = gateway.stats.bytes_charged.get(record.teid, 0)
+        gateway.process_downstream(frame_for(flows[3], payload=b"x" * 100))
+        after = gateway.stats.bytes_charged[record.teid]
+        assert after - before >= 100
+
+
+class TestUpstream:
+    def test_upstream_roundtrip(self, started_gateway):
+        gateway, _, flows = started_gateway
+        _, tunnelled = gateway.process_downstream(frame_for(flows[4]))
+        forwarded = gateway.process_upstream(tunnelled)
+        assert forwarded is not None
+        assert gateway.stats.upstream_forwarded >= 1
+
+    def test_bad_teid_dropped(self, started_gateway):
+        gateway, _, flows = started_gateway
+        record = gateway.controller.record_for_key(flows[5].key())
+        endpoint = GtpTunnelEndpoint(local_ip=GW_IP, peer_ip=record.base_station_ip)
+        from repro.epc.packets import Ipv4Header, PROTO_UDP
+
+        inner = Ipv4Header(
+            src=1, dst=2, protocol=PROTO_UDP, total_length=28
+        ).pack() + b"\x00" * 8
+        bogus = endpoint.encapsulate(0x7FFFFFFF, inner)
+        before = gateway.stats.dropped_bad_tunnel
+        assert gateway.process_upstream(bogus) is None
+        assert gateway.stats.dropped_bad_tunnel == before + 1
+
+    def test_garbage_dropped(self, started_gateway):
+        gateway, _, _ = started_gateway
+        assert gateway.process_upstream(b"\x00" * 64) is None
+
+
+class TestLifecycle:
+    def test_not_started_raises(self):
+        gateway = EpcGateway(Architecture.SCALEBRICKS, 4, GW_IP)
+        gen = FlowGenerator(seed=8)
+        flow = gen.flows(1)[0]
+        gateway.connect(flow, gen.base_station_for(flow))
+        with pytest.raises(RuntimeError):
+            gateway.process_downstream(frame_for(flow))
+
+    def test_live_connect_and_disconnect(self, started_gateway):
+        gateway, gen, _ = started_gateway
+        flow = gen.flows(1)[0]
+        record = gateway.connect(flow, gen.base_station_for(flow))
+        result, tunnelled = gateway.process_downstream(frame_for(flow))
+        assert tunnelled is not None and result.value == record.teid
+        assert gateway.disconnect(flow)
+        result, tunnelled = gateway.process_downstream(frame_for(flow))
+        assert tunnelled is None
+        assert not gateway.disconnect(flow)
+
+    def test_memory_report(self, started_gateway):
+        gateway, _, _ = started_gateway
+        report = gateway.memory_report()
+        assert len(report) == 4
+        assert all(entry["gpt_bytes"] > 0 for entry in report)
+
+
+@pytest.mark.parametrize(
+    "arch", [Architecture.FULL_DUPLICATION, Architecture.HASH_PARTITION]
+)
+def test_other_architectures_forward_identically(arch):
+    gen = FlowGenerator(seed=9)
+    gateway = EpcGateway(arch, 4, GW_IP)
+    flows = gen.populate(gateway, 600)
+    gateway.start()
+    for flow in flows[:40]:
+        result, tunnelled = gateway.process_downstream(frame_for(flow))
+        assert tunnelled is not None
+        record = gateway.controller.record_for_key(flow.key())
+        assert result.value == record.teid

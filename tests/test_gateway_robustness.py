@@ -1,0 +1,102 @@
+"""Fuzz/robustness: the gateway must drop garbage, never crash."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Architecture
+from repro.epc import EpcGateway, FlowGenerator
+from repro.epc.packets import parse_ip
+from repro.epc.traffic import GATEWAY_MAC, GENERATOR_MAC
+
+
+@pytest.fixture(scope="module")
+def hardened_gateway():
+    gen = FlowGenerator(seed=1700)
+    gateway = EpcGateway(Architecture.SCALEBRICKS, 4, parse_ip("192.0.2.1"))
+    flows = gen.populate(gateway, 400)
+    gateway.start()
+    return gateway, gen, flows
+
+
+class TestMalformedDownstream:
+    def test_random_bytes_dropped(self, hardened_gateway):
+        gateway, _, _ = hardened_gateway
+        rng = np.random.default_rng(1)
+        before = gateway.stats.dropped_malformed
+        for _ in range(50):
+            junk = bytes(rng.integers(0, 256, size=rng.integers(0, 80)))
+            result, tunnelled = gateway.process_downstream(junk)
+            assert tunnelled is None
+            assert result.dropped
+        assert gateway.stats.dropped_malformed == before + 50
+
+    def test_truncated_valid_frame_dropped(self, hardened_gateway):
+        gateway, gen, flows = hardened_gateway
+        from repro.epc.packets import build_downstream_frame
+
+        frame = build_downstream_frame(
+            GENERATOR_MAC, GATEWAY_MAC, flows[0], b"payload"
+        )
+        for cut in (3, 14, 20, 33):
+            result, tunnelled = gateway.process_downstream(frame[:cut])
+            assert tunnelled is None and result.dropped
+
+    def test_corrupted_checksum_dropped(self, hardened_gateway):
+        gateway, gen, flows = hardened_gateway
+        from repro.epc.packets import build_downstream_frame
+
+        frame = bytearray(
+            build_downstream_frame(GENERATOR_MAC, GATEWAY_MAC, flows[0], b"p")
+        )
+        frame[20] ^= 0xFF  # inside the IPv4 header
+        result, tunnelled = gateway.process_downstream(bytes(frame))
+        assert tunnelled is None and result.dropped
+
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(junk=st.binary(min_size=0, max_size=120))
+    def test_property_never_crashes(self, hardened_gateway, junk):
+        gateway, _, _ = hardened_gateway
+        result, tunnelled = gateway.process_downstream(junk)
+        # Either parsed as a (fluke) valid unknown flow and dropped, or
+        # dropped as malformed; never an exception, never forwarded.
+        assert tunnelled is None
+        assert result.dropped
+
+
+class TestMalformedUpstream:
+    def test_random_bytes_dropped(self, hardened_gateway):
+        gateway, _, _ = hardened_gateway
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            junk = bytes(rng.integers(0, 256, size=rng.integers(0, 120)))
+            assert gateway.process_upstream(junk) is None
+
+    def test_valid_tunnel_corrupt_inner_dropped(self, hardened_gateway):
+        gateway, gen, flows = hardened_gateway
+        from repro.epc.packets import build_downstream_frame
+
+        frame = build_downstream_frame(
+            GENERATOR_MAC, GATEWAY_MAC, flows[1], b"payload"
+        )
+        _, tunnelled = gateway.process_downstream(frame)
+        corrupted = bytearray(tunnelled)
+        corrupted[40] ^= 0xFF  # inside the inner IPv4 header
+        before = gateway.stats.dropped_malformed
+        assert gateway.process_upstream(bytes(corrupted)) is None
+        assert gateway.stats.dropped_malformed == before + 1
+
+    def test_forwarding_still_works_after_fuzzing(self, hardened_gateway):
+        gateway, gen, flows = hardened_gateway
+        from repro.epc.packets import build_downstream_frame
+
+        frame = build_downstream_frame(
+            GENERATOR_MAC, GATEWAY_MAC, flows[2], b"ok"
+        )
+        result, tunnelled = gateway.process_downstream(frame)
+        assert tunnelled is not None and result.delivered

@@ -1,0 +1,122 @@
+"""Tests for the Global Partition Table (repro.gpt)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SetSepParams
+from repro.gpt.gpt import GlobalPartitionTable, rib_view
+from tests.conftest import unique_keys
+
+
+@pytest.fixture(scope="module")
+def gpt_setup():
+    keys = unique_keys(2_500, seed=40)
+    nodes = (keys % 4).astype(np.int64)
+    gpt, stats = GlobalPartitionTable.build(keys, nodes.tolist(), num_nodes=4)
+    return gpt, keys, nodes, stats
+
+
+class TestBuild:
+    def test_known_keys_map_to_their_nodes(self, gpt_setup):
+        gpt, keys, nodes, _ = gpt_setup
+        assert np.array_equal(gpt.lookup_batch(keys), nodes)
+
+    def test_scalar_lookup(self, gpt_setup):
+        gpt, keys, nodes, _ = gpt_setup
+        assert gpt.lookup(int(keys[0])) == nodes[0]
+
+    def test_value_bits_sized_for_cluster(self, gpt_setup):
+        gpt, _, _, _ = gpt_setup
+        assert gpt.setsep.params.value_bits == 2
+
+    def test_node_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalPartitionTable.build([1, 2], [0, 4], num_nodes=4)
+
+    def test_too_few_value_bits_rejected(self):
+        keys = unique_keys(100, seed=41)
+        from repro.core import build as build_setsep
+
+        setsep, _ = build_setsep(
+            keys, (keys % 2).astype(np.uint32), SetSepParams(value_bits=1)
+        )
+        with pytest.raises(ValueError):
+            GlobalPartitionTable(num_nodes=4, setsep=setsep)
+
+    def test_invalid_cluster_size(self, gpt_setup):
+        gpt, _, _, _ = gpt_setup
+        with pytest.raises(ValueError):
+            GlobalPartitionTable(num_nodes=0, setsep=gpt.setsep)
+
+
+class TestOneSidedError:
+    def test_unknown_keys_name_a_real_node(self, gpt_setup):
+        gpt, _, _, _ = gpt_setup
+        unknown = unique_keys(1_000, seed=42, low=2**62, high=2**63)
+        out = gpt.lookup_batch(unknown)
+        assert out.min() >= 0
+        assert out.max() < 4
+
+    def test_non_power_of_two_cluster(self):
+        keys = unique_keys(600, seed=43)
+        nodes = (keys % 3).astype(np.int64)
+        gpt, _ = GlobalPartitionTable.build(keys, nodes.tolist(), num_nodes=3)
+        assert np.array_equal(gpt.lookup_batch(keys), nodes)
+        unknown = unique_keys(500, seed=44, low=2**62, high=2**63)
+        assert gpt.lookup_batch(unknown).max() < 3
+
+
+class TestSizeAccounting:
+    def test_size_bits_consistent(self, gpt_setup):
+        gpt, keys, _, _ = gpt_setup
+        assert gpt.size_bits() == gpt.setsep.size_bits()
+        assert gpt.size_bytes() == gpt.setsep.size_bytes()
+        # Block rounding (3 blocks for 2 500 keys) inflates small inputs.
+        assert gpt.bits_per_key(len(keys)) == pytest.approx(3.5, rel=0.35)
+
+    def test_gpt_much_smaller_than_explicit_table(self, gpt_setup):
+        gpt, keys, _, _ = gpt_setup
+        explicit_bits = len(keys) * (64 + 2)  # keys + values
+        assert gpt.size_bits() < explicit_bits / 10
+
+
+class TestUpdates:
+    def test_copy_replicas_are_independent(self, gpt_setup):
+        gpt, keys, nodes, _ = gpt_setup
+        replica = gpt.copy()
+        target = int(keys[3])
+        group = gpt.group_of(target)
+        view = rib_view(keys, nodes.tolist(), gpt)[group]
+        view[target] = (int(nodes[3]) + 1) % 4
+        delta = gpt.rebuild_group(
+            group, list(view.keys()), list(view.values())
+        )
+        # Owner updated, replica not yet.
+        assert gpt.lookup(target) == (int(nodes[3]) + 1) % 4
+        assert replica.lookup(target) == nodes[3]
+        replica.apply_delta(delta)
+        assert replica.lookup(target) == (int(nodes[3]) + 1) % 4
+        # Restore the original mapping for other tests sharing the fixture.
+        view[target] = int(nodes[3])
+        restore = gpt.rebuild_group(
+            group, list(view.keys()), list(view.values())
+        )
+        replica.apply_delta(restore)
+
+    def test_block_of_matches_setsep(self, gpt_setup):
+        gpt, keys, _, _ = gpt_setup
+        assert gpt.block_of(int(keys[0])) == gpt.setsep.block_of(int(keys[0]))
+
+
+class TestRibView:
+    def test_groups_cover_all_keys(self, gpt_setup):
+        gpt, keys, nodes, _ = gpt_setup
+        view = rib_view(keys, nodes.tolist(), gpt)
+        total = sum(len(v) for v in view.values())
+        assert total == len(keys)
+
+    def test_view_entries_match_input(self, gpt_setup):
+        gpt, keys, nodes, _ = gpt_setup
+        view = rib_view(keys, nodes.tolist(), gpt)
+        group = gpt.group_of(int(keys[0]))
+        assert view[group][int(keys[0])] == nodes[0]

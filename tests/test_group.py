@@ -1,0 +1,148 @@
+"""Tests for the per-group brute-force search (repro.core.group)."""
+
+import numpy as np
+import pytest
+
+from repro.core import group as G
+from repro.core import hashfamily as hf
+from repro.core.params import SetSepParams
+
+
+def make_group(n, seed=1, value_bits=1):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(1, 2**63, size=n, dtype=np.uint64)
+    values = rng.integers(0, 1 << value_bits, size=n).astype(np.uint32)
+    g1, g2 = hf.base_hashes(keys)
+    return keys, values, g1, g2
+
+
+class TestSearchBit:
+    def test_found_function_separates_all_keys(self):
+        _, values, g1, g2 = make_group(16)
+        found = G.search_bit(g1, g2, values, m=8, max_index=65535)
+        assert found is not None
+        for j in range(len(values)):
+            bit = G.lookup_bit(int(g1[j]), int(g2[j]), found.index, found.array, 8)
+            assert bit == values[j]
+
+    def test_empty_group_trivially_succeeds(self):
+        found = G.search_bit(
+            np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.uint64),
+            np.zeros(0, dtype=np.int64), m=8, max_index=16,
+        )
+        assert found == G.GroupFunction(index=0, array=0, iterations=0)
+
+    def test_single_key_succeeds_immediately(self):
+        _, values, g1, g2 = make_group(1)
+        found = G.search_bit(g1, g2, values, m=8, max_index=65535)
+        assert found is not None
+        assert found.iterations <= 4
+
+    def test_iterations_counts_winner(self):
+        _, values, g1, g2 = make_group(16, seed=3)
+        found = G.search_bit(g1, g2, values, m=8, max_index=65535)
+        assert found.iterations == found.index + 1
+
+    def test_m1_with_conflicting_bits_fails(self):
+        # With one slot, two keys with different bits can never separate.
+        _, _, g1, g2 = make_group(2, seed=4)
+        bits = np.array([0, 1])
+        assert G.search_bit(g1, g2, bits, m=1, max_index=1024) is None
+
+    def test_m1_with_agreeing_bits_succeeds(self):
+        _, _, g1, g2 = make_group(4, seed=5)
+        bits = np.ones(4, dtype=np.int64)
+        found = G.search_bit(g1, g2, bits, m=1, max_index=16)
+        assert found is not None
+        assert found.array == 1
+
+    def test_all_zero_bits_store_zero_array(self):
+        _, _, g1, g2 = make_group(8, seed=6)
+        bits = np.zeros(8, dtype=np.int64)
+        found = G.search_bit(g1, g2, bits, m=8, max_index=256)
+        assert found is not None
+        assert found.array == 0
+
+    def test_larger_m_needs_fewer_iterations(self):
+        totals = {}
+        for m in (4, 16):
+            total = 0
+            for seed in range(12):
+                _, values, g1, g2 = make_group(16, seed=seed)
+                found = G.search_bit(g1, g2, values, m=m, max_index=1 << 20)
+                total += found.iterations
+            totals[m] = total
+        assert totals[16] < totals[4]
+
+    def test_chunk_size_does_not_change_result(self):
+        _, values, g1, g2 = make_group(16, seed=7)
+        a = G.search_bit(g1, g2, values, m=8, max_index=65535, chunk=8)
+        b = G.search_bit(g1, g2, values, m=8, max_index=65535, chunk=1024)
+        assert a == b
+
+
+class TestSearchGroup:
+    def test_multi_bit_values_roundtrip(self):
+        params = SetSepParams(value_bits=3)
+        _, values, g1, g2 = make_group(12, seed=8, value_bits=3)
+        functions = G.search_group(g1, g2, values, params)
+        assert functions is not None
+        assert len(functions) == 3
+        for j in range(len(values)):
+            got = 0
+            for bit, fn in enumerate(functions):
+                got |= G.lookup_bit(
+                    int(g1[j]), int(g2[j]), fn.index, fn.array,
+                    params.array_bits,
+                ) << bit
+            assert got == values[j]
+
+    def test_failure_propagates_as_none(self):
+        params = SetSepParams(index_bits=2, array_bits=1, value_bits=1)
+        _, _, g1, g2 = make_group(8, seed=9)
+        values = np.arange(8, dtype=np.uint32) % 2
+        assert G.search_group(g1, g2, values, params) is None
+
+
+class TestSearchJoint:
+    def test_joint_function_maps_all_values(self):
+        value_bits = 2
+        _, values, g1, g2 = make_group(6, seed=10, value_bits=value_bits)
+        found = G.search_joint(
+            g1, g2, values, value_bits, m=16, max_index=1 << 22
+        )
+        assert found is not None
+        cell_mask = (1 << value_bits) - 1
+        pos = hf.positions(hf.family_values(g1, g2, found.index), 16)
+        for j, slot in enumerate(pos):
+            got = (found.array >> (int(slot) * value_bits)) & cell_mask
+            assert got == values[j]
+
+    def test_joint_slower_than_split(self):
+        # Figure 4's claim: one function to multi-bit values needs orders
+        # of magnitude more iterations than one function per bit.
+        params = SetSepParams(value_bits=2, array_bits=8)
+        joint_total, split_total = 0, 0
+        for seed in range(8):
+            _, values, g1, g2 = make_group(10, seed=seed, value_bits=2)
+            joint = G.search_joint(g1, g2, values, 2, m=8, max_index=1 << 22)
+            split = G.search_group(g1, g2, values, params)
+            assert joint is not None and split is not None
+            joint_total += joint.iterations
+            split_total += sum(f.iterations for f in split)
+        assert joint_total > 2 * split_total
+
+    def test_empty_group(self):
+        empty = np.zeros(0, dtype=np.uint64)
+        found = G.search_joint(empty, empty, empty, 2, m=8, max_index=4)
+        assert found.iterations == 0
+
+
+class TestHelpers:
+    def test_expected_iterations_decreases_with_m(self):
+        small = G.expected_iterations(12, m=4, trials=30, seed=2)
+        large = G.expected_iterations(12, m=24, trials=30, seed=2)
+        assert large < small
+
+    def test_index_entropy_positive(self):
+        assert G.index_entropy_bits(8, m=8, trials=20) > 0.0

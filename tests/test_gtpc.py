@@ -1,0 +1,168 @@
+"""Tests for the GTPv2-C control-plane codec (repro.epc.gtpc)."""
+
+import pytest
+
+from repro.epc.controller import EpcController
+from repro.epc.gtpc import (
+    Cause,
+    GtpcMessage,
+    GtpcSessionHandler,
+    IeType,
+    InformationElement,
+    MessageType,
+    cause_ie,
+    create_session_request,
+    decode_cause,
+    decode_fteid,
+    decode_imsi,
+    delete_session_request,
+    fteid_ie,
+    imsi_ie,
+)
+from repro.epc.packets import FlowTuple, PROTO_UDP, parse_ip
+
+
+def sample_flow(i: int = 0) -> FlowTuple:
+    return FlowTuple(
+        parse_ip("203.0.113.10") + i, parse_ip("10.0.0.10") + i,
+        PROTO_UDP, 4000 + i, 5000,
+    )
+
+
+class TestIes:
+    def test_imsi_roundtrip_even_and_odd_lengths(self):
+        for imsi in ("001010123456789", "00101012345678", "123456"):
+            assert decode_imsi(imsi_ie(imsi)) == imsi
+
+    def test_imsi_validation(self):
+        with pytest.raises(ValueError):
+            imsi_ie("12ab")
+        with pytest.raises(ValueError):
+            imsi_ie("12345")  # too short
+
+    def test_fteid_roundtrip(self):
+        ie = fteid_ie(0xCAFE, parse_ip("172.16.1.1"))
+        assert decode_fteid(ie) == (0xCAFE, parse_ip("172.16.1.1"))
+
+    def test_cause_roundtrip(self):
+        assert decode_cause(cause_ie(Cause.REQUEST_ACCEPTED)) == \
+            Cause.REQUEST_ACCEPTED
+
+    def test_ie_tlv_roundtrip(self):
+        ie = InformationElement(200, 3, b"\x01\x02\x03")
+        parsed, rest = InformationElement.parse(ie.pack() + b"xx")
+        assert parsed == ie
+        assert rest == b"xx"
+
+    def test_truncated_ie(self):
+        with pytest.raises(ValueError):
+            InformationElement.parse(b"\x01\x00")
+        with pytest.raises(ValueError):
+            InformationElement.parse(b"\x01\x00\x05\x00\x01")
+
+
+class TestMessageCodec:
+    def test_header_roundtrip(self):
+        message = GtpcMessage(
+            MessageType.CREATE_SESSION_RESPONSE,
+            teid=0xABCD,
+            sequence=0x123456,
+            ies=(cause_ie(Cause.REQUEST_ACCEPTED),),
+        )
+        parsed = GtpcMessage.parse(message.pack())
+        assert parsed == message
+
+    def test_rejects_wrong_version(self):
+        raw = bytearray(
+            GtpcMessage(MessageType.DELETE_SESSION_REQUEST, 1, 1).pack()
+        )
+        raw[0] = 0x30  # version 1
+        with pytest.raises(ValueError, match="GTPv2"):
+            GtpcMessage.parse(bytes(raw))
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            GtpcMessage.parse(b"\x48\x20\x00")
+
+    def test_find(self):
+        request = create_session_request(
+            7, "001010000000001", sample_flow(), parse_ip("172.16.0.5"), 9
+        )
+        assert request.find(IeType.IMSI) is not None
+        assert request.find(IeType.FTEID) is not None
+        assert request.find(IeType.CAUSE) is None
+
+
+class TestSessionHandler:
+    @pytest.fixture()
+    def handler(self):
+        controller = EpcController(num_nodes=4)
+        return GtpcSessionHandler(controller, parse_ip("192.0.2.1")), controller
+
+    def test_create_session_establishes_bearer(self, handler):
+        sessions, controller = handler
+        request = create_session_request(
+            1, "001010000000001", sample_flow(), parse_ip("172.16.0.5"), 100
+        )
+        response = GtpcMessage.parse(sessions.handle(request.pack()))
+        assert response.message_type == MessageType.CREATE_SESSION_RESPONSE
+        assert response.sequence == 1
+        assert decode_cause(response.find(IeType.CAUSE)) == \
+            Cause.REQUEST_ACCEPTED
+        teid, gw_ip = decode_fteid(response.find(IeType.FTEID))
+        assert gw_ip == parse_ip("192.0.2.1")
+        record = controller.record_for_teid(teid)
+        assert record is not None
+        assert record.flow == sample_flow()
+        assert record.base_station_ip == parse_ip("172.16.0.5")
+
+    def test_duplicate_create_rejected_with_cause(self, handler):
+        sessions, _ = handler
+        request = create_session_request(
+            1, "001010000000001", sample_flow(), parse_ip("172.16.0.5"), 100
+        )
+        sessions.handle(request.pack())
+        response = GtpcMessage.parse(sessions.handle(request.pack()))
+        assert decode_cause(response.find(IeType.CAUSE)) == \
+            Cause.NO_RESOURCES_AVAILABLE
+
+    def test_delete_session(self, handler):
+        sessions, controller = handler
+        request = create_session_request(
+            1, "001010000000001", sample_flow(), parse_ip("172.16.0.5"), 100
+        )
+        response = GtpcMessage.parse(sessions.handle(request.pack()))
+        teid, _ = decode_fteid(response.find(IeType.FTEID))
+
+        deletion = delete_session_request(2, teid)
+        delete_response = GtpcMessage.parse(sessions.handle(deletion.pack()))
+        assert decode_cause(delete_response.find(IeType.CAUSE)) == \
+            Cause.REQUEST_ACCEPTED
+        assert controller.record_for_teid(teid) is None
+        assert len(controller) == 0
+
+    def test_delete_unknown_session(self, handler):
+        sessions, _ = handler
+        response = GtpcMessage.parse(
+            sessions.handle(delete_session_request(3, 9999).pack())
+        )
+        assert decode_cause(response.find(IeType.CAUSE)) == \
+            Cause.CONTEXT_NOT_FOUND
+
+    def test_unsupported_message_type(self, handler):
+        sessions, _ = handler
+        bogus = GtpcMessage(99, teid=0, sequence=1)
+        with pytest.raises(ValueError, match="unsupported"):
+            sessions.handle(bogus.pack())
+
+    def test_many_sessions(self, handler):
+        sessions, controller = handler
+        for i in range(50):
+            request = create_session_request(
+                i, "001010000000001", sample_flow(i),
+                parse_ip("172.16.0.5"), 100 + i,
+            )
+            response = GtpcMessage.parse(sessions.handle(request.pack()))
+            assert decode_cause(response.find(IeType.CAUSE)) == \
+                Cause.REQUEST_ACCEPTED
+        assert len(controller) == 50

@@ -1,0 +1,138 @@
+"""Tests for the mesh fabric and cluster membership changes."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Architecture, Cluster
+from repro.cluster.mesh import MeshFabric
+from repro.cluster.membership import capacity_after_resize, resize
+from tests.conftest import unique_keys
+
+
+class TestMeshFabric:
+    def test_full_link_set(self):
+        mesh = MeshFabric(4)
+        assert len(mesh.links) == 12  # n*(n-1) directed links
+
+    def test_direct_send_accounting(self):
+        mesh = MeshFabric(3)
+        latency = mesh.send_direct(0, 2, size=100)
+        assert latency == mesh.link_latency_us
+        assert mesh.links[(0, 2)].packets == 1
+        assert mesh.links[(0, 2)].bytes == 100
+
+    def test_self_send_free(self):
+        mesh = MeshFabric(3)
+        assert mesh.send_direct(1, 1) == 0.0
+
+    def test_vlb_takes_two_links(self):
+        mesh = MeshFabric(4)
+        mid, latency = mesh.send_vlb(0, 1, size=64)
+        assert mid not in (0, 1)
+        assert latency == 2 * mesh.link_latency_us
+        assert mesh.total_internal_bytes() == 128  # the 2R effect
+
+    def test_vlb_doubles_internal_bytes_vs_direct(self):
+        """§3.1: VLB needs 2x internal bandwidth."""
+        rng = np.random.default_rng(0)
+        direct = MeshFabric(6, seed=1)
+        vlb = MeshFabric(6, seed=1)
+        for _ in range(500):
+            src, dst = rng.choice(6, size=2, replace=False)
+            direct.send_direct(int(src), int(dst), 64)
+            vlb.send_vlb(int(src), int(dst), 64)
+        assert vlb.total_internal_bytes() == 2 * direct.total_internal_bytes()
+
+    def test_vlb_spreads_load_evenly(self):
+        mesh = MeshFabric(6, seed=2)
+        rng = np.random.default_rng(3)
+        for _ in range(4_000):
+            src, dst = rng.choice(6, size=2, replace=False)
+            mesh.send_vlb(int(src), int(dst))
+        assert mesh.link_load_imbalance() < 1.5
+
+    def test_two_node_degenerate_vlb(self):
+        mesh = MeshFabric(2)
+        mid, latency = mesh.send_vlb(0, 1)
+        assert mid == 1
+        assert latency == mesh.link_latency_us
+
+    def test_capacity_rule(self):
+        assert MeshFabric(4).per_node_capacity_needed(10.0) == 20.0
+
+    def test_reset(self):
+        mesh = MeshFabric(3)
+        mesh.send_direct(0, 1)
+        mesh.reset()
+        assert mesh.total_internal_bytes() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeshFabric(1)
+        with pytest.raises(ValueError):
+            MeshFabric(3).send_direct(0, 5)
+
+
+class TestResize:
+    @pytest.fixture()
+    def base_cluster(self):
+        keys = unique_keys(2_000, seed=1000)
+        handlers = (keys % 4).astype(np.int64)
+        values = np.arange(2_000) + 1
+        cluster = Cluster.build(
+            Architecture.SCALEBRICKS, 4, keys, handlers, values
+        )
+        return cluster, keys, handlers, values
+
+    def test_grow_preserves_surviving_flows(self, base_cluster):
+        cluster, keys, handlers, values = base_cluster
+        grown, report = resize(cluster, 8)
+        assert report.old_nodes == 4 and report.new_nodes == 8
+        assert report.repinned_flows == 0  # all handlers still exist
+        for k, h, v in zip(keys[:300], handlers[:300], values[:300]):
+            result = grown.route(int(k), ingress=0)
+            assert result.handled_by == h
+            assert result.value == v
+
+    def test_grow_widens_gpt(self, base_cluster):
+        cluster, *_ = base_cluster
+        grown, report = resize(cluster, 8)
+        assert report.gpt_rebuilt_wider
+        assert grown.nodes[0].gpt.setsep.params.value_bits == 3
+
+    def test_shrink_repins_orphans(self, base_cluster):
+        cluster, keys, handlers, values = base_cluster
+        shrunk, report = resize(cluster, 2)
+        orphans = int((handlers >= 2).sum())
+        assert report.repinned_flows == orphans
+        # Every flow still forwards, somewhere valid.
+        for k, v in zip(keys[:300], values[:300]):
+            result = shrunk.route(int(k), ingress=0)
+            assert result.delivered
+            assert result.value == v
+            assert 0 <= result.handled_by < 2
+
+    def test_custom_repin(self, base_cluster):
+        cluster, keys, handlers, _ = base_cluster
+        shrunk, _ = resize(cluster, 3, repin=lambda key, old: 0)
+        orphan = next(
+            int(k) for k, h in zip(keys, handlers) if h == 3
+        )
+        assert shrunk.route(orphan, ingress=1).handled_by == 0
+
+    def test_bad_repin_rejected(self, base_cluster):
+        cluster, *_ = base_cluster
+        with pytest.raises(ValueError):
+            resize(cluster, 2, repin=lambda key, old: 7)
+
+    def test_invalid_size(self, base_cluster):
+        cluster, *_ = base_cluster
+        with pytest.raises(ValueError):
+            resize(cluster, 0)
+
+    def test_capacity_delta_helper(self):
+        m = 16 * 1024 * 1024 * 8
+        old, new = capacity_after_resize(m, 4, 8)
+        assert new > old  # growing 4 -> 8 helps
+        old, new = capacity_after_resize(m, 16, 17)
+        assert new < old  # crossing a power-of-two boundary hurts (§6.3)

@@ -1,0 +1,208 @@
+"""Tests for the byte-level packet codecs (repro.epc.packets)."""
+
+import struct
+
+import pytest
+
+from repro.epc.packets import (
+    ETHERTYPE_IPV4,
+    EthernetHeader,
+    FlowTuple,
+    GtpuHeader,
+    Ipv4Header,
+    PROTO_TCP,
+    PROTO_UDP,
+    UdpHeader,
+    build_downstream_frame,
+    extract_flow,
+    format_ip,
+    ipv4_checksum,
+    parse_frame,
+    parse_ip,
+)
+
+MAC_A = bytes(range(6))
+MAC_B = bytes(range(6, 12))
+
+
+class TestAddressHelpers:
+    def test_parse_format_roundtrip(self):
+        for text in ("0.0.0.0", "10.1.2.3", "255.255.255.255", "192.0.2.1"):
+            assert format_ip(parse_ip(text)) == text
+
+    def test_parse_rejects_bad_quads(self):
+        with pytest.raises(ValueError):
+            parse_ip("10.0.0")
+        with pytest.raises(ValueError):
+            parse_ip("10.0.0.256")
+
+    def test_checksum_of_valid_header_is_zero(self):
+        header = Ipv4Header(
+            src=parse_ip("1.2.3.4"), dst=parse_ip("5.6.7.8"),
+            protocol=PROTO_UDP, total_length=28,
+        ).pack()
+        assert ipv4_checksum(header) == 0
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        eth = EthernetHeader(dst=MAC_A, src=MAC_B)
+        parsed, rest = EthernetHeader.parse(eth.pack() + b"payload")
+        assert parsed == eth
+        assert rest == b"payload"
+
+    def test_ethertype_preserved(self):
+        eth = EthernetHeader(dst=MAC_A, src=MAC_B, ethertype=0x86DD)
+        parsed, _ = EthernetHeader.parse(eth.pack())
+        assert parsed.ethertype == 0x86DD
+
+    def test_bad_mac_length(self):
+        with pytest.raises(ValueError):
+            EthernetHeader(dst=b"\x00", src=MAC_B)
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            EthernetHeader.parse(b"\x00" * 10)
+
+
+class TestIpv4:
+    def make(self, **overrides):
+        fields = dict(
+            src=parse_ip("198.51.100.9"),
+            dst=parse_ip("10.0.0.1"),
+            protocol=PROTO_UDP,
+            total_length=40,
+            ttl=63,
+            identification=7,
+            dscp=0x2E,
+        )
+        fields.update(overrides)
+        return Ipv4Header(**fields)
+
+    def test_roundtrip(self):
+        header = self.make()
+        parsed, rest = Ipv4Header.parse(header.pack() + b"xx")
+        assert parsed == header
+        assert rest == b"xx"
+
+    def test_checksum_detects_corruption(self):
+        raw = bytearray(self.make().pack())
+        raw[8] ^= 0xFF  # flip TTL bits
+        with pytest.raises(ValueError, match="checksum"):
+            Ipv4Header.parse(bytes(raw))
+
+    def test_checksum_can_be_skipped(self):
+        raw = bytearray(self.make().pack())
+        raw[8] ^= 0xFF
+        parsed, _ = Ipv4Header.parse(bytes(raw), verify_checksum=False)
+        assert parsed.ttl == 63 ^ 0xFF
+
+    def test_rejects_non_ipv4(self):
+        raw = bytearray(self.make().pack())
+        raw[0] = (6 << 4) | 5
+        with pytest.raises(ValueError, match="IPv4"):
+            Ipv4Header.parse(bytes(raw))
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            Ipv4Header.parse(b"\x45" + b"\x00" * 10)
+
+    def test_ttl_decrement(self):
+        fresh = self.make(ttl=2).decrement_ttl()
+        assert fresh.ttl == 1
+        with pytest.raises(ValueError):
+            self.make(ttl=0).decrement_ttl()
+
+    def test_decrement_recomputes_checksum(self):
+        header = self.make().decrement_ttl()
+        parsed, _ = Ipv4Header.parse(header.pack())
+        assert parsed.ttl == 62
+
+
+class TestUdpAndGtpu:
+    def test_udp_roundtrip(self):
+        udp = UdpHeader(sport=2152, dport=2152, length=20, checksum=0)
+        parsed, rest = UdpHeader.parse(udp.pack() + b"z")
+        assert parsed == udp
+        assert rest == b"z"
+
+    def test_udp_truncated(self):
+        with pytest.raises(ValueError):
+            UdpHeader.parse(b"\x00" * 4)
+
+    def test_gtpu_roundtrip(self):
+        gtp = GtpuHeader(teid=0xDEADBEEF, length=100)
+        parsed, rest = GtpuHeader.parse(gtp.pack() + b"inner")
+        assert parsed == gtp
+        assert rest == b"inner"
+
+    def test_gtpu_version_checked(self):
+        raw = bytearray(GtpuHeader(teid=1, length=0).pack())
+        raw[0] = 0x50  # version 2
+        with pytest.raises(ValueError, match="GTPv1"):
+            GtpuHeader.parse(bytes(raw))
+
+    def test_gtpu_truncated(self):
+        with pytest.raises(ValueError):
+            GtpuHeader.parse(b"\x30\xff")
+
+
+class TestFlowTuple:
+    def flow(self):
+        return FlowTuple(
+            src_ip=parse_ip("198.51.100.9"),
+            dst_ip=parse_ip("10.0.0.1"),
+            protocol=PROTO_TCP,
+            sport=443,
+            dport=51000,
+        )
+
+    def test_key_is_deterministic(self):
+        assert self.flow().key() == self.flow().key()
+
+    def test_key_differs_per_field(self):
+        base = self.flow()
+        variants = [
+            FlowTuple(base.src_ip + 1, base.dst_ip, base.protocol, base.sport, base.dport),
+            FlowTuple(base.src_ip, base.dst_ip + 1, base.protocol, base.sport, base.dport),
+            FlowTuple(base.src_ip, base.dst_ip, PROTO_UDP, base.sport, base.dport),
+            FlowTuple(base.src_ip, base.dst_ip, base.protocol, base.sport + 1, base.dport),
+            FlowTuple(base.src_ip, base.dst_ip, base.protocol, base.sport, base.dport + 1),
+        ]
+        keys = {base.key()} | {v.key() for v in variants}
+        assert len(keys) == 6
+
+    def test_reversed_swaps_endpoints(self):
+        rev = self.flow().reversed()
+        assert rev.src_ip == self.flow().dst_ip
+        assert rev.sport == self.flow().dport
+        assert rev.reversed() == self.flow()
+
+    def test_str_mentions_addresses(self):
+        assert "198.51.100.9:443" in str(self.flow())
+
+
+class TestFrames:
+    def test_downstream_frame_roundtrip(self):
+        flow = FlowTuple(
+            parse_ip("203.0.113.5"), parse_ip("10.9.8.7"), PROTO_UDP, 53, 3333
+        )
+        frame = build_downstream_frame(MAC_A, MAC_B, flow, b"payload!")
+        eth, l3 = parse_frame(frame)
+        assert eth.ethertype == ETHERTYPE_IPV4
+        parsed_flow, ip_header, l4 = extract_flow(l3)
+        assert parsed_flow == flow
+        assert ip_header.total_length == len(l3)
+        assert l4.endswith(b"payload!")
+
+    def test_extract_flow_non_l4_protocol(self):
+        header = Ipv4Header(
+            src=1, dst=2, protocol=1, total_length=20  # ICMP
+        )
+        flow, _, _ = extract_flow(header.pack())
+        assert flow.sport == 0 and flow.dport == 0
+
+    def test_extract_flow_truncated_l4(self):
+        header = Ipv4Header(src=1, dst=2, protocol=PROTO_UDP, total_length=22)
+        with pytest.raises(ValueError, match="L4"):
+            extract_flow(header.pack() + b"\x00\x01")

@@ -1,0 +1,68 @@
+"""Tests for SetSep configuration (repro.core.params)."""
+
+import pytest
+
+from repro.core.params import SetSepParams
+
+
+class TestValidation:
+    def test_defaults_are_the_paper_config(self):
+        params = SetSepParams()
+        assert params.name == "16+8"
+        assert params.value_bits == 1
+
+    @pytest.mark.parametrize("field,value", [
+        ("index_bits", 0),
+        ("index_bits", 17),
+        ("array_bits", 0),
+        ("array_bits", 33),
+        ("value_bits", 0),
+        ("value_bits", 17),
+        ("assignment_trials", 0),
+        ("search_chunk", 0),
+    ])
+    def test_out_of_range_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            SetSepParams(**{field: value})
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SetSepParams().index_bits = 8  # type: ignore[misc]
+
+
+class TestDerivedQuantities:
+    def test_max_index(self):
+        assert SetSepParams(index_bits=16).max_index == 65535
+        assert SetSepParams(index_bits=8).max_index == 255
+
+    def test_group_bits_16_8(self):
+        assert SetSepParams(value_bits=1).group_bits == 24
+        assert SetSepParams(value_bits=2).group_bits == 48
+
+    def test_bits_per_key_1bit(self):
+        # 24 bits / 16 keys + 0.5 = 2.0 — the paper's 1-bit GPT cost.
+        assert SetSepParams(value_bits=1).bits_per_key() == pytest.approx(2.0)
+
+    def test_bits_per_key_2bit_is_3_5(self):
+        # The conclusion's "3.5 bits/key ... to 2-bit values".
+        assert SetSepParams(value_bits=2).bits_per_key() == pytest.approx(3.5)
+
+    def test_name_formats(self):
+        assert SetSepParams(index_bits=8, array_bits=16).name == "8+16"
+
+
+class TestForCluster:
+    @pytest.mark.parametrize("nodes,bits", [
+        (1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (16, 4),
+        (32, 5),
+    ])
+    def test_value_bits_sizing(self, nodes, bits):
+        assert SetSepParams.for_cluster(nodes).value_bits == bits
+
+    def test_invalid_cluster(self):
+        with pytest.raises(ValueError):
+            SetSepParams.for_cluster(0)
+
+    def test_overrides_forwarded(self):
+        params = SetSepParams.for_cluster(4, index_bits=12)
+        assert params.index_bits == 12

@@ -1,0 +1,88 @@
+"""Tests for the explicit Algorithm 1 pipeline (repro.core.pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SetSepParams, build
+from repro.core.pipeline import PipelineTrace, batched_lookup, chunked_lookup
+from tests.conftest import unique_keys
+
+
+@pytest.fixture(scope="module")
+def pipeline_setup():
+    keys = unique_keys(2_000, seed=800)
+    values = (keys % 4).astype(np.uint32)
+    setsep, _ = build(keys, values, SetSepParams(value_bits=2))
+    return setsep, keys, values
+
+
+class TestEquivalence:
+    def test_matches_fast_path(self, pipeline_setup):
+        setsep, keys, values = pipeline_setup
+        out = batched_lookup(setsep, keys)
+        assert np.array_equal(out, setsep.lookup_batch(keys))
+        assert np.array_equal(out, values)
+
+    def test_matches_on_unknown_keys(self, pipeline_setup):
+        setsep, _, _ = pipeline_setup
+        unknown = unique_keys(400, seed=801, low=2**62, high=2**63)
+        assert np.array_equal(
+            batched_lookup(setsep, unknown), setsep.lookup_batch(unknown)
+        )
+
+    def test_chunked_matches_single_batch(self, pipeline_setup):
+        setsep, keys, values = pipeline_setup
+        out, traces = chunked_lookup(setsep, keys, batch_size=17)
+        assert np.array_equal(out, values)
+        assert len(traces) == (len(keys) + 16) // 17
+
+    def test_empty_batch(self, pipeline_setup):
+        setsep, _, _ = pipeline_setup
+        out = batched_lookup(setsep, np.zeros(0, dtype=np.uint64))
+        assert out.shape == (0,)
+
+    def test_fallback_keys_served(self):
+        keys = unique_keys(900, seed=802)
+        values = (keys % 2).astype(np.uint32)
+        params = SetSepParams(index_bits=3, array_bits=2)
+        setsep, stats = build(keys, values, params)
+        assert stats.fallback_keys > 0
+        trace = PipelineTrace()
+        out = batched_lookup(setsep, keys, trace)
+        assert np.array_equal(out, values)
+        assert trace.fallback_probes > 0
+
+
+class TestTrace:
+    def test_stage_counts(self, pipeline_setup):
+        setsep, keys, _ = pipeline_setup
+        trace = PipelineTrace()
+        batched_lookup(setsep, keys[:100], trace)
+        assert trace.batch_size == 100
+        assert trace.stage1_hash_ops == 100
+        assert trace.stage2_choice_reads == 100
+        assert trace.stage3_group_reads == 100
+        assert trace.prefetches_issued == 200
+
+    def test_dependent_reads_match_model_parameter(self, pipeline_setup):
+        """The Figure 7 model charges 2 dependent reads per lookup; the
+        explicit pipeline's trace is where that number comes from."""
+        setsep, keys, _ = pipeline_setup
+        trace = PipelineTrace()
+        batched_lookup(setsep, keys[:500], trace)
+        assert trace.dependent_reads_per_lookup == pytest.approx(2.0)
+
+    def test_trace_accumulates_across_calls(self, pipeline_setup):
+        setsep, keys, _ = pipeline_setup
+        trace = PipelineTrace()
+        batched_lookup(setsep, keys[:50], trace)
+        batched_lookup(setsep, keys[50:100], trace)
+        assert trace.batch_size == 100
+
+    def test_empty_trace_ratio(self):
+        assert PipelineTrace().dependent_reads_per_lookup == 0.0
+
+    def test_invalid_chunk_size(self, pipeline_setup):
+        setsep, keys, _ = pipeline_setup
+        with pytest.raises(ValueError):
+            chunked_lookup(setsep, keys, batch_size=0)

@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import SetSepParams, build
+from repro.core.delta import GroupDelta
+from repro.epc.packets import (
+    FlowTuple,
+    GtpuHeader,
+    Ipv4Header,
+    UdpHeader,
+)
+from repro.epc.tunnels import GtpTunnelEndpoint
+from repro.hashtables import CuckooHashTable
+from repro.utils.bits import BitReader, BitWriter
+
+slow = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+key_sets = st.sets(
+    st.integers(min_value=1, max_value=2**63 - 1), min_size=1, max_size=400
+)
+
+
+class TestSetSepInvariant:
+    """The defining invariant: every inserted key maps to its value."""
+
+    @slow
+    @given(keys=key_sets, data=st.data())
+    def test_lookup_returns_inserted_value(self, keys, data):
+        keys = sorted(keys)
+        values = data.draw(
+            st.lists(
+                st.integers(0, 3),
+                min_size=len(keys),
+                max_size=len(keys),
+            )
+        )
+        setsep, _ = build(
+            np.asarray(keys, dtype=np.uint64),
+            np.asarray(values, dtype=np.uint32),
+            SetSepParams(value_bits=2),
+        )
+        assert np.array_equal(
+            setsep.lookup_batch(np.asarray(keys, dtype=np.uint64)),
+            np.asarray(values, dtype=np.uint32),
+        )
+
+    @slow
+    @given(keys=key_sets)
+    def test_unknown_lookup_never_raises(self, keys):
+        keys = sorted(keys)
+        setsep, _ = build(
+            np.asarray(keys, dtype=np.uint64),
+            np.zeros(len(keys), dtype=np.uint32),
+        )
+        probes = np.arange(2**63, 2**63 + 64, dtype=np.uint64)
+        out = setsep.lookup_batch(probes)
+        assert out.shape == (64,)
+
+
+class TestCuckooBehavesLikeDict:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete", "lookup"]),
+                st.integers(1, 40),
+                st.integers(0, 1000),
+            ),
+            max_size=200,
+        )
+    )
+    def test_matches_reference_dict(self, ops):
+        table = CuckooHashTable(capacity=128)
+        reference = {}
+        for op, key, value in ops:
+            if op == "insert":
+                table.insert(key, value)
+                reference[key] = value
+            elif op == "delete":
+                assert table.delete(key) == (key in reference)
+                reference.pop(key, None)
+            else:
+                assert table.lookup(key) == reference.get(key)
+            assert len(table) == len(reference)
+
+
+class TestBitsRoundtrip:
+    @given(
+        fields=st.lists(
+            st.tuples(st.integers(1, 64), st.data()),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_field_sequence_roundtrips(self, fields):
+        writer = BitWriter()
+        expected = []
+        for width, data in fields:
+            value = data.draw(st.integers(0, (1 << width) - 1))
+            writer.write(value, width)
+            expected.append((value, width))
+        reader = BitReader(writer.getvalue())
+        for value, width in expected:
+            assert reader.read(width) == value
+
+
+class TestDeltaRoundtrip:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        group_id=st.integers(0, 2**32 - 1),
+        failed=st.booleans(),
+        indices=st.lists(st.integers(0, 65535), min_size=2, max_size=2),
+        arrays=st.lists(st.integers(0, 255), min_size=2, max_size=2),
+        upserts=st.lists(
+            st.tuples(st.integers(0, 2**64 - 1), st.integers(0, 65535)),
+            max_size=5,
+        ),
+        removals=st.lists(st.integers(0, 2**64 - 1), max_size=5),
+    )
+    def test_wire_roundtrip(
+        self, group_id, failed, indices, arrays, upserts, removals
+    ):
+        params = SetSepParams(value_bits=2)
+        delta = GroupDelta(
+            group_id=group_id,
+            failed=failed,
+            indices=tuple(indices),
+            arrays=tuple(arrays),
+            fallback_upserts=tuple(upserts),
+            fallback_removals=tuple(removals),
+        )
+        assert GroupDelta.decode(delta.encode(params), params) == delta
+
+
+class TestPacketRoundtrips:
+    ip = st.integers(0, 2**32 - 1)
+    port = st.integers(0, 65535)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        src=ip, dst=ip, protocol=st.integers(0, 255),
+        length=st.integers(20, 65535), ttl=st.integers(1, 255),
+        ident=st.integers(0, 65535),
+    )
+    def test_ipv4(self, src, dst, protocol, length, ttl, ident):
+        header = Ipv4Header(
+            src=src, dst=dst, protocol=protocol,
+            total_length=length, ttl=ttl, identification=ident,
+        )
+        parsed, rest = Ipv4Header.parse(header.pack())
+        assert parsed == header and rest == b""
+
+    @settings(max_examples=60, deadline=None)
+    @given(sport=port, dport=port, length=st.integers(8, 65535))
+    def test_udp(self, sport, dport, length):
+        udp = UdpHeader(sport=sport, dport=dport, length=length)
+        assert UdpHeader.parse(udp.pack())[0] == udp
+
+    @settings(max_examples=60, deadline=None)
+    @given(teid=st.integers(0, 2**32 - 1), length=st.integers(0, 65535))
+    def test_gtpu(self, teid, length):
+        gtp = GtpuHeader(teid=teid, length=length)
+        assert GtpuHeader.parse(gtp.pack())[0] == gtp
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        teid=st.integers(1, 2**32 - 1),
+        payload=st.binary(min_size=0, max_size=64),
+        src=ip, dst=ip,
+    )
+    def test_tunnel_roundtrip(self, teid, payload, src, dst):
+        inner = Ipv4Header(
+            src=src, dst=dst, protocol=17,
+            total_length=20 + len(payload),
+        ).pack() + payload
+        endpoint = GtpTunnelEndpoint(local_ip=1, peer_ip=2)
+        got_teid, got_inner, _ = GtpTunnelEndpoint.decapsulate(
+            endpoint.encapsulate(teid, inner)
+        )
+        assert got_teid == teid and got_inner == inner
+
+    @settings(max_examples=60, deadline=None)
+    @given(src=ip, dst=ip, protocol=st.integers(0, 255), sport=port, dport=port)
+    def test_flow_key_stable_and_reversible(
+        self, src, dst, protocol, sport, dport
+    ):
+        flow = FlowTuple(src, dst, protocol, sport, dport)
+        again = FlowTuple(src, dst, protocol, sport, dport)
+        assert flow.key() == again.key()
+        assert flow.reversed().reversed() == flow
+
+
+class TestTwoLevelBalance:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_assignment_respects_candidates(self, seed):
+        from repro.core import twolevel as TL
+
+        rng = np.random.default_rng(seed)
+        sizes = rng.poisson(4.0, size=256)
+        choices, max_load = TL.assign_block(sizes, rng)
+        groups = TL.CANDIDATE_TABLE[np.arange(256), choices]
+        loads = np.bincount(groups, weights=sizes, minlength=64)
+        assert int(loads.max()) == max_load
+        assert loads.sum() == sizes.sum()

@@ -1,0 +1,149 @@
+"""Tests for the queueing model and pcap I/O."""
+
+import io
+
+import pytest
+
+from repro.epc import FlowGenerator
+from repro.epc.pcap import (
+    CapturedPacket,
+    PcapError,
+    PcapWriter,
+    load_pcap,
+    read_pcap,
+)
+from repro.epc.packets import parse_frame
+from repro.model.cache import XEON_E5_2697V2
+from repro.model.perf import cuckoo_model
+from repro.model.queueing import LoadLatencyModel, LoadPoint, md1_wait_us
+
+
+class TestMd1:
+    def test_zero_load_zero_wait(self):
+        assert md1_wait_us(1.0, 0.0) == 0.0
+
+    def test_wait_grows_without_bound_near_saturation(self):
+        assert md1_wait_us(1.0, 0.5) == pytest.approx(0.5)
+        assert md1_wait_us(1.0, 0.9) > md1_wait_us(1.0, 0.5) * 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            md1_wait_us(1.0, 1.0)
+        with pytest.raises(ValueError):
+            md1_wait_us(-1.0, 0.5)
+
+
+class TestLoadLatencyModel:
+    def make(self, design="scalebricks"):
+        return LoadLatencyModel(XEON_E5_2697V2, cuckoo_model(), design=design)
+
+    def test_latency_monotone_in_load(self):
+        model = self.make()
+        sweep = model.sweep(1_000_000, fractions=[0.1, 0.5, 0.9])
+        latencies = [p.latency_us for p in sweep]
+        assert None not in latencies
+        assert latencies == sorted(latencies)
+
+    def test_overload_reports_loss(self):
+        model = self.make()
+        point = model.point(1_000.0, 1_000_000)  # absurd offered load
+        assert point.saturated
+        assert 0.9 < point.loss_fraction < 1.0
+
+    def test_light_load_close_to_base_latency(self):
+        model = self.make()
+        light = model.point(0.1, 1_000_000)
+        heavy = model.point(
+            0.95 * LoadLatencyModel(
+                XEON_E5_2697V2, cuckoo_model()
+            )._capacity_mpps(1_000_000),
+            1_000_000,
+        )
+        assert light.latency_us < heavy.latency_us
+
+    def test_knee_below_capacity(self):
+        model = self.make()
+        base = model._base_latency_us(1_000_000)
+        knee = model.knee_mpps(1_000_000, latency_budget_us=base + 0.05)
+        capacity = model._capacity_mpps(1_000_000)
+        assert 0 < knee < capacity
+
+    def test_knee_zero_when_budget_unreachable(self):
+        model = self.make()
+        assert model.knee_mpps(1_000_000, latency_budget_us=1.0) == 0.0
+
+    def test_all_designs_supported(self):
+        for design in ("scalebricks", "full_duplication", "hash_partition"):
+            point = self.make(design).point(1.0, 1_000_000)
+            assert point.latency_us is not None
+
+    def test_unknown_design(self):
+        with pytest.raises(ValueError):
+            self.make("vlb").point(1.0, 1_000)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().point(-1.0, 1_000)
+
+
+class TestPcap:
+    def make_frames(self, count=10):
+        gen = FlowGenerator(seed=1200)
+        flows = gen.flows(4)
+        return gen.packet_stream(flows, count)
+
+    def test_roundtrip(self):
+        frames = self.make_frames()
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        assert writer.write_all(frames, interval_s=0.001) == len(frames)
+        assert writer.count == len(frames)
+
+        buffer.seek(0)
+        packets = load_pcap(buffer)
+        assert len(packets) == len(frames)
+        for original, captured in zip(frames, packets):
+            assert captured.data == original
+        # Timestamps are monotone at the configured gap.
+        times = [p.timestamp for p in packets]
+        assert times == sorted(times)
+        assert times[1] - times[0] == pytest.approx(0.001, abs=1e-6)
+
+    def test_frames_parse_after_roundtrip(self):
+        frames = self.make_frames(3)
+        buffer = io.BytesIO()
+        PcapWriter(buffer).write_all(frames)
+        buffer.seek(0)
+        for packet in read_pcap(buffer):
+            eth, l3 = parse_frame(packet.data)
+            assert eth.ethertype == 0x0800
+
+    def test_microsecond_carry(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(b"\x00" * 20, timestamp=1.9999999)
+        buffer.seek(0)
+        packet = load_pcap(buffer)[0]
+        assert packet.timestamp == pytest.approx(2.0)
+
+    def test_bad_magic(self):
+        with pytest.raises(PcapError, match="magic"):
+            load_pcap(io.BytesIO(b"\x00" * 24))
+
+    def test_truncated_header(self):
+        with pytest.raises(PcapError, match="global header"):
+            load_pcap(io.BytesIO(b"\x01"))
+
+    def test_truncated_record(self):
+        frames = self.make_frames(1)
+        buffer = io.BytesIO()
+        PcapWriter(buffer).write_all(frames)
+        data = buffer.getvalue()
+        with pytest.raises(PcapError):
+            load_pcap(io.BytesIO(data[:-5]))
+
+    def test_empty_capture(self):
+        buffer = io.BytesIO()
+        PcapWriter(buffer)
+        buffer.seek(0)
+        assert load_pcap(buffer) == []

@@ -1,0 +1,100 @@
+"""Tests for live flow re-homing with DPE state migration (§7 mobility)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Architecture
+from repro.epc import EpcGateway, FlowGenerator
+from repro.epc.packets import build_downstream_frame, parse_ip
+from repro.epc.traffic import GATEWAY_MAC, GENERATOR_MAC
+
+
+@pytest.fixture()
+def live_gateway():
+    gen = FlowGenerator(seed=950)
+    gateway = EpcGateway(Architecture.SCALEBRICKS, 4, parse_ip("192.0.2.1"))
+    flows = gen.populate(gateway, 600)
+    gateway.start()
+    return gateway, gen, flows
+
+
+def frame_for(flow, payload=b"payload!"):
+    return build_downstream_frame(GENERATOR_MAC, GATEWAY_MAC, flow, payload)
+
+
+class TestRehoming:
+    def test_traffic_follows_the_move(self, live_gateway):
+        gateway, _, flows = live_gateway
+        flow = flows[0]
+        old = gateway.controller.record_for_key(flow.key()).handling_node
+        new = (old + 2) % 4
+        record = gateway.rehome_flow(flow, new)
+        assert record.handling_node == new
+        result, tunnelled = gateway.process_downstream(frame_for(flow))
+        assert tunnelled is not None
+        assert result.handled_by == new
+        assert result.value == record.teid  # TEID is preserved
+
+    def test_charging_continues_across_the_move(self, live_gateway):
+        gateway, _, flows = live_gateway
+        flow = flows[1]
+        gateway.process_downstream(frame_for(flow, b"a" * 50))
+        record = gateway.controller.record_for_key(flow.key())
+        before = gateway.dpe.context(record.teid)
+        bytes_before = before.downlink_bytes
+        assert bytes_before > 0
+
+        new = (record.handling_node + 1) % 4
+        gateway.rehome_flow(flow, new)
+        gateway.process_downstream(frame_for(flow, b"b" * 50))
+        after = gateway.dpe.context(record.teid)
+        assert after.downlink_bytes > bytes_before
+        # The context physically lives at the new node's DPE now.
+        assert gateway.dpes[new].context(record.teid) is not None
+        old_node = record.handling_node
+        assert gateway.dpes[old_node].context(record.teid) is None
+
+    def test_old_node_fib_entry_removed(self, live_gateway):
+        gateway, _, flows = live_gateway
+        flow = flows[2]
+        record = gateway.controller.record_for_key(flow.key())
+        old = record.handling_node
+        gateway.rehome_flow(flow, (old + 1) % 4)
+        assert gateway.cluster.nodes[old].fib.lookup(flow.key()) is None
+
+    def test_rehome_to_same_node_is_noop(self, live_gateway):
+        gateway, _, flows = live_gateway
+        flow = flows[3]
+        record = gateway.controller.record_for_key(flow.key())
+        same = gateway.rehome_flow(flow, record.handling_node)
+        assert same == record
+
+    def test_upstream_still_accounted_after_move(self, live_gateway):
+        gateway, _, flows = live_gateway
+        flow = flows[4]
+        record = gateway.controller.record_for_key(flow.key())
+        new = (record.handling_node + 1) % 4
+        gateway.rehome_flow(flow, new)
+        _, tunnelled = gateway.process_downstream(frame_for(flow))
+        assert gateway.process_upstream(tunnelled) is not None
+        context = gateway.dpes[new].context(record.teid)
+        assert context.uplink_packets == 1
+
+    def test_validation(self, live_gateway):
+        gateway, gen, flows = live_gateway
+        with pytest.raises(ValueError):
+            gateway.rehome_flow(flows[5], 9)
+        stranger = gen.flows(1)[0]
+        with pytest.raises(KeyError):
+            gateway.rehome_flow(stranger, 1)
+
+    def test_disconnect_after_move_emits_cdr(self, live_gateway):
+        gateway, _, flows = live_gateway
+        flow = flows[6]
+        record = gateway.controller.record_for_key(flow.key())
+        gateway.process_downstream(frame_for(flow, b"c" * 30))
+        gateway.rehome_flow(flow, (record.handling_node + 1) % 4)
+        assert gateway.disconnect(flow)
+        cdrs = [r for r in gateway.dpe.records if r.teid == record.teid]
+        assert len(cdrs) == 1
+        assert cdrs[0].downlink_bytes > 0  # counters survived the move

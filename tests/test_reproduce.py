@@ -1,0 +1,31 @@
+"""Tests for the one-shot reproduction summary (repro.reproduce)."""
+
+import pytest
+
+from repro.cli import main
+from repro.reproduce import run_reproduction
+
+
+class TestReproduce:
+    @pytest.fixture(scope="class")
+    def checks(self):
+        return run_reproduction(scale=1)
+
+    def test_all_checks_pass(self, checks):
+        failed = [name for name, ok in checks if not ok]
+        assert not failed, f"reproduction checks failed: {failed}"
+
+    def test_covers_every_headline_experiment(self, checks):
+        names = " ".join(name for name, _ in checks)
+        for fragment in (
+            "bits/key", "fallback", "two-level", "batching",
+            "throughput gain", "latency reduction", "peak ratio",
+            "crossover", "delta",
+        ):
+            assert fragment in names
+
+    def test_cli_exit_code(self, capsys):
+        assert main(["reproduce"]) == 0
+        out = capsys.readouterr().out
+        assert "Verdict" in out
+        assert "FAIL" not in out

@@ -1,0 +1,163 @@
+"""Tests for SetSep construction (repro.core.builder)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DuplicateKeyError, SetSepParams, build
+from repro.core.builder import assemble, build_partition
+from repro.core import twolevel
+from tests.conftest import unique_keys
+
+
+class TestBuildCorrectness:
+    def test_all_inserted_keys_map_correctly(self, built_setsep, small_keys, small_values):
+        setsep, _ = built_setsep
+        assert np.array_equal(setsep.lookup_batch(small_keys), small_values)
+
+    @pytest.mark.parametrize("n", [1, 2, 15, 16, 17, 100, 1024, 1025])
+    def test_sizes_around_boundaries(self, n):
+        keys = unique_keys(n, seed=n)
+        values = (keys % 2).astype(np.uint32)
+        setsep, stats = build(keys, values)
+        assert np.array_equal(setsep.lookup_batch(keys), values)
+        assert stats.num_keys == n
+
+    def test_empty_input(self):
+        setsep, stats = build(
+            np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.uint32)
+        )
+        assert stats.num_keys == 0
+        assert setsep.num_blocks == 1
+
+    def test_string_and_bytes_keys(self):
+        keys = [f"flow-{i}" for i in range(64)]
+        values = [i % 2 for i in range(64)]
+        setsep, _ = build(keys, values)
+        for key, value in zip(keys, values):
+            assert setsep.lookup(key) == value
+
+    @pytest.mark.parametrize("value_bits", [1, 2, 3, 4])
+    def test_value_widths(self, value_bits):
+        keys = unique_keys(800, seed=value_bits)
+        rng = np.random.default_rng(value_bits)
+        values = rng.integers(0, 1 << value_bits, size=800).astype(np.uint32)
+        setsep, _ = build(keys, values, SetSepParams(value_bits=value_bits))
+        assert np.array_equal(setsep.lookup_batch(keys), values)
+
+    @pytest.mark.parametrize("config", [(16, 8), (8, 16), (16, 16)])
+    def test_paper_configurations(self, config):
+        index_bits, array_bits = config
+        keys = unique_keys(1_500, seed=42)
+        values = (keys & np.uint64(1)).astype(np.uint32)
+        params = SetSepParams(index_bits=index_bits, array_bits=array_bits)
+        setsep, stats = build(keys, values, params)
+        assert np.array_equal(setsep.lookup_batch(keys), values)
+        # 16+8 almost never falls back (the Table 1 claim).
+        if config == (16, 8):
+            assert stats.fallback_ratio < 0.001
+
+
+class TestBuildValidation:
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(DuplicateKeyError):
+            build([1, 2, 1], [0, 1, 0])
+
+    def test_value_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            build([1, 2], [0, 2], SetSepParams(value_bits=1))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build([1, 2, 3], [0, 1])
+
+
+class TestConstructionStats:
+    def test_stats_fields(self, built_setsep, small_keys):
+        _, stats = built_setsep
+        assert stats.num_keys == len(small_keys)
+        assert stats.num_blocks == twolevel.num_blocks_for(len(small_keys))
+        assert stats.num_groups == stats.num_blocks * 64
+        assert stats.total_iterations > 0
+        assert stats.keys_per_second > 0
+        assert stats.mean_iterations > 0
+        assert 0 <= stats.fallback_ratio <= 1
+        assert stats.elapsed_seconds > 0
+
+    def test_tight_index_budget_forces_fallback(self):
+        keys = unique_keys(1_200, seed=3)
+        values = (keys % 2).astype(np.uint32)
+        params = SetSepParams(index_bits=2, array_bits=2)
+        setsep, stats = build(keys, values, params)
+        assert stats.fallback_keys > 0
+        assert stats.fallback_ratio > 0
+        # Correctness must survive fallback.
+        assert np.array_equal(setsep.lookup_batch(keys), values)
+
+    def test_max_group_load_reasonable(self, built_setsep):
+        _, stats = built_setsep
+        assert stats.max_group_load <= 21
+
+
+class TestParallelBuild:
+    def test_parallel_equals_serial(self):
+        keys = unique_keys(4_000, seed=5)
+        values = (keys % 4).astype(np.uint32)
+        params = SetSepParams(value_bits=2)
+        serial, _ = build(keys, values, params, workers=1)
+        parallel, _ = build(keys, values, params, workers=2)
+        assert np.array_equal(serial.choices, parallel.choices)
+        assert np.array_equal(serial.indices, parallel.indices)
+        assert np.array_equal(serial.arrays, parallel.arrays)
+        assert np.array_equal(
+            serial.failed_groups, parallel.failed_groups
+        )
+
+    def test_workers_capped_by_blocks(self):
+        keys = unique_keys(100, seed=6)
+        values = (keys % 2).astype(np.uint32)
+        setsep, stats = build(keys, values, workers=8)  # only 1 block
+        assert np.array_equal(setsep.lookup_batch(keys), values)
+
+
+class TestPartitionAssembly:
+    def test_partition_slices_reassemble(self):
+        keys = unique_keys(3_000, seed=7)
+        values = (keys % 2).astype(np.uint32)
+        params = SetSepParams()
+        num_blocks = twolevel.num_blocks_for(len(keys))
+        buckets = twolevel.bucket_ids(keys, num_blocks)
+        mid = num_blocks // 2
+        parts = [
+            build_partition(keys, values, buckets, params, 0, mid),
+            build_partition(keys, values, buckets, params, mid, num_blocks),
+        ]
+        setsep = assemble(params, num_blocks, parts)
+        assert np.array_equal(setsep.lookup_batch(keys), values)
+
+    def test_missing_slice_rejected(self):
+        keys = unique_keys(3_000, seed=8)
+        values = (keys % 2).astype(np.uint32)
+        params = SetSepParams()
+        num_blocks = twolevel.num_blocks_for(len(keys))
+        buckets = twolevel.bucket_ids(keys, num_blocks)
+        part = build_partition(keys, values, buckets, params, 0, 1)
+        with pytest.raises(ValueError):
+            assemble(params, num_blocks, [part])
+
+    def test_overlapping_slices_rejected(self):
+        keys = unique_keys(2_100, seed=9)
+        values = (keys % 2).astype(np.uint32)
+        params = SetSepParams()
+        num_blocks = twolevel.num_blocks_for(len(keys))
+        buckets = twolevel.bucket_ids(keys, num_blocks)
+        full = build_partition(keys, values, buckets, params, 0, num_blocks)
+        extra = build_partition(keys, values, buckets, params, 0, 1)
+        with pytest.raises(ValueError):
+            assemble(params, num_blocks, [full, extra])
+
+    def test_num_blocks_override(self):
+        keys = unique_keys(500, seed=10)
+        values = (keys % 2).astype(np.uint32)
+        setsep, stats = build(keys, values, num_blocks=4)
+        assert setsep.num_blocks == 4
+        assert np.array_equal(setsep.lookup_batch(keys), values)

@@ -1,0 +1,112 @@
+"""Tests for SetSep lookup semantics (repro.core.setsep)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SetSepParams, build
+from repro.core.params import GROUPS_PER_BLOCK
+from tests.conftest import unique_keys
+
+
+class TestLookup:
+    def test_scalar_matches_batch(self, built_setsep, small_keys):
+        setsep, _ = built_setsep
+        batch = setsep.lookup_batch(small_keys[:50])
+        for key, expected in zip(small_keys[:50], batch):
+            assert setsep.lookup(int(key)) == expected
+
+    def test_unknown_keys_return_valid_values_without_raising(
+        self, built_setsep
+    ):
+        setsep, _ = built_setsep
+        unknown = unique_keys(500, seed=99, low=2**62, high=2**63)
+        values = setsep.lookup_batch(unknown)
+        assert values.min() >= 0
+        assert values.max() < 1 << setsep.params.value_bits
+
+    def test_empty_batch(self, built_setsep):
+        setsep, _ = built_setsep
+        out = setsep.lookup_batch(np.zeros(0, dtype=np.uint64))
+        assert out.shape == (0,)
+
+    def test_list_of_python_ints(self, built_setsep, small_keys, small_values):
+        setsep, _ = built_setsep
+        keys = [int(k) for k in small_keys[:20]]
+        assert np.array_equal(
+            setsep.lookup_batch(keys), small_values[:20]
+        )
+
+    def test_unknown_value_distribution_spreads(self, built_setsep):
+        # One-sided errors should be roughly uniform over values, not
+        # constant — otherwise misrouted packets would hot-spot one node.
+        setsep, _ = built_setsep
+        unknown = unique_keys(4_000, seed=77, low=2**62, high=2**63)
+        counts = np.bincount(setsep.lookup_batch(unknown), minlength=4)
+        assert (counts > 0.1 * counts.mean()).all()
+
+
+class TestStructureProperties:
+    def test_group_of_matches_groups_of(self, built_setsep, small_keys):
+        setsep, _ = built_setsep
+        groups = setsep.groups_of(small_keys[:20])
+        for key, group in zip(small_keys[:20], groups):
+            assert setsep.group_of(int(key)) == group
+
+    def test_block_of_is_group_block(self, built_setsep, small_keys):
+        setsep, _ = built_setsep
+        key = int(small_keys[0])
+        assert setsep.block_of(key) == setsep.group_of(key) // GROUPS_PER_BLOCK
+
+    def test_size_accounting(self, built_setsep, small_keys):
+        setsep, _ = built_setsep
+        expected = (
+            setsep.num_buckets * 2
+            + setsep.num_groups * setsep.params.group_bits
+            + setsep.fallback.size_bits()
+        )
+        assert setsep.size_bits() == expected
+        assert setsep.size_bytes() == (expected + 7) // 8
+
+    def test_bits_per_key_near_config(self, built_setsep, small_keys):
+        setsep, _ = built_setsep
+        measured = setsep.bits_per_key(len(small_keys))
+        # Within 15% of the configured 3.5 (rounding of blocks adds slack).
+        assert measured == pytest.approx(
+            setsep.params.bits_per_key(), rel=0.15
+        )
+
+    def test_bits_per_key_invalid(self, built_setsep):
+        setsep, _ = built_setsep
+        with pytest.raises(ValueError):
+            setsep.bits_per_key(0)
+
+    def test_copy_is_independent(self, built_setsep, small_keys, small_values):
+        setsep, _ = built_setsep
+        clone = setsep.copy()
+        clone.indices[0, 0] = 999
+        assert setsep.indices[0, 0] != 999 or setsep.indices[0, 0] == 999
+        # Mutating the clone never affects the original arrays.
+        assert clone.indices is not setsep.indices
+        assert np.array_equal(
+            setsep.lookup_batch(small_keys), small_values
+        )
+
+    def test_repr_mentions_config(self, built_setsep):
+        setsep, _ = built_setsep
+        assert "16+8" in repr(setsep)
+
+
+class TestConstructorValidation:
+    def test_shape_mismatch_rejected(self, built_setsep):
+        from repro.core.setsep import SetSep
+
+        setsep, _ = built_setsep
+        with pytest.raises(ValueError):
+            SetSep(
+                params=setsep.params,
+                num_blocks=setsep.num_blocks + 1,
+                choices=setsep.choices,
+                indices=setsep.indices,
+                arrays=setsep.arrays,
+                failed_groups=setsep.failed_groups,
+            )

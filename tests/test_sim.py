@@ -1,0 +1,139 @@
+"""Tests for the discrete-event simulator (repro.sim)."""
+
+import pytest
+
+from repro.model.cache import XEON_E5_2697V2
+from repro.model.perf import ForwardingModel, cuckoo_model
+from repro.sim import ClusterSimulation
+from repro.sim.events import EventQueue
+
+FLOWS = 8_000_000
+
+
+class TestEventQueue:
+    def test_executes_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(5.0, lambda: order.append("b"))
+        queue.schedule(1.0, lambda: order.append("a"))
+        queue.schedule(9.0, lambda: order.append("c"))
+        queue.run()
+        assert order == ["a", "b", "c"]
+        assert queue.now == 9.0
+
+    def test_ties_break_by_insertion(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(1.0, lambda: order.append(1))
+        queue.schedule(1.0, lambda: order.append(2))
+        queue.run()
+        assert order == [1, 2]
+
+    def test_until_bound(self):
+        queue = EventQueue()
+        hits = []
+        queue.schedule(1.0, lambda: hits.append(1))
+        queue.schedule(10.0, lambda: hits.append(2))
+        queue.run(until=5.0)
+        assert hits == [1]
+        assert queue.now == 5.0
+        assert len(queue) == 1
+
+    def test_events_scheduling_events(self):
+        queue = EventQueue()
+        hits = []
+
+        def chain():
+            hits.append(queue.now)
+            if len(hits) < 3:
+                queue.schedule(2.0, chain)
+
+        queue.schedule(1.0, chain)
+        queue.run()
+        assert hits == [1.0, 3.0, 5.0]
+
+    def test_past_scheduling_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.schedule(-1.0, lambda: None)
+        queue.schedule(5.0, lambda: None)
+        queue.run()
+        with pytest.raises(ValueError):
+            queue.schedule_at(1.0, lambda: None)
+
+
+class TestClusterSimulation:
+    def make(self, design, seed=1):
+        return ClusterSimulation(
+            design, XEON_E5_2697V2, cuckoo_model(),
+            num_flows=FLOWS, seed=seed,
+        )
+
+    def test_light_load_lossless(self):
+        report = self.make("scalebricks").offer_load(4.0, duration_us=800)
+        assert report.loss_fraction == 0.0
+        assert report.delivered_mpps_per_node == pytest.approx(4.0, rel=0.1)
+        assert not report.saturated
+
+    def test_saturation_matches_closed_form(self):
+        """The emergent capacity equals the ForwardingModel's prediction."""
+        forwarding = ForwardingModel(XEON_E5_2697V2, cuckoo_model())
+        for design, predicted in (
+            ("full_duplication", forwarding.full_duplication_mpps(FLOWS)),
+            ("scalebricks", forwarding.scalebricks_mpps(FLOWS)),
+        ):
+            report = self.make(design).offer_load(
+                predicted * 1.4, duration_us=2_000
+            )
+            assert report.saturated
+            assert report.delivered_mpps_per_node == pytest.approx(
+                predicted, rel=0.05
+            )
+
+    def test_scalebricks_outdelivers_full_duplication_at_overload(self):
+        overloaded = 15.0
+        sb = self.make("scalebricks").offer_load(overloaded, duration_us=1_500)
+        fd = self.make("full_duplication").offer_load(
+            overloaded, duration_us=1_500
+        )
+        assert sb.delivered_mpps_per_node > fd.delivered_mpps_per_node
+
+    def test_latency_grows_with_load(self):
+        light = self.make("scalebricks").offer_load(3.0, duration_us=800)
+        heavy = self.make("scalebricks", seed=2).offer_load(
+            11.0, duration_us=800
+        )
+        assert heavy.mean_latency_us > light.mean_latency_us
+        assert heavy.p99_latency_us >= heavy.mean_latency_us
+
+    def test_core_balance_mechanism(self):
+        """§6.2: ScaleBricks busies the internal core, full dup idles it."""
+        sb = self.make("scalebricks").offer_load(8.0, duration_us=800)
+        fd = self.make("full_duplication").offer_load(8.0, duration_us=800)
+        assert sb.internal_utilisation > fd.internal_utilisation
+        assert fd.external_utilisation > sb.external_utilisation
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError):
+            self.make("vlb-but-wrong")
+
+    def test_two_hop_designs_supported(self):
+        """Hash partitioning and VLB route via an intermediate node."""
+        sb = self.make("scalebricks").offer_load(3.0, duration_us=600)
+        hp = self.make("hash_partition").offer_load(3.0, duration_us=600)
+        vlb = self.make("routebricks_vlb").offer_load(3.0, duration_us=600)
+        # Light load: the extra hop shows up directly in latency.
+        assert hp.mean_latency_us > 1.5 * sb.mean_latency_us
+        assert vlb.mean_latency_us > 1.5 * sb.mean_latency_us
+        assert hp.loss_fraction == 0.0 and vlb.loss_fraction == 0.0
+
+    def test_hash_partition_saturates_first(self):
+        """The 2-hop designs' internal cores are their bottleneck."""
+        hp = self.make("hash_partition").offer_load(14.0, duration_us=1_200)
+        sb = self.make("scalebricks").offer_load(14.0, duration_us=1_200)
+        assert hp.delivered_mpps_per_node < sb.delivered_mpps_per_node
+        assert hp.internal_utilisation > 0.95
+
+    def test_invalid_load(self):
+        with pytest.raises(ValueError):
+            self.make("scalebricks").offer_load(0.0, duration_us=10)

@@ -1,0 +1,70 @@
+"""Tests for the RFC 2544 throughput search (repro.sim.rfc2544)."""
+
+import pytest
+
+from repro.model.cache import XEON_E5_2697V2
+from repro.model.perf import ForwardingModel, cuckoo_model
+from repro.sim import ClusterSimulation
+from repro.sim.rfc2544 import compare_designs, throughput_search
+
+FLOWS = 8_000_000
+
+
+def make_sim(design="scalebricks", seed=5):
+    return lambda: ClusterSimulation(
+        design, XEON_E5_2697V2, cuckoo_model(), num_flows=FLOWS, seed=seed
+    )
+
+
+class TestThroughputSearch:
+    def test_ndr_near_closed_form_capacity(self):
+        forwarding = ForwardingModel(XEON_E5_2697V2, cuckoo_model())
+        predicted = forwarding.scalebricks_mpps(FLOWS)
+        result = throughput_search(
+            make_sim(), hi_mpps=20.0, duration_us=500,
+            resolution_mpps=0.25,
+        )
+        assert result.no_drop_mpps == pytest.approx(predicted, rel=0.15)
+        assert result.latency_at_ndr_us > 0
+        assert result.trials >= 5
+
+    def test_history_brackets_monotonically(self):
+        result = throughput_search(
+            make_sim(), hi_mpps=20.0, duration_us=300,
+            resolution_mpps=0.5,
+        )
+        clean_rates = [r for r, clean in result.trial_history if clean]
+        lossy_rates = [r for r, clean in result.trial_history if not clean]
+        if clean_rates and lossy_rates:
+            assert max(clean_rates) <= min(lossy_rates) + 1e-9
+
+    def test_loss_tolerance_raises_ndr(self):
+        strict = throughput_search(
+            make_sim(seed=6), hi_mpps=20.0, duration_us=300,
+            resolution_mpps=0.5,
+        )
+        lenient = throughput_search(
+            make_sim(seed=6), hi_mpps=20.0, duration_us=300,
+            resolution_mpps=0.5, loss_tolerance=0.05,
+        )
+        assert lenient.no_drop_mpps >= strict.no_drop_mpps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            throughput_search(make_sim(), hi_mpps=1.0, lo_mpps=2.0)
+        with pytest.raises(ValueError):
+            throughput_search(make_sim(), hi_mpps=5.0, resolution_mpps=0.0)
+
+
+class TestCompareDesigns:
+    def test_ordering_matches_the_paper(self):
+        results = compare_designs(
+            XEON_E5_2697V2,
+            cuckoo_model(),
+            num_flows=FLOWS,
+            duration_us=400,
+        )
+        sb = results["scalebricks"].no_drop_mpps
+        fd = results["full_duplication"].no_drop_mpps
+        hp = results["hash_partition"].no_drop_mpps
+        assert sb > fd > hp

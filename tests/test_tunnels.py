@@ -1,0 +1,101 @@
+"""Tests for GTP-U tunnels and TEID allocation (repro.epc.tunnels)."""
+
+import pytest
+
+from repro.epc.packets import (
+    GTPU_PORT,
+    Ipv4Header,
+    PROTO_UDP,
+    UdpHeader,
+    parse_ip,
+)
+from repro.epc.tunnels import GtpTunnelEndpoint, TeidAllocator
+
+
+class TestTeidAllocator:
+    def test_unique_allocations(self):
+        alloc = TeidAllocator()
+        teids = {alloc.allocate() for _ in range(100)}
+        assert len(teids) == 100
+        assert 0 not in teids
+
+    def test_release_and_reuse(self):
+        alloc = TeidAllocator()
+        teid = alloc.allocate()
+        alloc.release(teid)
+        assert teid not in alloc
+        assert alloc.allocate() == teid
+
+    def test_double_release_rejected(self):
+        alloc = TeidAllocator()
+        teid = alloc.allocate()
+        alloc.release(teid)
+        with pytest.raises(ValueError):
+            alloc.release(teid)
+
+    def test_live_membership_and_len(self):
+        alloc = TeidAllocator()
+        teid = alloc.allocate()
+        assert teid in alloc
+        assert len(alloc) == 1
+
+    def test_invalid_start(self):
+        with pytest.raises(ValueError):
+            TeidAllocator(start=0)
+
+    def test_exhaustion(self):
+        alloc = TeidAllocator(start=0xFFFFFFFF)
+        alloc.allocate()
+        with pytest.raises(RuntimeError):
+            alloc.allocate()
+
+
+class TestGtpTunnel:
+    def endpoint(self):
+        return GtpTunnelEndpoint(
+            local_ip=parse_ip("192.0.2.1"), peer_ip=parse_ip("172.16.0.9")
+        )
+
+    def inner(self):
+        return Ipv4Header(
+            src=parse_ip("203.0.113.7"),
+            dst=parse_ip("10.0.0.5"),
+            protocol=PROTO_UDP,
+            total_length=28,
+        ).pack() + b"\x00" * 8
+
+    def test_encap_decap_roundtrip(self):
+        packet = self.inner()
+        tunnelled = self.endpoint().encapsulate(0xABCD, packet)
+        teid, inner, outer = GtpTunnelEndpoint.decapsulate(tunnelled)
+        assert teid == 0xABCD
+        assert inner == packet
+        assert outer.src == parse_ip("192.0.2.1")
+        assert outer.dst == parse_ip("172.16.0.9")
+
+    def test_outer_headers_well_formed(self):
+        tunnelled = self.endpoint().encapsulate(7, self.inner())
+        outer, rest = Ipv4Header.parse(tunnelled)
+        assert outer.protocol == PROTO_UDP
+        assert outer.total_length == len(tunnelled)
+        udp, _ = UdpHeader.parse(rest)
+        assert udp.sport == GTPU_PORT and udp.dport == GTPU_PORT
+        assert udp.length == len(rest)
+
+    def test_decap_rejects_non_udp(self):
+        bad = Ipv4Header(src=1, dst=2, protocol=6, total_length=20).pack()
+        with pytest.raises(ValueError, match="UDP"):
+            GtpTunnelEndpoint.decapsulate(bad)
+
+    def test_decap_rejects_wrong_port(self):
+        inner = self.inner()
+        tunnelled = bytearray(self.endpoint().encapsulate(7, inner))
+        # Rewrite both UDP ports to 53.
+        tunnelled[20:24] = (53).to_bytes(2, "big") * 2
+        with pytest.raises(ValueError, match="port"):
+            GtpTunnelEndpoint.decapsulate(bytes(tunnelled))
+
+    def test_decap_rejects_truncated_payload(self):
+        tunnelled = self.endpoint().encapsulate(7, self.inner())
+        with pytest.raises(ValueError):
+            GtpTunnelEndpoint.decapsulate(tunnelled[:-10])

@@ -1,0 +1,153 @@
+"""Tests for two-level hashing (repro.core.twolevel)."""
+
+import numpy as np
+import pytest
+
+from repro.core import twolevel as TL
+from repro.core.params import (
+    BUCKETS_PER_BLOCK,
+    CANDIDATES_PER_BUCKET,
+    GROUPS_PER_BLOCK,
+)
+from tests.conftest import unique_keys
+
+
+class TestCandidateTable:
+    def test_shape(self):
+        assert TL.CANDIDATE_TABLE.shape == (
+            BUCKETS_PER_BLOCK,
+            CANDIDATES_PER_BUCKET,
+        )
+
+    def test_every_group_appears_exactly_16_times(self):
+        counts = np.bincount(
+            TL.CANDIDATE_TABLE.ravel(), minlength=GROUPS_PER_BLOCK
+        )
+        assert (counts == 16).all()
+
+    def test_rows_have_distinct_candidates(self):
+        for row in TL.CANDIDATE_TABLE:
+            assert len(np.unique(row)) == CANDIDATES_PER_BUCKET
+
+    def test_deterministic_across_rebuilds(self):
+        assert np.array_equal(
+            TL.CANDIDATE_TABLE, TL._build_candidate_table()
+        )
+
+
+class TestBucketIds:
+    def test_range(self):
+        keys = unique_keys(5_000)
+        buckets = TL.bucket_ids(keys, num_blocks=4)
+        assert buckets.min() >= 0
+        assert buckets.max() < 4 * BUCKETS_PER_BLOCK
+
+    def test_deterministic(self):
+        keys = unique_keys(100)
+        assert np.array_equal(
+            TL.bucket_ids(keys, 2), TL.bucket_ids(keys, 2)
+        )
+
+    def test_block_of_buckets(self):
+        buckets = np.array([0, 255, 256, 511, 512])
+        assert list(TL.block_of_buckets(buckets)) == [0, 0, 1, 1, 2]
+
+    def test_num_blocks_for(self):
+        assert TL.num_blocks_for(0) == 1
+        assert TL.num_blocks_for(1024) == 1
+        assert TL.num_blocks_for(1025) == 2
+        assert TL.num_blocks_for(10 * 1024) == 10
+
+
+class TestAssignBlock:
+    def test_output_shapes_and_ranges(self, rng):
+        sizes = rng.poisson(4.0, size=BUCKETS_PER_BLOCK)
+        choices, max_load = TL.assign_block(sizes, rng)
+        assert choices.shape == (BUCKETS_PER_BLOCK,)
+        assert choices.max() < CANDIDATES_PER_BUCKET
+        assert max_load >= int(np.ceil(sizes.sum() / GROUPS_PER_BLOCK))
+
+    def test_max_load_matches_choices(self, rng):
+        sizes = rng.poisson(4.0, size=BUCKETS_PER_BLOCK)
+        choices, max_load = TL.assign_block(sizes, rng)
+        groups = TL.CANDIDATE_TABLE[np.arange(BUCKETS_PER_BLOCK), choices]
+        loads = np.bincount(groups, weights=sizes, minlength=GROUPS_PER_BLOCK)
+        assert int(loads.max()) == max_load
+
+    def test_balances_far_better_than_worst_candidate(self, rng):
+        sizes = rng.poisson(4.0, size=BUCKETS_PER_BLOCK)
+        _, max_load = TL.assign_block(sizes, rng)
+        # Average group holds sizes.sum()/64 ~ 16; the assignment should
+        # land within a few keys of that (the paper's <= 21 target).
+        assert max_load <= sizes.sum() / GROUPS_PER_BLOCK + 6
+
+    def test_empty_block(self, rng):
+        choices, max_load = TL.assign_block(
+            np.zeros(BUCKETS_PER_BLOCK, dtype=int), rng
+        )
+        assert max_load == 0
+
+    def test_one_giant_bucket(self, rng):
+        sizes = np.zeros(BUCKETS_PER_BLOCK, dtype=int)
+        sizes[7] = 50
+        _, max_load = TL.assign_block(sizes, rng)
+        assert max_load == 50  # a bucket is indivisible
+
+    def test_wrong_length_rejected(self, rng):
+        with pytest.raises(ValueError):
+            TL.assign_block(np.zeros(10, dtype=int), rng)
+
+
+class TestGroupsFromChoices:
+    def test_group_range_and_block_locality(self, rng):
+        keys = unique_keys(3_000)
+        num_blocks = 3
+        buckets = TL.bucket_ids(keys, num_blocks)
+        choices = rng.integers(
+            0, 4, size=num_blocks * BUCKETS_PER_BLOCK
+        ).astype(np.uint8)
+        groups = TL.groups_from_choices(buckets, choices)
+        assert groups.min() >= 0
+        assert groups.max() < num_blocks * GROUPS_PER_BLOCK
+        # Keys stay inside their bucket's block.
+        assert np.array_equal(
+            groups // GROUPS_PER_BLOCK, buckets // BUCKETS_PER_BLOCK
+        )
+
+    def test_group_respects_candidate_table(self, rng):
+        keys = unique_keys(500)
+        buckets = TL.bucket_ids(keys, 1)
+        choices = rng.integers(0, 4, size=BUCKETS_PER_BLOCK).astype(np.uint8)
+        groups = TL.groups_from_choices(buckets, choices)
+        for key_bucket, group in zip(buckets, groups):
+            local = key_bucket % BUCKETS_PER_BLOCK
+            assert group % GROUPS_PER_BLOCK in TL.CANDIDATE_TABLE[local]
+
+
+class TestBalanceComparison:
+    def test_two_level_beats_direct_hashing(self):
+        """The Figure 5 / §4.4 claim at reproduction scale."""
+        keys = unique_keys(32 * 1024, seed=9)
+        num_blocks = TL.num_blocks_for(len(keys))
+        num_groups = num_blocks * GROUPS_PER_BLOCK
+
+        direct = TL.direct_group_ids(keys, num_groups)
+        direct_max = TL.max_group_load(direct, num_groups)
+
+        buckets = TL.bucket_ids(keys, num_blocks)
+        worst = 0
+        rng = np.random.default_rng(0)
+        all_choices = np.zeros(num_blocks * BUCKETS_PER_BLOCK, dtype=np.uint8)
+        for b in range(num_blocks):
+            lo = b * BUCKETS_PER_BLOCK
+            sizes = np.bincount(
+                buckets[(buckets >= lo) & (buckets < lo + BUCKETS_PER_BLOCK)]
+                - lo,
+                minlength=BUCKETS_PER_BLOCK,
+            )
+            choices, block_max = TL.assign_block(sizes, rng)
+            all_choices[lo : lo + BUCKETS_PER_BLOCK] = choices
+            worst = max(worst, block_max)
+
+        assert worst < direct_max
+        assert worst <= 21  # the paper's balance target

@@ -1,0 +1,127 @@
+"""Tests for the cluster update protocol (paper §4.5, §6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Architecture, Cluster, UpdateEngine
+from tests.conftest import unique_keys
+
+NUM_NODES = 4
+
+
+def make_cluster(arch, n=1_200, seed=110):
+    keys = unique_keys(n, seed=seed)
+    handlers = (keys % NUM_NODES).astype(np.int64)
+    values = np.arange(n) + 1
+    cluster = Cluster.build(arch, NUM_NODES, keys, handlers, values)
+    return cluster, keys, handlers, values
+
+
+class TestScaleBricksUpdates:
+    @pytest.fixture()
+    def setup(self):
+        cluster, keys, handlers, values = make_cluster(Architecture.SCALEBRICKS)
+        return cluster, UpdateEngine(cluster), keys, handlers, values
+
+    def test_insert_new_flow_becomes_routable(self, setup):
+        cluster, engine, *_ = setup
+        new_key = int(unique_keys(1, seed=111, low=2**62, high=2**63)[0])
+        engine.insert_flow(new_key, 2, 777)
+        result = cluster.route(new_key)
+        assert result.handled_by == 2
+        assert result.value == 777
+
+    def test_move_flow_between_nodes(self, setup):
+        cluster, engine, keys, handlers, _ = setup
+        key = int(keys[0])
+        new_node = (int(handlers[0]) + 1) % NUM_NODES
+        engine.insert_flow(key, new_node, 555)
+        result = cluster.route(key)
+        assert result.handled_by == new_node
+        assert result.value == 555
+        # The old handler no longer has the entry.
+        assert cluster.nodes[int(handlers[0])].fib.lookup(key) is None
+
+    def test_remove_flow(self, setup):
+        cluster, engine, keys, *_ = setup
+        assert engine.remove_flow(int(keys[1]))
+        assert cluster.route(int(keys[1])).dropped
+        assert not engine.remove_flow(int(keys[1]))
+
+    def test_all_gpt_replicas_converge(self, setup):
+        cluster, engine, keys, handlers, _ = setup
+        for i in range(10):
+            key = int(keys[i])
+            engine.insert_flow(key, (int(handlers[i]) + 1) % NUM_NODES, i)
+        probe = keys[:50]
+        reference = cluster.nodes[0].gpt.lookup_batch(probe)
+        for node in cluster.nodes[1:]:
+            assert np.array_equal(node.gpt.lookup_batch(probe), reference)
+
+    def test_delta_size_tens_of_bits(self, setup):
+        _, engine, keys, handlers, _ = setup
+        engine.insert_flow(int(keys[2]), (int(handlers[2]) + 1) % NUM_NODES, 9)
+        assert 0 < engine.stats.mean_delta_bits < 300
+
+    def test_ownership_spreads_across_nodes(self):
+        # Needs at least NUM_NODES blocks (1 block ~ 1024 keys) so the
+        # round-robin block ownership reaches every node.
+        cluster, keys, handlers, _ = make_cluster(
+            Architecture.SCALEBRICKS, n=4_500, seed=114
+        )
+        engine = UpdateEngine(cluster)
+        for i in range(160):
+            engine.insert_flow(
+                int(keys[i]), (int(handlers[i]) + 1) % NUM_NODES, i
+            )
+        assert len(engine.stats.per_owner_updates) == NUM_NODES
+
+    def test_fib_messages_constant_per_update(self, setup):
+        _, engine, keys, handlers, _ = setup
+        for i in range(20):
+            engine.insert_flow(int(keys[i]), int(handlers[i]), i)
+        # Same handler: exactly one FIB message per update.
+        assert engine.stats.fib_messages == 20
+
+
+class TestFullDuplicationUpdates:
+    def test_every_node_touched_per_update(self):
+        """The §3.2 contrast: full duplication applies updates N times."""
+        cluster, keys, handlers, _ = make_cluster(Architecture.FULL_DUPLICATION)
+        engine = UpdateEngine(cluster)
+        for i in range(10):
+            engine.insert_flow(int(keys[i]), int(handlers[i]), i)
+        assert engine.stats.fib_messages == 10 * NUM_NODES
+
+    def test_update_visible_on_all_nodes(self):
+        cluster, keys, _, _ = make_cluster(Architecture.FULL_DUPLICATION)
+        engine = UpdateEngine(cluster)
+        new_key = int(unique_keys(1, seed=112, low=2**62, high=2**63)[0])
+        engine.insert_flow(new_key, 1, 42)
+        for node in cluster.nodes:
+            assert node.fib.lookup(new_key) == (1, 42)
+
+    def test_remove_clears_all_replicas(self):
+        cluster, keys, _, _ = make_cluster(Architecture.FULL_DUPLICATION)
+        engine = UpdateEngine(cluster)
+        engine.remove_flow(int(keys[0]))
+        for node in cluster.nodes:
+            assert node.fib.lookup(int(keys[0])) is None
+
+
+class TestHashPartitionUpdates:
+    def test_insert_places_entry_at_lookup_and_handler(self):
+        cluster, _, _, _ = make_cluster(Architecture.HASH_PARTITION)
+        engine = UpdateEngine(cluster)
+        new_key = int(unique_keys(1, seed=113, low=2**62, high=2**63)[0])
+        engine.insert_flow(new_key, 3, 99)
+        lookup_node = cluster.lookup_node_of(new_key)
+        assert cluster.nodes[lookup_node].fib.lookup(new_key) is not None
+        assert cluster.nodes[3].fib.lookup(new_key) is not None
+        assert cluster.route(new_key).value == 99
+
+    def test_remove(self):
+        cluster, keys, _, _ = make_cluster(Architecture.HASH_PARTITION)
+        engine = UpdateEngine(cluster)
+        assert engine.remove_flow(int(keys[0]))
+        assert cluster.route(int(keys[0])).dropped

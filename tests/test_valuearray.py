@@ -1,0 +1,86 @@
+"""Tests for the packed value array (repro.hashtables.valuearray, §5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.hashtables import CuckooHashTable
+from repro.hashtables.valuearray import ValueArray
+from tests.conftest import unique_keys
+
+
+class TestValueArray:
+    def test_set_get_bytes(self):
+        array = ValueArray(num_slots=8, value_size=4)
+        array[3] = b"\x01\x02\x03\x04"
+        assert array[3] == b"\x01\x02\x03\x04"
+
+    def test_int_packs_little_endian(self):
+        array = ValueArray(num_slots=4, value_size=4)
+        array[0] = 0xDEADBEEF
+        assert array[0] == bytes.fromhex("efbeadde")
+        assert array.get_int(0) == 0xDEADBEEF
+
+    def test_unwritten_slot_reads_zero(self):
+        array = ValueArray(num_slots=4, value_size=2)
+        assert array[1] == b"\x00\x00"
+
+    def test_none_clears(self):
+        array = ValueArray(num_slots=4, value_size=2)
+        array[0] = b"\xff\xff"
+        array[0] = None
+        assert array[0] == b"\x00\x00"
+
+    def test_move_relocates_and_clears_source(self):
+        array = ValueArray(num_slots=4, value_size=2)
+        array[0] = b"\xab\xcd"
+        array.move(0, 3)
+        assert array[3] == b"\xab\xcd"
+        assert array[0] == b"\x00\x00"
+
+    def test_wrong_size_rejected(self):
+        array = ValueArray(num_slots=2, value_size=4)
+        with pytest.raises(ValueError):
+            array[0] = b"\x01"
+
+    def test_size_bytes_is_dense(self):
+        assert ValueArray(num_slots=100, value_size=16).size_bytes() == 1600
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ValueArray(0, 4)
+        with pytest.raises(ValueError):
+            ValueArray(4, 0)
+
+
+class TestPackedCuckoo:
+    def test_packed_insert_lookup(self):
+        table = CuckooHashTable(capacity=64, value_size=4, value_store="packed")
+        table.insert(1, 0x1234)
+        assert table.lookup(1) == (0x1234).to_bytes(4, "little")
+
+    def test_packed_values_survive_relocations(self):
+        """§5.2: 'when moving a key ... we need to move the value as well',
+        now with materialised bytes."""
+        n = 3_600
+        keys = unique_keys(n, seed=700)
+        table = CuckooHashTable(capacity=n, value_size=4, value_store="packed")
+        for i, key in enumerate(keys):
+            table.insert(int(key), i)
+        assert table.relocations > 0
+        for i, key in enumerate(keys[:1_000]):
+            assert int.from_bytes(table.lookup(int(key)), "little") == i
+
+    def test_packed_delete(self):
+        table = CuckooHashTable(capacity=16, value_size=2, value_store="packed")
+        table.insert(9, b"\x01\x00")
+        assert table.delete(9)
+        assert table.lookup(9) is None
+
+    def test_packed_rejects_wrong_width(self):
+        table = CuckooHashTable(capacity=16, value_size=4, value_store="packed")
+        with pytest.raises(ValueError):
+            table.insert(1, b"\x01\x02")
+
+    def test_invalid_store_kind(self):
+        with pytest.raises(ValueError):
+            CuckooHashTable(capacity=16, value_store="fancy")
