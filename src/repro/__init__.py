@@ -24,14 +24,18 @@ subpackages hold the full API:
     Cache/throughput/latency models and the FIB-scaling analytics.
 ``repro.baselines``
     Related-work comparators (Bloom, BUFFALO, Bloomier, perfect hashing).
+``repro.obs``
+    Metrics registry (counters/gauges/histograms) and span tracing; every
+    data-path component accepts an injectable registry.
 """
 
 from repro.core.params import SetSepParams
 from repro.core.setsep import SetSep
 from repro.gpt.gpt import GlobalPartitionTable
 from repro.hashtables.cuckoo import CuckooHashTable
-from repro.cluster.cluster import Cluster
+from repro.cluster.cluster import Cluster, RouteBatchResult
 from repro.cluster.architectures import Architecture
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 __version__ = "1.0.0"
 
@@ -41,6 +45,9 @@ __all__ = [
     "GlobalPartitionTable",
     "CuckooHashTable",
     "Cluster",
+    "RouteBatchResult",
     "Architecture",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
     "__version__",
 ]

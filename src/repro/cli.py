@@ -7,14 +7,18 @@ Commands:
 * ``scale``   — print the Figure 11 capacity table for given parameters.
 * ``gateway`` — run a quick EPC gateway simulation and print its report.
 * ``info``    — describe a snapshot (config, size, bits/key).
+* ``stats``   — run an instrumented gateway trial and print its metrics.
 
-The CLI is deliberately thin: every command is a few calls into the
-library, doubling as usage documentation.
+``info``, ``scale`` and ``stats`` accept ``--json`` for machine-readable
+output; ``gateway --metrics-json PATH`` dumps the full metrics registry
+snapshot.  The CLI is deliberately thin: every command is a few calls
+into the library, doubling as usage documentation.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -26,6 +30,7 @@ from repro.core.hashfamily import canonical_key
 from repro.core.params import SetSepParams
 from repro.gpt.gpt import GlobalPartitionTable
 from repro.model.scaling import peak_scaling_factor, scaling_curve
+from repro.obs import MetricsRegistry
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -73,13 +78,26 @@ def _cmd_lookup(args: argparse.Namespace) -> int:
 def _cmd_info(args: argparse.Namespace) -> int:
     with open(args.snapshot, "rb") as handle:
         setsep = serialize.load(handle)
+    capacity = setsep.num_blocks * 1024
+    if args.json:
+        print(json.dumps({
+            "config": setsep.params.name,
+            "value_bits": setsep.params.value_bits,
+            "blocks": setsep.num_blocks,
+            "groups": setsep.num_groups,
+            "buckets": setsep.num_buckets,
+            "size_bytes": setsep.size_bytes(),
+            "fallback_entries": len(setsep.fallback),
+            "capacity_keys": capacity,
+            "bits_per_key_at_capacity": setsep.size_bits() / capacity,
+        }, indent=2, sort_keys=True))
+        return 0
     print(f"config       : {setsep.params.name}, "
           f"{setsep.params.value_bits}-bit values")
     print(f"blocks       : {setsep.num_blocks} "
           f"({setsep.num_groups} groups, {setsep.num_buckets} buckets)")
     print(f"size         : {setsep.size_bytes():,} bytes")
     print(f"fallback     : {len(setsep.fallback)} entries")
-    capacity = setsep.num_blocks * 1024
     print(f"sized for    : ~{capacity:,} keys "
           f"({setsep.size_bits() / capacity:.2f} bits/key at capacity)")
     return 0
@@ -87,6 +105,22 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_scale(args: argparse.Namespace) -> int:
     memory_bits = args.memory_mib * 1024 * 1024 * 8
+    if args.json:
+        rows = [
+            {"nodes": n, "full_duplication": full,
+             "hash_partition": hashed, "scalebricks": sb}
+            for n, full, hashed, sb in scaling_curve(
+                memory_bits, args.max_nodes, args.entry_bits
+            )
+        ]
+        peak_n, ratio = peak_scaling_factor(args.max_nodes, args.entry_bits)
+        print(json.dumps({
+            "memory_mib": args.memory_mib,
+            "entry_bits": args.entry_bits,
+            "curve": rows,
+            "peak_advantage": {"nodes": peak_n, "ratio": ratio},
+        }, indent=2, sort_keys=True))
+        return 0
     print(f"Total FIB entries, {args.memory_mib} MiB/node, "
           f"{args.entry_bits}-bit entries")
     print(f"{'nodes':>6} {'full dup':>12} {'hash part':>12} {'ScaleBricks':>12}")
@@ -99,7 +133,8 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_gateway(args: argparse.Namespace) -> int:
+def _run_gateway_trial(args: argparse.Namespace):
+    """Stand up a gateway, push one packet stream, return what happened."""
     from repro.epc import EpcGateway, FlowGenerator
     from repro.epc.packets import parse_ip
     from repro.epc.traffic import run_downstream_trial
@@ -111,6 +146,11 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     gateway.start()
     frames = gen.packet_stream(flows, args.packets, zipf_s=args.zipf)
     stats = run_downstream_trial(gateway, frames)
+    return architecture, gateway, stats
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    architecture, gateway, stats = _run_gateway_trial(args)
     node0 = gateway.memory_report()[0]
     print(f"architecture : {architecture.value} ({args.nodes} nodes)")
     print(f"bearers      : {args.flows:,}")
@@ -120,6 +160,46 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     print(f"node 0 state : FIB {node0['fib_bytes']:,} B"
           + (f", GPT {node0['gpt_bytes']:,} B" if node0["gpt_bytes"] else ""))
     print(f"sim rate     : {stats.software_pps:,.0f} packets/s")
+    if args.metrics_json:
+        try:
+            with open(args.metrics_json, "w", encoding="utf-8") as out:
+                out.write(gateway.registry.to_json(indent=2))
+        except OSError as exc:
+            print(f"cannot write metrics to {args.metrics_json}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"metrics written to {args.metrics_json}")
+    return 0
+
+
+def _print_metrics_text(registry: MetricsRegistry) -> None:
+    """Human-readable registry snapshot: counters, gauges, histograms."""
+    snap = registry.snapshot()
+    if snap["counters"]:
+        print("counters:")
+        for name in sorted(snap["counters"]):
+            print(f"  {name:<44} {snap['counters'][name]:>12,}")
+    if snap["gauges"]:
+        print("gauges:")
+        for name in sorted(snap["gauges"]):
+            print(f"  {name:<44} {snap['gauges'][name]:>12,.0f}")
+    if snap["histograms"]:
+        print("histograms:")
+        for name in sorted(snap["histograms"]):
+            h = snap["histograms"][name]
+            if not h["count"]:
+                continue
+            mean = h["sum"] / h["count"]
+            print(f"  {name:<44} n={h['count']:<9,} mean={mean:<10.3f} "
+                  f"min={h['min']:<10.3f} max={h['max']:<10.3f}")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    _architecture, gateway, _stats = _run_gateway_trial(args)
+    if args.json:
+        print(gateway.registry.to_json(indent=2))
+    else:
+        _print_metrics_text(gateway.registry)
     return 0
 
 
@@ -145,26 +225,46 @@ def make_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="describe a snapshot")
     info.add_argument("snapshot")
+    info.add_argument("--json", action="store_true",
+                      help="emit machine-readable JSON")
     info.set_defaults(func=_cmd_info)
 
     scale = sub.add_parser("scale", help="print the Figure 11 table")
     scale.add_argument("--memory-mib", type=int, default=16)
     scale.add_argument("--entry-bits", type=int, default=64)
     scale.add_argument("--max-nodes", type=int, default=32)
+    scale.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON")
     scale.set_defaults(func=_cmd_scale)
 
+    def add_trial_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--architecture",
+            choices=[a.value for a in Architecture],
+            default=Architecture.SCALEBRICKS.value,
+        )
+        p.add_argument("--nodes", type=int, default=4)
+        p.add_argument("--flows", type=int, default=2_000)
+        p.add_argument("--packets", type=int, default=1_000)
+        p.add_argument("--zipf", type=float, default=0.0)
+        p.add_argument("--seed", type=int, default=0)
+
     gateway = sub.add_parser("gateway", help="run an EPC simulation")
+    add_trial_args(gateway)
     gateway.add_argument(
-        "--architecture",
-        choices=[a.value for a in Architecture],
-        default=Architecture.SCALEBRICKS.value,
+        "--metrics-json", metavar="PATH", default=None,
+        help="write the gateway's metrics registry snapshot to PATH",
     )
-    gateway.add_argument("--nodes", type=int, default=4)
-    gateway.add_argument("--flows", type=int, default=2_000)
-    gateway.add_argument("--packets", type=int, default=1_000)
-    gateway.add_argument("--zipf", type=float, default=0.0)
-    gateway.add_argument("--seed", type=int, default=0)
     gateway.set_defaults(func=_cmd_gateway)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run an instrumented gateway trial and print its metrics",
+    )
+    add_trial_args(stats)
+    stats.add_argument("--json", action="store_true",
+                       help="emit the raw registry snapshot as JSON")
+    stats.set_defaults(func=_cmd_stats)
 
     reproduce = sub.add_parser(
         "reproduce",

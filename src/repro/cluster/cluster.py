@@ -9,7 +9,9 @@ unknown keys to an arbitrary node whose exact FIB then drops them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from collections.abc import Sequence as SequenceABC
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -24,6 +26,7 @@ from repro.core.setsep import Key
 from repro.gpt.gpt import GlobalPartitionTable
 from repro.hashtables.cuckoo import CuckooHashTable
 from repro.hashtables.interface import FibTable
+from repro.obs.metrics import MetricsRegistry, resolve_registry
 
 FibFactory = Callable[[int], FibTable]
 
@@ -48,6 +51,88 @@ class RouteResult:
         return not self.dropped
 
 
+class RouteBatchResult(SequenceABC):
+    """Typed outcome of :meth:`Cluster.route_batch`.
+
+    Behaves as a sequence of :class:`RouteResult` (so per-packet code and
+    older call sites keep working) while exposing the batch as NumPy
+    arrays for vectorised analysis:
+
+    Attributes:
+        results: the per-packet :class:`RouteResult` tuple.
+        egress_nodes: node that accepted each packet (``-1`` if dropped).
+        hop_counts: internal fabric transits per packet.
+        indirections: whether the packet crossed an intermediate node
+            (hash-partition lookup detour / VLB bounce).
+        dropped: per-packet drop flag.
+        values: application value per packet (``-1`` if dropped).
+        latencies_us: modelled fabric latency per packet.
+    """
+
+    __slots__ = (
+        "results", "egress_nodes", "hop_counts", "indirections",
+        "dropped", "values", "latencies_us",
+    )
+
+    def __init__(self, results: Sequence[RouteResult]) -> None:
+        self.results: Tuple[RouteResult, ...] = tuple(results)
+        n = len(self.results)
+        self.egress_nodes = np.fromiter(
+            (-1 if r.handled_by is None else r.handled_by
+             for r in self.results),
+            dtype=np.int64, count=n,
+        )
+        self.hop_counts = np.fromiter(
+            (r.internal_hops for r in self.results), dtype=np.int64, count=n
+        )
+        self.indirections = self.hop_counts >= 2
+        self.dropped = np.fromiter(
+            (r.dropped for r in self.results), dtype=bool, count=n
+        )
+        self.values = np.fromiter(
+            (-1 if r.value is None else r.value for r in self.results),
+            dtype=np.int64, count=n,
+        )
+        self.latencies_us = np.fromiter(
+            (r.latency_us for r in self.results), dtype=np.float64, count=n
+        )
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return RouteBatchResult(self.results[index])
+        return self.results[index]
+
+    @property
+    def delivered_count(self) -> int:
+        """Packets that reached a node that accepted them."""
+        return int((~self.dropped).sum())
+
+    @property
+    def dropped_count(self) -> int:
+        """Packets rejected by the terminal node's exact FIB."""
+        return int(self.dropped.sum())
+
+    @property
+    def mean_hops(self) -> float:
+        """Average internal fabric transits per packet."""
+        if not len(self.results):
+            return 0.0
+        return float(self.hop_counts.mean())
+
+    def __repr__(self) -> str:
+        return (
+            f"RouteBatchResult(n={len(self.results)}, "
+            f"delivered={self.delivered_count}, "
+            f"mean_hops={self.mean_hops:.2f})"
+        )
+
+
 class Cluster:
     """A switch- (or mesh-) connected cluster of forwarding nodes."""
 
@@ -58,6 +143,7 @@ class Cluster:
         fabric: SwitchFabric,
         rib: RoutingInformationBase,
         gpt_params: Optional[SetSepParams] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.architecture = architecture
         self.nodes = nodes
@@ -65,6 +151,38 @@ class Cluster:
         self.rib = rib
         self.gpt_params = gpt_params
         self._rng = np.random.default_rng(0xEC)
+        self.bind_registry(registry)
+
+    def bind_registry(self, registry: Optional[MetricsRegistry]) -> None:
+        """Attach a metrics registry to this cluster and its GPT replicas.
+
+        Metric names carry the architecture (``cluster.scalebricks.*``) so
+        one registry can observe several clusters side by side.  ``None``
+        selects the shared null registry (zero-cost instrumentation).
+        """
+        self.registry = resolve_registry(registry)
+        prefix = f"cluster.{self.architecture.value}"
+        self._m_routed = self.registry.counter(
+            f"{prefix}.routed", "packets offered to the PFE"
+        )
+        self._m_delivered = self.registry.counter(
+            f"{prefix}.delivered", "packets accepted by their handler"
+        )
+        self._m_dropped = self.registry.counter(
+            f"{prefix}.dropped", "packets rejected (unknown key, ACL, ...)"
+        )
+        self._m_hops = self.registry.histogram(
+            f"{prefix}.hops", buckets=(0, 1, 2, 3, 4),
+            description="internal fabric transits per packet",
+        )
+        self._m_indirections = self.registry.counter(
+            f"{prefix}.indirections",
+            "packets detoured through an intermediate node",
+        )
+        self.rib.bind_registry(self.registry)
+        for node in self.nodes:
+            if node.gpt is not None:
+                node.gpt.setsep.bind_registry(self.registry)
 
     # ------------------------------------------------------------------
     # Construction
@@ -81,6 +199,7 @@ class Cluster:
         fib_factory: Optional[FibFactory] = None,
         gpt_params: Optional[SetSepParams] = None,
         fabric: Optional[SwitchFabric] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> "Cluster":
         """Stand up a cluster pre-populated with the given flows.
 
@@ -96,6 +215,8 @@ class Cluster:
                 cuckoo table.
             gpt_params: SetSep configuration for the GPT (ScaleBricks).
             fabric: interconnect; defaults to a switch fabric.
+            registry: metrics registry shared by the cluster, its GPT
+                replicas and the update engine (default: disabled).
         """
         keys_arr = hashfamily.canonical_keys(keys)
         nodes_arr = np.asarray(handling_nodes, dtype=np.int64)
@@ -152,7 +273,10 @@ class Cluster:
                 )
             )
 
-        cluster = cls(architecture, cluster_nodes, fabric, rib, gpt_params)
+        cluster = cls(
+            architecture, cluster_nodes, fabric, rib, gpt_params,
+            registry=registry,
+        )
         for key, node, value in zip(keys_arr, nodes_arr, values_list):
             cluster._install(int(key), int(node), int(value))
         return cluster
@@ -179,12 +303,23 @@ class Cluster:
 
     def lookup_node_of(self, key: Key) -> int:
         """Hash-partitioning's lookup node for a key."""
-        arr = hashfamily.canonical_keys([key])
-        return int(
-            hashfamily.reduce_range(
-                hashfamily.bucket_hash(arr), len(self.nodes)
-            )[0]
-        )
+        return int(self.lookup_nodes_batch([key])[0])
+
+    def lookup_nodes_batch(
+        self, keys: Union[Sequence[Key], np.ndarray]
+    ) -> np.ndarray:
+        """Vectorised :meth:`lookup_node_of` (hash-partition lookup nodes).
+
+        Part of the unified batch query surface: like
+        :meth:`repro.core.setsep.SetSep.lookup_batch` and
+        :meth:`repro.gpt.gpt.GlobalPartitionTable.lookup_batch` it accepts
+        any mix of the canonical :data:`repro.core.hashfamily.Key` types
+        and returns one NumPy array.
+        """
+        arr = hashfamily.canonical_keys(keys)
+        return hashfamily.reduce_range(
+            hashfamily.bucket_hash(arr), len(self.nodes)
+        ).astype(np.int64)
 
     def pick_ingress(self) -> int:
         """ECMP-like ingress selection (§2: any node can receive)."""
@@ -202,19 +337,34 @@ class Cluster:
             ingress = self.pick_ingress()
         arch = self.architecture
         if arch is Architecture.SCALEBRICKS:
-            return self._route_scalebricks(ckey, ingress, size)
-        if arch is Architecture.HASH_PARTITION:
-            return self._route_hash_partition(ckey, ingress, size)
-        if arch is Architecture.ROUTEBRICKS_VLB:
-            return self._route_vlb(ckey, ingress, size)
-        return self._route_full_duplication(ckey, ingress, size)
+            result = self._route_scalebricks(ckey, ingress, size)
+        elif arch is Architecture.HASH_PARTITION:
+            result = self._route_hash_partition(ckey, ingress, size)
+        elif arch is Architecture.ROUTEBRICKS_VLB:
+            result = self._route_vlb(ckey, ingress, size)
+        else:
+            result = self._route_full_duplication(ckey, ingress, size)
+        self._m_routed.inc()
+        if result.dropped:
+            self._m_dropped.inc()
+        else:
+            self._m_delivered.inc()
+        self._m_hops.observe(result.internal_hops)
+        if result.internal_hops >= 2:
+            self._m_indirections.inc()
+        return result
 
     def route_batch(
         self,
         keys: Union[Sequence[Key], np.ndarray],
         ingress: Optional[Sequence[int]] = None,
-    ) -> List[RouteResult]:
-        """Route many keys (list of per-key results)."""
+    ) -> RouteBatchResult:
+        """Route many keys; returns a typed :class:`RouteBatchResult`.
+
+        The result iterates as a sequence of :class:`RouteResult` (the
+        historical list shape) and additionally carries the batch as NumPy
+        arrays (egress node, hop count, indirection flag, ...).
+        """
         keys_arr = hashfamily.canonical_keys(keys)
         if ingress is None:
             ingress_arr = self._rng.integers(
@@ -222,10 +372,12 @@ class Cluster:
             )
         else:
             ingress_arr = np.asarray(ingress)
-        return [
-            self.route(int(k), int(i))
-            for k, i in zip(keys_arr, ingress_arr)
-        ]
+        return RouteBatchResult(
+            [
+                self.route(int(k), int(i))
+                for k, i in zip(keys_arr, ingress_arr)
+            ]
+        )
 
     def _finish(
         self,
@@ -380,11 +532,23 @@ class Cluster:
         """Sum of FIB entries across nodes (replication inflates this)."""
         return sum(len(n.fib) for n in self.nodes)
 
-    def reset_counters(self) -> None:
-        """Zero all node counters and fabric stats."""
+    def reset_stats(self) -> None:
+        """Zero node counters, fabric stats and the metrics registry."""
         for node in self.nodes:
             node.counters.reset()
         self.fabric.reset_stats()
+        self.registry.reset()
+
+    def reset_counters(self) -> None:
+        """Deprecated alias of :meth:`reset_stats`."""
+        warnings.warn(
+            "Cluster.reset_counters() is deprecated; use "
+            "Cluster.reset_stats() (which also resets the metrics "
+            "registry) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.reset_stats()
 
     def __repr__(self) -> str:
         return (

@@ -18,6 +18,7 @@ import numpy as np
 from repro.core import hashfamily, twolevel
 from repro.core.params import BUCKETS_PER_BLOCK
 from repro.core.setsep import Key, SetSep
+from repro.obs.metrics import MetricsRegistry, resolve_registry
 
 
 @dataclass(frozen=True)
@@ -36,9 +37,16 @@ class RoutingInformationBase:
         num_nodes: cluster size (block owners are assigned round-robin).
         num_blocks: SetSep block count — must match the GPT's, since the
             partitioning unit *is* the SetSep block.
+        registry: metrics registry for mutation counters and the live
+            entry-count gauge (``None`` selects the null registry).
     """
 
-    def __init__(self, num_nodes: int, num_blocks: int) -> None:
+    def __init__(
+        self,
+        num_nodes: int,
+        num_blocks: int,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if num_nodes < 1:
             raise ValueError("num_nodes must be positive")
         if num_blocks < 1:
@@ -46,6 +54,23 @@ class RoutingInformationBase:
         self.num_nodes = num_nodes
         self.num_blocks = num_blocks
         self._blocks: Dict[int, Dict[int, RibEntry]] = {}
+        self.bind_registry(registry)
+
+    def bind_registry(self, registry: Optional[MetricsRegistry]) -> None:
+        """Attach a metrics registry (``None`` selects the null registry)."""
+        self.registry = resolve_registry(registry)
+        self._m_inserts = self.registry.counter(
+            "rib.inserts", "authoritative records inserted or overwritten"
+        )
+        self._m_removes = self.registry.counter(
+            "rib.removes", "authoritative records removed"
+        )
+        self._g_entries = self.registry.gauge(
+            "rib.entries", "authoritative records currently held"
+        )
+        # Rebinds happen after construction-time population (Cluster.build
+        # fills the RIB before attaching its registry) — resynchronise.
+        self._g_entries.set(len(self))
 
     # ------------------------------------------------------------------
     # Partitioning
@@ -77,14 +102,22 @@ class RoutingInformationBase:
             raise ValueError("handling node out of range")
         ckey = hashfamily.canonical_key(key)
         entry = RibEntry(key=ckey, node=node, value=value)
-        self._blocks.setdefault(self.block_of(ckey), {})[ckey] = entry
+        block = self._blocks.setdefault(self.block_of(ckey), {})
+        if ckey not in block:
+            self._g_entries.inc()
+        block[ckey] = entry
+        self._m_inserts.inc()
         return entry
 
     def remove(self, key: Key) -> Optional[RibEntry]:
         """Remove and return the record, or ``None`` if absent."""
         ckey = hashfamily.canonical_key(key)
         block = self.block_of(ckey)
-        return self._blocks.get(block, {}).pop(ckey, None)
+        entry = self._blocks.get(block, {}).pop(ckey, None)
+        if entry is not None:
+            self._m_removes.inc()
+            self._g_entries.dec()
+        return entry
 
     def get(self, key: Key) -> Optional[RibEntry]:
         """Exact lookup of the authoritative record."""

@@ -28,6 +28,11 @@ from repro.cluster.architectures import Architecture
 from repro.cluster.cluster import Cluster
 from repro.core import hashfamily
 from repro.core.delta import GroupDelta
+from repro.obs.metrics import MetricsRegistry, resolve_registry
+
+#: Broadcast-delta size buckets (bits).  The paper's §4.5 claim is "tens
+#: of bits" per delta, so the resolution is finest there.
+DELTA_BITS_BUCKETS = (16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0)
 
 
 @dataclass
@@ -55,11 +60,47 @@ class UpdateStats:
 
 
 class UpdateEngine:
-    """Drives inserts/changes/removals through the cluster's update path."""
+    """Drives inserts/changes/removals through the cluster's update path.
 
-    def __init__(self, cluster: Cluster) -> None:
+    Args:
+        cluster: the cluster whose RIB/FIB/GPT the engine mutates.
+        registry: metrics registry; defaults to the *cluster's* registry,
+            so an instrumented cluster gets an instrumented update path
+            for free.  Records update counts, FIB messages, broadcast
+            delta sizes (``update.delta_bits``) and per-update apply
+            latency (``span.update.apply_us``).
+    """
+
+    def __init__(
+        self, cluster: Cluster, registry: Optional[MetricsRegistry] = None
+    ) -> None:
         self.cluster = cluster
         self.stats = UpdateStats()
+        self.bind_registry(
+            registry if registry is not None else cluster.registry
+        )
+
+    def bind_registry(self, registry: Optional[MetricsRegistry]) -> None:
+        """Attach a metrics registry (``None`` selects the null registry)."""
+        self.registry = resolve_registry(registry)
+        self._m_updates = self.registry.counter(
+            "update.updates", "RIB updates driven through the protocol"
+        )
+        self._m_fib_messages = self.registry.counter(
+            "update.fib_messages", "point-to-point FIB install/remove messages"
+        )
+        self._m_broadcasts = self.registry.counter(
+            "update.delta_broadcasts", "GPT delta messages shipped to peers"
+        )
+        self._h_delta_bits = self.registry.histogram(
+            "update.delta_bits",
+            buckets=DELTA_BITS_BUCKETS,
+            description="encoded size of each broadcast GPT delta",
+        )
+
+    def _count_fib_message(self) -> None:
+        self.stats.fib_messages += 1
+        self._m_fib_messages.inc()
 
     # ------------------------------------------------------------------
     # ScaleBricks path
@@ -67,11 +108,16 @@ class UpdateEngine:
 
     def insert_flow(self, key, node: int, value: int) -> None:
         """Add or change a flow's (handling node, value) mapping."""
+        with self.registry.span("update"):
+            self._insert_flow(key, node, value)
+
+    def _insert_flow(self, key, node: int, value: int) -> None:
         cluster = self.cluster
         ckey = hashfamily.canonical_key(key)
         previous = cluster.rib.get(ckey)
         owner = cluster.rib.owner_of_key(ckey)
         self.stats.updates += 1
+        self._m_updates.inc()
         self.stats.record_owner(owner)
         cluster.rib.insert(ckey, node, value)
 
@@ -79,27 +125,31 @@ class UpdateEngine:
             # FIB entry moves to (or is updated at) the handling node.
             if previous is not None and previous.node != node:
                 cluster.nodes[previous.node].remove_route(ckey)
-                self.stats.fib_messages += 1
+                self._count_fib_message()
             cluster.nodes[node].install_route(ckey, node, value)
-            self.stats.fib_messages += 1
+            self._count_fib_message()
             self._rebroadcast_group(ckey)
         elif cluster.architecture is Architecture.HASH_PARTITION:
             lookup_node = cluster.lookup_node_of(ckey)
             for target in {lookup_node, node}:
                 cluster.nodes[target].install_route(ckey, node, value)
-                self.stats.fib_messages += 1
+                self._count_fib_message()
             if previous is not None and previous.node not in (lookup_node, node):
                 cluster.nodes[previous.node].remove_route(ckey)
-                self.stats.fib_messages += 1
+                self._count_fib_message()
         else:
             # Full duplication / VLB: every node must apply the update —
             # the aggregate update rate stays at a single server's (§3.2).
             for cluster_node in cluster.nodes:
                 cluster_node.install_route(ckey, node, value)
-                self.stats.fib_messages += 1
+                self._count_fib_message()
 
     def remove_flow(self, key) -> bool:
         """Remove a flow entirely; returns whether it existed."""
+        with self.registry.span("update"):
+            return self._remove_flow(key)
+
+    def _remove_flow(self, key) -> bool:
         cluster = self.cluster
         ckey = hashfamily.canonical_key(key)
         previous = cluster.rib.remove(ckey)
@@ -107,21 +157,22 @@ class UpdateEngine:
             return False
         owner = cluster.rib.owner_of_key(ckey)
         self.stats.updates += 1
+        self._m_updates.inc()
         self.stats.record_owner(owner)
 
         if cluster.architecture is Architecture.SCALEBRICKS:
             cluster.nodes[previous.node].remove_route(ckey)
-            self.stats.fib_messages += 1
+            self._count_fib_message()
             self._rebroadcast_group(ckey, removed_key=ckey)
         elif cluster.architecture is Architecture.HASH_PARTITION:
             lookup_node = cluster.lookup_node_of(ckey)
             for target in {lookup_node, previous.node}:
                 cluster.nodes[target].remove_route(ckey)
-                self.stats.fib_messages += 1
+                self._count_fib_message()
         else:
             for cluster_node in cluster.nodes:
                 cluster_node.remove_route(ckey)
-                self.stats.fib_messages += 1
+                self._count_fib_message()
         return True
 
     # ------------------------------------------------------------------
@@ -137,7 +188,10 @@ class UpdateEngine:
         group = owner.gpt.group_of(ckey)
         keys, nodes = cluster.rib.group_contents(group, owner.gpt.setsep)
         removed = (removed_key,) if removed_key is not None else ()
-        delta = owner.gpt.rebuild_group(group, keys, nodes, removed_keys=removed)
+        with self.registry.span("rebuild"):
+            delta = owner.gpt.rebuild_group(
+                group, keys, nodes, removed_keys=removed
+            )
         self.stats.groups_rebuilt += 1
         self._broadcast(delta, owner_id)
 
@@ -145,9 +199,12 @@ class UpdateEngine:
         """Ship the delta to every other replica (a memory copy each)."""
         params = self.cluster.nodes[owner_id].gpt.setsep.params
         wire = delta.encode(params)
+        delta_bits = delta.size_bits(params)
         for node in self.cluster.nodes:
             if node.node_id == owner_id or node.gpt is None:
                 continue
             node.gpt.apply_delta(GroupDelta.decode(wire, params))
             self.stats.delta_broadcasts += 1
-            self.stats.broadcast_bits += delta.size_bits(params)
+            self._m_broadcasts.inc()
+            self._h_delta_bits.observe(delta_bits)
+            self.stats.broadcast_bits += delta_bits

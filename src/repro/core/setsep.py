@@ -25,14 +25,14 @@ from repro.core import group as group_search
 from repro.core import hashfamily, twolevel
 from repro.core.delta import GroupDelta
 from repro.core.fallback import FallbackTable
+from repro.core.hashfamily import Key
 from repro.core.params import (
     BUCKETS_PER_BLOCK,
     CHOICE_BITS,
     GROUPS_PER_BLOCK,
     SetSepParams,
 )
-
-Key = Union[int, bytes, str]
+from repro.obs.metrics import MetricsRegistry, resolve_registry
 
 
 class SetSep:
@@ -52,6 +52,7 @@ class SetSep:
         arrays: np.ndarray,
         failed_groups: np.ndarray,
         fallback: Optional[FallbackTable] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         num_buckets = num_blocks * BUCKETS_PER_BLOCK
         num_groups = num_blocks * GROUPS_PER_BLOCK
@@ -70,6 +71,31 @@ class SetSep:
         self.arrays = arrays
         self.failed_groups = failed_groups
         self.fallback = fallback if fallback is not None else FallbackTable()
+        self.bind_registry(registry)
+
+    def bind_registry(self, registry: Optional[MetricsRegistry]) -> None:
+        """Attach a metrics registry (``None`` selects the null registry).
+
+        Instrument handles are cached here so the lookup path pays one
+        method call per *batch*, a no-op under the null registry.
+        """
+        self.registry = resolve_registry(registry)
+        self._m_lookups = self.registry.counter(
+            "setsep.lookups", "keys looked up (batch or scalar)"
+        )
+        self._m_fallback_hits = self.registry.counter(
+            "setsep.fallback_hits", "lookups answered by the exact fallback"
+        )
+        self._m_rebuilds = self.registry.counter(
+            "setsep.group_rebuilds", "groups recomputed by the update path"
+        )
+        self._m_rebuild_failures = self.registry.counter(
+            "setsep.group_rebuild_failures",
+            "group recomputes that spilled to the fallback",
+        )
+        self._m_deltas_applied = self.registry.counter(
+            "setsep.deltas_applied", "broadcast group deltas applied"
+        )
 
     # ------------------------------------------------------------------
     # Shape properties
@@ -107,6 +133,7 @@ class SetSep:
         keys = hashfamily.canonical_keys(keys)
         if keys.size == 0:
             return np.zeros(0, dtype=np.uint32)
+        self._m_lookups.inc(keys.size)
         groups = self.groups_of(keys)
         g1, g2 = hashfamily.base_hashes(keys)
         m = self.params.array_bits
@@ -129,10 +156,14 @@ class SetSep:
         if not len(self.fallback):
             return
         failed = self.failed_groups[groups]
+        hits = 0
         for i in np.nonzero(failed)[0]:
             exact = self.fallback.get(int(keys[i]))
             if exact is not None:
                 values[i] = exact
+                hits += 1
+        if hits:
+            self._m_fallback_hits.inc(hits)
 
     def buckets_of(self, keys: np.ndarray) -> np.ndarray:
         """Global bucket id of each (canonical) key."""
@@ -178,8 +209,11 @@ class SetSep:
         if keys_arr.shape != values_arr.shape:
             raise ValueError("keys and values must have equal length")
         was_failed = bool(self.failed_groups[group_id])
+        self._m_rebuilds.inc()
         g1, g2 = hashfamily.base_hashes(keys_arr)
         functions = group_search.search_group(g1, g2, values_arr, self.params)
+        if functions is None:
+            self._m_rebuild_failures.inc()
 
         removals: List[int] = [
             hashfamily.canonical_key(k) for k in removed_keys
@@ -214,6 +248,7 @@ class SetSep:
         g = delta.group_id
         if not 0 <= g < self.num_groups:
             raise ValueError(f"group id {g} out of range")
+        self._m_deltas_applied.inc()
         self.indices[g, :] = delta.indices
         self.arrays[g, :] = delta.arrays
         self.failed_groups[g] = delta.failed
@@ -266,6 +301,7 @@ class SetSep:
             indices=self.indices.copy(),
             arrays=self.arrays.copy(),
             failed_groups=self.failed_groups.copy(),
+            registry=self.registry,
         )
         clone.fallback.insert_many(self.fallback.items())
         return clone

@@ -14,7 +14,7 @@ so the PFE swap is exercised end to end at byte level.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -27,25 +27,88 @@ from repro.epc.controller import AssignmentPolicy, EpcController, FlowRecord
 from repro.epc.dpe import DataPlaneEngine
 from repro.epc.packets import FlowTuple, extract_flow, parse_frame
 from repro.epc.tunnels import GtpTunnelEndpoint
+from repro.obs.metrics import LATENCY_BUCKETS_US, MetricsRegistry
+
+#: Legacy ``GatewayStats`` field -> registry counter name.
+_STAT_COUNTERS: Dict[str, str] = {
+    "downstream_in": "gateway.downstream.packets_in",
+    "downstream_tunnelled": "gateway.downstream.tunnelled",
+    "upstream_in": "gateway.upstream.packets_in",
+    "upstream_forwarded": "gateway.upstream.forwarded",
+    "dropped_unknown_flow": "gateway.drops.unknown_flow",
+    "dropped_bad_tunnel": "gateway.drops.bad_tunnel",
+    "dropped_acl": "gateway.drops.acl",
+    "dropped_malformed": "gateway.drops.malformed",
+}
 
 
-@dataclass
 class GatewayStats:
-    """Data-plane accounting."""
+    """Deprecated facade over the gateway's metrics registry.
 
-    downstream_in: int = 0
-    downstream_tunnelled: int = 0
-    upstream_in: int = 0
-    upstream_forwarded: int = 0
-    dropped_unknown_flow: int = 0
-    dropped_bad_tunnel: int = 0
-    dropped_acl: int = 0
-    dropped_malformed: int = 0
-    bytes_charged: Dict[int, int] = field(default_factory=dict)
+    The packet/byte/drop counts that used to live here as ad-hoc
+    dataclass fields are now plain registry counters (see
+    :data:`_STAT_COUNTERS` for the mapping).  This class keeps the old
+    attribute names readable — and writable — during the transition, at
+    the price of a :class:`DeprecationWarning` per access; new code
+    should read ``gateway.registry`` directly.
+
+    ``bytes_charged`` (per-TEID byte accounting) remains a real dict;
+    the registry tracks the cluster-wide total as
+    ``gateway.bytes_charged``.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        state = self.__dict__
+        state["_registry"] = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        state["bytes_charged"] = {}
+        state["_c_bytes"] = state["_registry"].counter(
+            "gateway.bytes_charged", "bytes charged across all bearers"
+        )
 
     def charge(self, teid: int, size: int) -> None:
         """DPE charging function: account bytes to a bearer."""
         self.bytes_charged[teid] = self.bytes_charged.get(teid, 0) + size
+        self._c_bytes.inc(size)
+
+    def __getattr__(self, name: str) -> int:
+        counter_name = _STAT_COUNTERS.get(name)
+        if counter_name is None:
+            raise AttributeError(
+                f"{type(self).__name__!s} has no attribute {name!r}"
+            )
+        warnings.warn(
+            f"GatewayStats.{name} is deprecated; read the "
+            f"{counter_name!r} counter from the gateway's metrics "
+            "registry instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return int(self._registry.counter(counter_name).value)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        counter_name = _STAT_COUNTERS.get(name)
+        if counter_name is None:
+            self.__dict__[name] = value
+            return
+        warnings.warn(
+            f"writing GatewayStats.{name} is deprecated; increment the "
+            f"{counter_name!r} counter on the gateway's metrics registry "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        counter = self._registry.counter(counter_name)
+        counter.reset()
+        counter.inc(int(value))  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:
+        counts = {
+            field: self._registry.counter(name).value
+            for field, name in _STAT_COUNTERS.items()
+        }
+        return f"GatewayStats({counts})"
 
 
 class AggregateDpeView:
@@ -100,6 +163,12 @@ class EpcGateway:
         fib_factory: FIB table constructor (defaults to extended cuckoo).
         rate_limit_bytes_per_s: optional per-bearer token-bucket policing
             applied by the DPE (None disables policing).
+        registry: metrics registry for packet/byte/drop counters and
+            per-stage latency spans.  Unlike the pure lookup hot paths,
+            the gateway defaults to a *live* private registry — its
+            legacy :class:`GatewayStats` facade must keep counting — and
+            shares it with the cluster and update engine it builds; pass
+            :data:`repro.obs.NULL_REGISTRY` to disable instrumentation.
 
     The gateway keeps a simple logical clock (``now``, seconds) advanced
     by ``tick`` per processed packet so the DPE's state machine and
@@ -115,12 +184,38 @@ class EpcGateway:
         gpt_params: Optional[SetSepParams] = None,
         fib_factory: Optional[FibFactory] = None,
         rate_limit_bytes_per_s: Optional[float] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.architecture = architecture
         self.num_nodes = num_nodes
         self.gateway_ip = gateway_ip
         self.controller = EpcController(num_nodes, policy)
-        self.stats = GatewayStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stats = GatewayStats(self.registry)
+        r = self.registry
+        self._c_down_in = r.counter(_STAT_COUNTERS["downstream_in"])
+        self._c_down_tunnelled = r.counter(
+            _STAT_COUNTERS["downstream_tunnelled"]
+        )
+        self._c_down_bytes = r.counter(
+            "gateway.downstream.bytes", "L3 bytes accepted downstream"
+        )
+        self._c_up_in = r.counter(_STAT_COUNTERS["upstream_in"])
+        self._c_up_forwarded = r.counter(_STAT_COUNTERS["upstream_forwarded"])
+        self._c_up_bytes = r.counter(
+            "gateway.upstream.bytes", "inner L3 bytes forwarded upstream"
+        )
+        self._c_drop_unknown = r.counter(_STAT_COUNTERS["dropped_unknown_flow"])
+        self._c_drop_tunnel = r.counter(_STAT_COUNTERS["dropped_bad_tunnel"])
+        self._c_drop_acl = r.counter(_STAT_COUNTERS["dropped_acl"])
+        self._c_drop_malformed = r.counter(_STAT_COUNTERS["dropped_malformed"])
+        self._c_drop_policed = r.counter(
+            "gateway.drops.policed", "packets rejected by a bearer policer"
+        )
+        self._h_fabric_hop = r.histogram(
+            "gateway.fabric_hop_us", buckets=LATENCY_BUCKETS_US,
+            description="modelled switch-fabric latency per routed packet",
+        )
         # One Data Plane Engine per node: bearer state lives where the
         # flow is handled (the pinning the whole paper exists to serve).
         self.dpes = [DataPlaneEngine() for _ in range(num_nodes)]
@@ -200,6 +295,7 @@ class EpcGateway:
             teids,
             fib_factory=self._fib_factory,
             gpt_params=self._gpt_params,
+            registry=self.registry,
         )
         self.updates = UpdateEngine(self.cluster)
 
@@ -221,73 +317,105 @@ class EpcGateway:
         the GTP-U-encapsulated packet headed for the base station.
         """
         cluster = self._require_cluster()
-        self.stats.downstream_in += 1
-        try:
-            _eth, l3 = parse_frame(frame)
-            flow, ip_header, _l4 = extract_flow(l3)
-        except ValueError:
-            # A production PFE drops garbage at line rate; it never dies.
-            self.stats.dropped_malformed += 1
-            return RouteResult(
-                key=0,
-                ingress=ingress if ingress is not None else -1,
-                path=(),
-                internal_hops=0,
-                latency_us=0.0,
-                handled_by=None,
-                value=None,
-                dropped=True,
-                reason="malformed",
-            ), None
+        self._c_down_in.inc()
+        with self.registry.span("downstream"):
+            with self.registry.span("ingress"):
+                try:
+                    _eth, l3 = parse_frame(frame)
+                    flow, ip_header, _l4 = extract_flow(l3)
+                except ValueError:
+                    # A production PFE drops garbage at line rate; it
+                    # never dies.
+                    self._c_drop_malformed.inc()
+                    return RouteResult(
+                        key=0,
+                        ingress=ingress if ingress is not None else -1,
+                        path=(),
+                        internal_hops=0,
+                        latency_us=0.0,
+                        handled_by=None,
+                        value=None,
+                        dropped=True,
+                        reason="malformed",
+                    ), None
 
-        if flow.src_ip in self.acl_blocked_sources:
-            self.stats.dropped_acl += 1
-            result = RouteResult(
-                key=flow.key(),
-                ingress=ingress if ingress is not None else -1,
-                path=(),
-                internal_hops=0,
-                latency_us=0.0,
-                handled_by=None,
-                value=None,
-                dropped=True,
-                reason="acl",
-            )
-            return result, None
+                if flow.src_ip in self.acl_blocked_sources:
+                    self._c_drop_acl.inc()
+                    result = RouteResult(
+                        key=flow.key(),
+                        ingress=ingress if ingress is not None else -1,
+                        path=(),
+                        internal_hops=0,
+                        latency_us=0.0,
+                        handled_by=None,
+                        value=None,
+                        dropped=True,
+                        reason="acl",
+                    )
+                    return result, None
 
-        result = cluster.route(flow.key(), ingress)
-        if result.dropped:
-            self.stats.dropped_unknown_flow += 1
-            return result, None
+            with self.registry.span("pfe_lookup"):
+                result = cluster.route(flow.key(), ingress)
+            if result.dropped:
+                self._c_drop_unknown.inc()
+                return result, None
+            self._h_fabric_hop.observe(result.latency_us)
 
-        # DPE at the handling node: state/policing, charge, decrement TTL,
-        # re-encapsulate.
-        record = self.controller.record_for_key(flow.key())
-        assert record is not None and result.value == record.teid
-        self.now += self.tick
-        if not self.dpes[record.handling_node].process(
-            record.teid, len(l3), downlink=True, now=self.now
-        ):
-            self.stats.dropped_acl += 1
-            return RouteResult(
-                key=flow.key(),
-                ingress=result.ingress,
-                path=result.path,
-                internal_hops=result.internal_hops,
-                latency_us=result.latency_us,
-                handled_by=None,
-                value=None,
-                dropped=True,
-                reason="policed",
-            ), None
-        self.stats.charge(record.teid, len(l3))
-        forwarded_inner = ip_header.decrement_ttl().pack() + l3[ip_header.SIZE:]
-        endpoint = GtpTunnelEndpoint(
-            local_ip=self.gateway_ip, peer_ip=record.base_station_ip
-        )
-        tunnelled = endpoint.encapsulate(record.teid, forwarded_inner)
-        self.stats.downstream_tunnelled += 1
-        return result, tunnelled
+            # DPE at the handling node: state/policing, charge, decrement
+            # TTL, re-encapsulate.
+            with self.registry.span("dpe"):
+                record = self.controller.record_for_key(flow.key())
+                assert record is not None and result.value == record.teid
+                self.now += self.tick
+                if not self.dpes[record.handling_node].process(
+                    record.teid, len(l3), downlink=True, now=self.now
+                ):
+                    self._c_drop_acl.inc()
+                    self._c_drop_policed.inc()
+                    return RouteResult(
+                        key=flow.key(),
+                        ingress=result.ingress,
+                        path=result.path,
+                        internal_hops=result.internal_hops,
+                        latency_us=result.latency_us,
+                        handled_by=None,
+                        value=None,
+                        dropped=True,
+                        reason="policed",
+                    ), None
+                self.stats.charge(record.teid, len(l3))
+                self._c_down_bytes.inc(len(l3))
+
+            with self.registry.span("egress"):
+                forwarded_inner = (
+                    ip_header.decrement_ttl().pack() + l3[ip_header.SIZE:]
+                )
+                endpoint = GtpTunnelEndpoint(
+                    local_ip=self.gateway_ip, peer_ip=record.base_station_ip
+                )
+                tunnelled = endpoint.encapsulate(record.teid, forwarded_inner)
+            self._c_down_tunnelled.inc()
+            return result, tunnelled
+
+    def process_downstream_batch(
+        self,
+        frames: Sequence[bytes],
+        ingress: Optional[Sequence[Optional[int]]] = None,
+    ) -> List[Tuple[RouteResult, Optional[bytes]]]:
+        """Forward many downstream frames (batch query surface).
+
+        Each element of the result is exactly what
+        :meth:`process_downstream` returns for the matching frame; the
+        optional ``ingress`` sequence pins per-frame ingress nodes.
+        """
+        if ingress is None:
+            return [self.process_downstream(frame) for frame in frames]
+        if len(ingress) != len(frames):
+            raise ValueError("frames and ingress lengths differ")
+        return [
+            self.process_downstream(frame, node)
+            for frame, node in zip(frames, ingress)
+        ]
 
     # ------------------------------------------------------------------
     # Data plane: upstream (mobile -> Internet)
@@ -300,36 +428,41 @@ class EpcGateway:
         aggregation routers honour the assignment; §2), so no cluster
         routing is involved — only tunnel validation and DPE work.
         """
-        self.stats.upstream_in += 1
-        try:
-            teid, inner, _outer = GtpTunnelEndpoint.decapsulate(outer_packet)
-        except ValueError:
-            self.stats.dropped_bad_tunnel += 1
-            return None
-        if teid not in self.controller.teids:
-            self.stats.dropped_bad_tunnel += 1
-            return None
-        try:
-            flow, ip_header, _rest = extract_flow(inner)
-        except ValueError:
-            self.stats.dropped_malformed += 1
-            return None
-        if flow.src_ip in self.acl_blocked_sources:
-            self.stats.dropped_acl += 1
-            return None
-        record = self.controller.record_for_teid(teid)
-        if record is None:
-            self.stats.dropped_bad_tunnel += 1
-            return None
-        self.now += self.tick
-        if not self.dpes[record.handling_node].process(
-            teid, len(inner), downlink=False, now=self.now
-        ):
-            self.stats.dropped_acl += 1
-            return None
-        self.stats.charge(teid, len(inner))
-        self.stats.upstream_forwarded += 1
-        return ip_header.decrement_ttl().pack() + inner[ip_header.SIZE:]
+        self._c_up_in.inc()
+        with self.registry.span("upstream"):
+            try:
+                teid, inner, _outer = GtpTunnelEndpoint.decapsulate(
+                    outer_packet
+                )
+            except ValueError:
+                self._c_drop_tunnel.inc()
+                return None
+            if teid not in self.controller.teids:
+                self._c_drop_tunnel.inc()
+                return None
+            try:
+                flow, ip_header, _rest = extract_flow(inner)
+            except ValueError:
+                self._c_drop_malformed.inc()
+                return None
+            if flow.src_ip in self.acl_blocked_sources:
+                self._c_drop_acl.inc()
+                return None
+            record = self.controller.record_for_teid(teid)
+            if record is None:
+                self._c_drop_tunnel.inc()
+                return None
+            self.now += self.tick
+            if not self.dpes[record.handling_node].process(
+                teid, len(inner), downlink=False, now=self.now
+            ):
+                self._c_drop_acl.inc()
+                self._c_drop_policed.inc()
+                return None
+            self.stats.charge(teid, len(inner))
+            self._c_up_bytes.inc(len(inner))
+            self._c_up_forwarded.inc()
+            return ip_header.decrement_ttl().pack() + inner[ip_header.SIZE:]
 
     # ------------------------------------------------------------------
     # Introspection
@@ -338,6 +471,17 @@ class EpcGateway:
     def memory_report(self) -> List[Dict[str, int]]:
         """Per-node forwarding-state footprint."""
         return self._require_cluster().memory_report()
+
+    @property
+    def policed_drops(self) -> int:
+        """Deprecated: read the ``gateway.drops.policed`` counter instead."""
+        warnings.warn(
+            "EpcGateway.policed_drops is deprecated; read the "
+            "'gateway.drops.policed' counter from gateway.registry instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return int(self._c_drop_policed.value)
 
     def __repr__(self) -> str:
         return (

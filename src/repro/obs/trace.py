@@ -1,0 +1,68 @@
+"""Lightweight per-stage latency tracing.
+
+A :class:`Span` times one named stage of the data path (ingress, SetSep
+lookup, fabric hop, DPE, egress) and records the wall-clock duration in
+microseconds into a registry histogram named ``span.<name>_us``.  Spans
+nest: a span opened while another is active takes the active span's name
+as a dotted prefix, so::
+
+    with registry.span("downstream"):
+        with registry.span("dpe"):
+            ...
+
+records into ``span.downstream_us`` and ``span.downstream.dpe_us``.
+
+The registry keeps one span stack per registry instance (the reproduction
+is single-threaded per data path); a span's histogram is resolved on exit
+through the registry's get-or-create path, so the first packet pays the
+dict insert and later packets pay one dict hit plus a perf-counter pair.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.obs.metrics import LATENCY_BUCKETS_US, Histogram, MetricsRegistry
+
+
+class Span:
+    """Times one ``with`` block into ``span.<dotted name>_us``."""
+
+    __slots__ = ("registry", "name", "full_name", "_started")
+
+    def __init__(self, registry: MetricsRegistry, name: str) -> None:
+        if not name:
+            raise ValueError("span name must be non-empty")
+        self.registry = registry
+        self.name = name
+        self.full_name: Optional[str] = None
+        self._started = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = self.registry._span_stack
+        self.full_name = f"{stack[-1]}.{self.name}" if stack else self.name
+        stack.append(self.full_name)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        elapsed_us = (time.perf_counter() - self._started) * 1e6
+        self.registry._span_stack.pop()
+        self.histogram().observe(elapsed_us)
+        return False
+
+    def histogram(self) -> Histogram:
+        """The latency histogram this span records into."""
+        name = self.full_name if self.full_name is not None else self.name
+        return self.registry.histogram(
+            f"span.{name}_us", buckets=LATENCY_BUCKETS_US
+        )
+
+    def __repr__(self) -> str:
+        return f"Span({self.full_name or self.name})"
+
+
+def span_histogram_name(name: str) -> str:
+    """Registry histogram name for a (dotted) span name."""
+    return f"span.{name}_us"

@@ -18,12 +18,17 @@ import numpy as np
 
 from repro.model.cache import CacheHierarchy
 from repro.model.perf import TableCostModel
+from repro.obs.metrics import MetricsRegistry, resolve_registry
 from repro.sim.events import EventQueue
 from repro.sim.pfe import PfeNode, SimPacket
 from repro.utils.stats import percentile
 
 #: Switch transit latency in ns (0.6 us, the fabric default).
 SWITCH_TRANSIT_NS = 600.0
+
+#: Queue-depth histogram buckets (packets waiting at enqueue time).
+QUEUE_DEPTH_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                       256.0)
 
 
 @dataclass(frozen=True)
@@ -55,6 +60,8 @@ class ClusterSimulation:
         num_nodes: cluster size.
         num_flows: FIB population.
         seed: randomness (arrival process and handler assignment).
+        registry: metrics registry for queue-depth histograms and
+            offered/delivered/dropped counters (default: disabled).
     """
 
     def __init__(
@@ -65,6 +72,7 @@ class ClusterSimulation:
         num_nodes: int = 4,
         num_flows: int = 8_000_000,
         seed: int = 0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.design = design
         self.num_nodes = num_nodes
@@ -74,6 +82,26 @@ class ClusterSimulation:
         self._delivered = 0
         self._offered = 0
         self._dropped = 0
+        self.registry = resolve_registry(registry)
+        self._m_offered = self.registry.counter(
+            f"sim.{design}.offered", "packets offered to the cluster"
+        )
+        self._m_delivered = self.registry.counter(
+            f"sim.{design}.delivered", "packets that completed service"
+        )
+        self._m_dropped = self.registry.counter(
+            f"sim.{design}.dropped", "packets lost to full core queues"
+        )
+        self._h_ext_depth = self.registry.histogram(
+            f"sim.{design}.queue_depth.external",
+            buckets=QUEUE_DEPTH_BUCKETS,
+            description="external-core queue depth seen by each arrival",
+        )
+        self._h_int_depth = self.registry.histogram(
+            f"sim.{design}.queue_depth.internal",
+            buckets=QUEUE_DEPTH_BUCKETS,
+            description="internal-core queue depth seen by each arrival",
+        )
 
         def lookup_node_of(packet: SimPacket) -> int:
             # Deterministic per-packet "key hash" (the lookup slice owner).
@@ -108,12 +136,15 @@ class ClusterSimulation:
     def _forward(self, packet: SimPacket, target_node: int) -> None:
         def arrive() -> None:
             target = self.nodes[target_node].internal
+            self._h_int_depth.observe(target.depth)
             if not target.enqueue(packet):
                 self._dropped += 1
+                self._m_dropped.inc()
         self.events.schedule(SWITCH_TRANSIT_NS, arrive)
 
     def _deliver(self, packet: SimPacket) -> None:
         self._delivered += 1
+        self._m_delivered.inc()
         self._latencies_ns.append(self.events.now - packet.entered_at)
 
     # ------------------------------------------------------------------
@@ -159,8 +190,12 @@ class ClusterSimulation:
                 handling_node=handler,
                 entered_at=self.events.now,
             )
-            if not self.nodes[node].external.enqueue(packet):
+            external = self.nodes[node].external
+            self._h_ext_depth.observe(external.depth)
+            self._m_offered.inc()
+            if not external.enqueue(packet):
                 self._dropped += 1
+                self._m_dropped.inc()
 
         self.events.schedule_at(when_ns, arrive)
 

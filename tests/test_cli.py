@@ -100,3 +100,69 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestJsonOutput:
+    def test_info_json(self, flow_csv, tmp_path, capsys):
+        import json
+
+        snapshot = tmp_path / "gpt.snap"
+        main(["build", str(flow_csv), str(snapshot)])
+        capsys.readouterr()
+        assert main(["info", str(snapshot), "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["value_bits"] == 2
+        assert parsed["size_bytes"] > 0
+        assert parsed["capacity_keys"] == parsed["blocks"] * 1024
+
+    def test_scale_json(self, capsys):
+        import json
+
+        assert main(["scale", "--max-nodes", "8", "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert len(parsed["curve"]) == 8
+        assert parsed["curve"][0]["nodes"] == 1
+        assert parsed["peak_advantage"]["ratio"] > 1.0
+
+
+class TestStats:
+    def test_stats_text(self, capsys):
+        assert main(["stats", "--flows", "300", "--packets", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "gateway.downstream.packets_in" in out
+        assert "histograms:" in out
+        assert "span.downstream_us" in out
+
+    def test_stats_json(self, capsys):
+        import json
+
+        assert main(
+            ["stats", "--flows", "300", "--packets", "120", "--json"]
+        ) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["counters"]["gateway.downstream.packets_in"] == 120
+        assert parsed["counters"]["gateway.downstream.tunnelled"] > 0
+        assert parsed["histograms"]["span.downstream_us"]["count"] == 120
+
+
+class TestMetricsJson:
+    def test_gateway_metrics_json(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "gateway",
+                "--flows", "300",
+                "--packets", "150",
+                "--metrics-json", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert "metrics written" in capsys.readouterr().out
+        parsed = json.loads(out_path.read_text())
+        assert parsed["counters"]["gateway.downstream.packets_in"] == 150
+        assert parsed["counters"]["gateway.bytes_charged"] > 0
+        assert parsed["histograms"]["span.downstream.dpe_us"]["count"] > 0
+        assert parsed["histograms"]["gateway.fabric_hop_us"]["count"] > 0

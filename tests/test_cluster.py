@@ -177,3 +177,87 @@ class TestValidation:
         result = cluster.route(int(keys[0]))
         assert result.value == values[0]
         assert isinstance(cluster.nodes[0].fib, RteHashTable)
+
+
+class TestObservability:
+    def test_registry_counts_routing(self, population):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cluster = build_cluster(
+            Architecture.SCALEBRICKS, population, registry=registry
+        )
+        keys, _, _ = population
+        cluster.route_batch(keys[:100], ingress=[0] * 100)
+        counters = registry.snapshot()["counters"]
+        assert counters["cluster.scalebricks.routed"] == 100
+        assert counters["cluster.scalebricks.delivered"] == 100
+        assert counters["setsep.lookups"] >= 100
+        hops = registry.histogram("cluster.scalebricks.hops")
+        assert hops.count == 100
+
+    def test_default_registry_is_null(self, population):
+        cluster = build_cluster(Architecture.SCALEBRICKS, population)
+        assert not cluster.registry.enabled
+        keys, _, _ = population
+        cluster.route(int(keys[0]))
+        assert cluster.registry.snapshot()["counters"] == {}
+
+    def test_reset_counters_shim_warns_and_resets(self, population):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cluster = build_cluster(
+            Architecture.SCALEBRICKS, population, registry=registry
+        )
+        keys, _, _ = population
+        cluster.route(int(keys[0]), ingress=0)
+        with pytest.warns(DeprecationWarning):
+            cluster.reset_counters()
+        assert registry.counter("cluster.scalebricks.routed").value == 0
+        assert cluster.nodes[0].counters.external_rx == 0
+
+
+class TestBatchQuerySurface:
+    def test_lookup_nodes_batch_matches_scalar(self, population):
+        cluster = build_cluster(Architecture.HASH_PARTITION, population)
+        keys, _, _ = population
+        batch = cluster.lookup_nodes_batch(keys[:50])
+        assert batch.dtype == np.int64
+        assert batch.shape == (50,)
+        assert all(
+            int(batch[i]) == cluster.lookup_node_of(int(keys[i]))
+            for i in range(50)
+        )
+
+    def test_route_batch_typed_result(self, population):
+        cluster = build_cluster(Architecture.SCALEBRICKS, population)
+        keys, handlers, _ = population
+        batch = cluster.route_batch(keys[:64], ingress=[0] * 64)
+        assert len(batch) == 64
+        assert batch.egress_nodes.shape == (64,)
+        assert batch.hop_counts.dtype == np.int64
+        assert batch.dropped.dtype == np.bool_
+        assert not batch.dropped.any()
+        assert batch.delivered_count == 64
+        np.testing.assert_array_equal(
+            batch.egress_nodes, handlers[:64]
+        )
+        np.testing.assert_array_equal(
+            batch.indirections, batch.hop_counts >= 2
+        )
+        # Sequence protocol: iteration, indexing and slicing still work.
+        assert [r.key for r in batch][0] == batch[0].key
+        assert len(batch[10:20]) == 10
+        assert batch.mean_hops == pytest.approx(
+            batch.hop_counts.mean()
+        )
+
+    def test_route_batch_marks_drops(self, population):
+        cluster = build_cluster(Architecture.FULL_DUPLICATION, population)
+        keys, _, _ = population
+        unknown = unique_keys(8, seed=321)
+        batch = cluster.route_batch(unknown)
+        assert batch.dropped.all()
+        assert (batch.egress_nodes == -1).all()
+        assert batch.delivered_count == 0
