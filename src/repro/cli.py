@@ -8,6 +8,8 @@ Commands:
 * ``gateway`` — run a quick EPC gateway simulation and print its report.
 * ``info``    — describe a snapshot (config, size, bits/key).
 * ``stats``   — run an instrumented gateway trial and print its metrics.
+* ``chaos``   — run seeded fault-injection episodes with differential
+  oracle checking (exit 1 if any invariant was violated).
 
 ``info``, ``scale`` and ``stats`` accept ``--json`` for machine-readable
 output; ``gateway --metrics-json PATH`` dumps the full metrics registry
@@ -194,6 +196,38 @@ def _print_metrics_text(registry: MetricsRegistry) -> None:
                   f"min={h['min']:<10.3f} max={h['max']:<10.3f}")
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.sim.soak import SoakRunner
+
+    runner = SoakRunner(
+        seed=args.seed,
+        episodes=args.episodes,
+        architecture=Architecture(args.architecture),
+        num_nodes=args.nodes,
+        flows=args.flows,
+        steps=args.steps,
+        packets_per_burst=args.packets,
+    )
+    report = runner.run()
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(f"architecture : {report.architecture} "
+              f"({report.num_nodes} nodes)")
+        print(f"episodes     : {len(report.episodes)} "
+              f"(seed {report.seed}, {args.steps} faults each)")
+        print(f"fault kinds  : {', '.join(report.fault_kinds)}")
+        print(f"checks       : {report.total_checks:,}")
+        print(f"violations   : {report.total_violations}")
+        for episode in report.episodes:
+            for violation in episode.violations:
+                print(f"  episode {episode.episode} (seed {episode.seed}) "
+                      f"step {violation['step']}: {violation['invariant']} "
+                      f"key={violation['key']}: {violation['detail']}")
+        print("verdict      : " + ("OK" if report.ok else "VIOLATED"))
+    return 0 if report.ok else 1
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     _architecture, gateway, _stats = _run_gateway_trial(args)
     if args.json:
@@ -265,6 +299,28 @@ def make_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true",
                        help="emit the raw registry snapshot as JSON")
     stats.set_defaults(func=_cmd_stats)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run seeded fault-injection episodes with oracle checking",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--episodes", type=int, default=5)
+    chaos.add_argument(
+        "--architecture",
+        choices=[a.value for a in Architecture],
+        default=Architecture.SCALEBRICKS.value,
+    )
+    chaos.add_argument("--nodes", type=int, default=4)
+    chaos.add_argument("--flows", type=int, default=32,
+                       help="initial bearer population per episode")
+    chaos.add_argument("--steps", type=int, default=8,
+                       help="fault events per episode")
+    chaos.add_argument("--packets", type=int, default=12,
+                       help="differential packets per traffic burst")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the full soak report as JSON")
+    chaos.set_defaults(func=_cmd_chaos)
 
     reproduce = sub.add_parser(
         "reproduce",

@@ -12,9 +12,35 @@ verify the 2R-vs-R internal bandwidth claim and the hop counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
+
+#: Verdicts a fabric fault hook may return for one transit.
+DELIVER = "deliver"
+DROP = "drop"
+DUPLICATE = "duplicate"
+DELAY = "delay"
+
+#: Latency multiplier applied to a transit the fault hook delays (models
+#: the queueing that reorders a packet behind later arrivals).
+DELAY_FACTOR = 4.0
+
+FaultHook = Callable[[int, int, int], str]
+
+
+class FabricLoss(RuntimeError):
+    """A transit was dropped in flight by an injected fabric fault.
+
+    Carried out of :meth:`SwitchFabric.deliver` so the caller (e.g. the
+    chaos harness) can attribute the loss to the injection rather than to
+    the forwarding logic.
+    """
+
+    def __init__(self, src: int, dst: int) -> None:
+        super().__init__(f"transit {src} -> {dst} lost to injected fault")
+        self.src = src
+        self.dst = dst
 
 
 @dataclass
@@ -23,6 +49,9 @@ class FabricStats:
 
     packets: int = 0
     bytes: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
     per_link_packets: Dict[Tuple[int, int], int] = field(default_factory=dict)
 
     def record(self, src: int, dst: int, size: int) -> None:
@@ -59,17 +88,41 @@ class SwitchFabric:
         self.transit_latency_us = transit_latency_us
         self.stats = FabricStats()
         self._rng = np.random.default_rng(seed)
+        #: Optional fault-injection hook consulted once per transit with
+        #: ``(src, dst, size)``; must return one of :data:`DELIVER`,
+        #: :data:`DROP`, :data:`DUPLICATE` or :data:`DELAY`.  ``None``
+        #: (the default) keeps the fabric lossless.
+        self.fault_hook: Optional[FaultHook] = None
 
     def deliver(self, src: int, dst: int, size: int = 64) -> float:
         """Move one packet from ``src`` to ``dst``; returns transit latency.
 
         Delivery to self is free (no fabric transit).
+
+        Raises:
+            FabricLoss: when an installed :attr:`fault_hook` drops the
+                transit (chaos testing; never raised without a hook).
         """
         self._check(src)
         self._check(dst)
         if src == dst:
             return 0.0
+        verdict = DELIVER if self.fault_hook is None else self.fault_hook(
+            src, dst, size
+        )
+        if verdict == DROP:
+            self.stats.dropped += 1
+            raise FabricLoss(src, dst)
         self.stats.record(src, dst, size)
+        if verdict == DUPLICATE:
+            # The copy travels in parallel: double the accounting, same
+            # arrival latency for the first copy.
+            self.stats.record(src, dst, size)
+            self.stats.duplicated += 1
+            return self.transit_latency_us
+        if verdict == DELAY:
+            self.stats.delayed += 1
+            return self.transit_latency_us * DELAY_FACTOR
         return self.transit_latency_us
 
     def pick_indirect(self, src: int, dst: int) -> int:

@@ -22,7 +22,7 @@ node, so the aggregate rate stays at a single node's — the contrast
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.architectures import Architecture
 from repro.cluster.cluster import Cluster
@@ -33,6 +33,14 @@ from repro.obs.metrics import MetricsRegistry, resolve_registry
 #: Broadcast-delta size buckets (bits).  The paper's §4.5 claim is "tens
 #: of bits" per delta, so the resolution is finest there.
 DELTA_BITS_BUCKETS = (16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0)
+
+#: Verdicts a delta interceptor may return for one (owner, peer) ship.
+DELIVER = "deliver"
+DROP = "drop"
+DUPLICATE = "duplicate"
+DELAY = "delay"
+
+DeltaInterceptor = Callable[[int, int], str]
 
 
 @dataclass
@@ -45,6 +53,9 @@ class UpdateStats:
     broadcast_bits: int = 0
     groups_rebuilt: int = 0
     rebuild_iterations: int = 0
+    deltas_dropped: int = 0
+    deltas_duplicated: int = 0
+    deltas_delayed: int = 0
     per_owner_updates: Dict[int, int] = field(default_factory=dict)
 
     def record_owner(self, owner: int) -> None:
@@ -76,6 +87,12 @@ class UpdateEngine:
     ) -> None:
         self.cluster = cluster
         self.stats = UpdateStats()
+        #: Optional fault-injection hook consulted once per delta ship
+        #: with ``(owner_id, peer_id)``; must return one of
+        #: :data:`DELIVER`, :data:`DROP`, :data:`DUPLICATE` or
+        #: :data:`DELAY`.  ``None`` (the default) ships every delta.
+        self.delta_interceptor: Optional[DeltaInterceptor] = None
+        self._delayed_deltas: List[Tuple[int, bytes]] = []
         self.bind_registry(
             registry if registry is not None else cluster.registry
         )
@@ -96,6 +113,17 @@ class UpdateEngine:
             "update.delta_bits",
             buckets=DELTA_BITS_BUCKETS,
             description="encoded size of each broadcast GPT delta",
+        )
+        self._m_deltas_dropped = self.registry.counter(
+            "update.deltas_dropped", "GPT deltas lost to injected faults"
+        )
+        self._m_deltas_duplicated = self.registry.counter(
+            "update.deltas_duplicated",
+            "GPT deltas applied twice by injected faults",
+        )
+        self._m_deltas_delayed = self.registry.counter(
+            "update.deltas_delayed",
+            "GPT deltas held back for a delayed rebroadcast",
         )
 
     def _count_fib_message(self) -> None:
@@ -196,15 +224,56 @@ class UpdateEngine:
         self._broadcast(delta, owner_id)
 
     def _broadcast(self, delta: GroupDelta, owner_id: int) -> None:
-        """Ship the delta to every other replica (a memory copy each)."""
+        """Ship the delta to every other replica (a memory copy each).
+
+        An installed :attr:`delta_interceptor` may drop a peer's copy
+        (leaving that replica stale until a later rebroadcast), apply it
+        twice (exercising delta idempotence) or hold it back until
+        :meth:`flush_delayed_deltas` — the §3.4 one-sided-error windows a
+        production cluster actually experiences.
+        """
         params = self.cluster.nodes[owner_id].gpt.setsep.params
         wire = delta.encode(params)
         delta_bits = delta.size_bits(params)
         for node in self.cluster.nodes:
             if node.node_id == owner_id or node.gpt is None:
                 continue
+            verdict = DELIVER
+            if self.delta_interceptor is not None:
+                verdict = self.delta_interceptor(owner_id, node.node_id)
+            if verdict == DROP:
+                self.stats.deltas_dropped += 1
+                self._m_deltas_dropped.inc()
+                continue
+            if verdict == DELAY:
+                self._delayed_deltas.append((node.node_id, wire))
+                self.stats.deltas_delayed += 1
+                self._m_deltas_delayed.inc()
+                continue
             node.gpt.apply_delta(GroupDelta.decode(wire, params))
+            if verdict == DUPLICATE:
+                node.gpt.apply_delta(GroupDelta.decode(wire, params))
+                self.stats.deltas_duplicated += 1
+                self._m_deltas_duplicated.inc()
             self.stats.delta_broadcasts += 1
             self._m_broadcasts.inc()
             self._h_delta_bits.observe(delta_bits)
             self.stats.broadcast_bits += delta_bits
+
+    def flush_delayed_deltas(self) -> int:
+        """Deliver every delta an interceptor held back, in ship order.
+
+        Returns the number of deltas applied.  Flushing in first-in
+        first-out order preserves the per-group last-writer-wins
+        convergence the broadcast protocol relies on.
+        """
+        pending, self._delayed_deltas = self._delayed_deltas, []
+        for peer_id, wire in pending:
+            node = self.cluster.nodes[peer_id]
+            if node.gpt is None:
+                continue
+            params = node.gpt.setsep.params
+            node.gpt.apply_delta(GroupDelta.decode(wire, params))
+            self.stats.delta_broadcasts += 1
+            self._m_broadcasts.inc()
+        return len(pending)

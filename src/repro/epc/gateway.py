@@ -221,6 +221,15 @@ class EpcGateway:
         self.dpes = [DataPlaneEngine() for _ in range(num_nodes)]
         self.dpe = AggregateDpeView(self.dpes)
         self.acl_blocked_sources: Set[int] = set()
+        #: Nodes currently considered dead (liveness, not state loss):
+        #: packets whose path touches one are dropped with reason
+        #: ``node_down`` *before* any charging.  Maintained by failover /
+        #: chaos tooling; empty in normal operation.
+        self.down_nodes: Set[int] = set()
+        self._c_drop_node_down = r.counter(
+            "gateway.drops.node_down",
+            "packets lost because their path crossed a dead node",
+        )
         self.rate_limit_bytes_per_s = rate_limit_bytes_per_s
         self.now = 0.0
         self.tick = 1e-5
@@ -356,6 +365,21 @@ class EpcGateway:
 
             with self.registry.span("pfe_lookup"):
                 result = cluster.route(flow.key(), ingress)
+            if self.down_nodes and any(
+                node in self.down_nodes for node in result.path
+            ):
+                self._c_drop_node_down.inc()
+                return RouteResult(
+                    key=result.key,
+                    ingress=result.ingress,
+                    path=result.path,
+                    internal_hops=result.internal_hops,
+                    latency_us=result.latency_us,
+                    handled_by=None,
+                    value=None,
+                    dropped=True,
+                    reason="node_down",
+                ), None
             if result.dropped:
                 self._c_drop_unknown.inc()
                 return result, None
@@ -451,6 +475,9 @@ class EpcGateway:
             record = self.controller.record_for_teid(teid)
             if record is None:
                 self._c_drop_tunnel.inc()
+                return None
+            if record.handling_node in self.down_nodes:
+                self._c_drop_node_down.inc()
                 return None
             self.now += self.tick
             if not self.dpes[record.handling_node].process(

@@ -13,6 +13,7 @@ from repro.sim.events import EventQueue, Event
 from repro.sim.pfe import CoreModel, PfeNode, SimPacket
 from repro.sim.runner import ClusterSimulation, SimulationReport
 from repro.sim.rfc2544 import ThroughputResult, compare_designs, throughput_search
+from repro.sim.soak import EpisodeReport, SoakReport, SoakRunner
 
 __all__ = [
     "ThroughputResult",
@@ -25,4 +26,7 @@ __all__ = [
     "SimPacket",
     "ClusterSimulation",
     "SimulationReport",
+    "EpisodeReport",
+    "SoakReport",
+    "SoakRunner",
 ]

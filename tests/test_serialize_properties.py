@@ -1,0 +1,85 @@
+"""Property-based tests for SetSep snapshots (repro.core.serialize).
+
+Hypothesis covers what the example-based tests in ``test_serialize.py``
+cannot enumerate: round-trips over arbitrary key populations, truncation
+at *every* possible length, and single-byte corruption at *any* offset.
+The contract under test: ``load_bytes(dump_bytes(s))`` reproduces every
+lookup, and any damaged snapshot raises :class:`SnapshotError` — never a
+different exception, never a silently wrong structure.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import SetSepParams, build
+from repro.core.serialize import SnapshotError, dump_bytes, load_bytes
+from tests.conftest import unique_keys
+
+#: SetSep construction dominates example cost; keep example counts low and
+#: disable the per-example deadline (builds are legitimately slow).
+SLOW_BUILD = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+BYTE_LEVEL = settings(max_examples=80, deadline=None)
+
+
+@pytest.fixture(scope="module")
+def blob() -> bytes:
+    keys = unique_keys(1_500, seed=310)
+    values = (keys % 4).astype(np.uint32)
+    setsep, _ = build(keys, values, SetSepParams(value_bits=2))
+    return dump_bytes(setsep)
+
+
+@SLOW_BUILD
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    count=st.integers(min_value=50, max_value=800),
+    num_values=st.sampled_from([2, 4]),
+)
+def test_roundtrip_reproduces_every_lookup(seed, count, num_values):
+    keys = unique_keys(count, seed=seed)
+    values = (keys % num_values).astype(np.uint32)
+    setsep, _ = build(
+        keys, values, SetSepParams(value_bits=max(1, num_values.bit_length() - 1))
+    )
+    restored = load_bytes(dump_bytes(setsep))
+    assert np.array_equal(restored.lookup_batch(keys), values)
+    assert len(restored.fallback) == len(setsep.fallback)
+    # A second dump of the restored structure is byte-identical: the
+    # format has one canonical encoding per structure.
+    assert dump_bytes(restored) == dump_bytes(setsep)
+
+
+@BYTE_LEVEL
+@given(fraction=st.floats(min_value=0.0, max_value=1.0, exclude_max=True))
+def test_truncation_at_any_length_is_rejected(blob, fraction):
+    cut = int(len(blob) * fraction)
+    with pytest.raises(SnapshotError):
+        load_bytes(blob[:cut])
+
+
+@BYTE_LEVEL
+@given(
+    offset_fraction=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+    flip=st.integers(min_value=1, max_value=255),
+)
+def test_single_byte_corruption_is_rejected(blob, offset_fraction, flip):
+    raw = bytearray(blob)
+    raw[int(len(raw) * offset_fraction)] ^= flip
+    # CRC32 detects every single-byte error, wherever it lands —
+    # including inside the trailing CRC field itself.
+    with pytest.raises(SnapshotError):
+        load_bytes(bytes(raw))
+
+
+@BYTE_LEVEL
+@given(garbage=st.binary(max_size=256))
+def test_arbitrary_bytes_never_parse_as_snapshot(garbage):
+    # Random blobs must be rejected, not crash with IndexError/struct
+    # errors somewhere inside the parser.
+    with pytest.raises(SnapshotError):
+        load_bytes(garbage)

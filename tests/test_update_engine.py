@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cluster import Architecture, Cluster, UpdateEngine
+from repro.cluster import update as update_mod
 from tests.conftest import unique_keys
 
 NUM_NODES = 4
@@ -125,3 +126,135 @@ class TestHashPartitionUpdates:
         engine = UpdateEngine(cluster)
         assert engine.remove_flow(int(keys[0]))
         assert cluster.route(int(keys[0])).dropped
+
+
+@pytest.mark.parametrize("arch", list(Architecture))
+class TestRemoveFlowAcrossArchitectures:
+    """remove_flow must make the key unroutable from *every* ingress."""
+
+    def test_delete_then_lookup_from_all_ingresses(self, arch):
+        cluster, keys, _, _ = make_cluster(arch, seed=120)
+        engine = UpdateEngine(cluster)
+        key = int(keys[3])
+        assert engine.remove_flow(key)
+        for ingress in range(NUM_NODES):
+            assert cluster.route(key, ingress).dropped
+        # Gone everywhere, not merely unroutable.
+        for node in cluster.nodes:
+            assert node.fib.lookup(key) is None
+        assert cluster.rib.get(key) is None
+
+    def test_remove_then_reinsert_roundtrip(self, arch):
+        cluster, keys, _, _ = make_cluster(arch, seed=121)
+        engine = UpdateEngine(cluster)
+        key = int(keys[5])
+        assert engine.remove_flow(key)
+        engine.insert_flow(key, 1, 4242)
+        for ingress in range(NUM_NODES):
+            result = cluster.route(key, ingress)
+            assert result.handled_by == 1
+            assert result.value == 4242
+
+    def test_remove_missing_key_is_a_noop(self, arch):
+        cluster, _, _, _ = make_cluster(arch, seed=122)
+        engine = UpdateEngine(cluster)
+        ghost = int(unique_keys(1, seed=123, low=2**62, high=2**63)[0])
+        updates_before = engine.stats.updates
+        assert not engine.remove_flow(ghost)
+        assert engine.stats.updates == updates_before
+
+
+class TestDeltaInterceptor:
+    """The §4.5 broadcast under an at-least-once / lossy control channel."""
+
+    @pytest.fixture()
+    def setup(self):
+        cluster, keys, handlers, values = make_cluster(
+            Architecture.SCALEBRICKS, seed=130
+        )
+        return cluster, UpdateEngine(cluster), keys, handlers
+
+    def test_duplicate_delta_is_idempotent(self, setup):
+        cluster, engine, keys, handlers = setup
+        engine.delta_interceptor = lambda owner, peer: update_mod.DUPLICATE
+        for i in range(8):
+            engine.insert_flow(
+                int(keys[i]), (int(handlers[i]) + 1) % NUM_NODES, i
+            )
+        engine.delta_interceptor = None
+        assert engine.stats.deltas_duplicated > 0
+        probe = keys[:50]
+        reference = cluster.nodes[0].gpt.lookup_batch(probe)
+        for node in cluster.nodes[1:]:
+            assert np.array_equal(node.gpt.lookup_batch(probe), reference)
+
+    def test_update_replay_is_idempotent(self, setup):
+        cluster, engine, keys, handlers = setup
+        key = int(keys[0])
+        target = (int(handlers[0]) + 1) % NUM_NODES
+        engine.insert_flow(key, target, 777)
+        fib_messages = engine.stats.fib_messages
+        engine.insert_flow(key, target, 777)  # identical update replayed
+        result = cluster.route(key)
+        assert result.handled_by == target
+        assert result.value == 777
+        # The replay re-installs at the same node: one message, no move.
+        assert engine.stats.fib_messages == fib_messages + 1
+
+    def test_dropped_delta_leaves_one_stale_replica(self, setup):
+        cluster, engine, keys, handlers = setup
+        stale_peer = None
+        key = int(keys[1])
+        owner = cluster.rib.owner_of_key(key)
+        stale_peer = (owner + 1) % NUM_NODES
+
+        engine.delta_interceptor = (
+            lambda o, peer: update_mod.DROP if peer == stale_peer
+            else update_mod.DELIVER
+        )
+        target = (int(handlers[1]) + 1) % NUM_NODES
+        engine.insert_flow(key, target, 888)
+        engine.delta_interceptor = None
+        assert engine.stats.deltas_dropped == 1
+
+        fresh = [
+            n.node_id for n in cluster.nodes
+            if n.node_id not in (owner, stale_peer)
+        ]
+        for node_id in fresh:
+            assert cluster.nodes[node_id].gpt_lookup(key) == target
+        # Repair: an identity rebroadcast reconverges the stale replica.
+        engine.insert_flow(key, target, 888)
+        assert cluster.nodes[stale_peer].gpt_lookup(key) == target
+
+    def test_delayed_deltas_apply_on_flush_in_fifo_order(self, setup):
+        cluster, engine, keys, handlers = setup
+        engine.delta_interceptor = lambda owner, peer: update_mod.DELAY
+        for i in range(4):
+            engine.insert_flow(
+                int(keys[i]), (int(handlers[i]) + 1) % NUM_NODES, 100 + i
+            )
+        engine.delta_interceptor = None
+        assert engine.stats.deltas_delayed == 4 * (NUM_NODES - 1)
+
+        flushed = engine.flush_delayed_deltas()
+        assert flushed == 4 * (NUM_NODES - 1)
+        assert engine.flush_delayed_deltas() == 0  # queue drained
+        probe = keys[:50]
+        reference = cluster.nodes[0].gpt.lookup_batch(probe)
+        for node in cluster.nodes[1:]:
+            assert np.array_equal(node.gpt.lookup_batch(probe), reference)
+
+    def test_remove_flow_rebroadcasts_group(self, setup):
+        cluster, engine, keys, _ = setup
+        key = int(keys[2])
+        broadcasts_before = engine.stats.delta_broadcasts
+        assert engine.remove_flow(key)
+        # The removal's group rebuild reaches every peer replica.
+        assert (
+            engine.stats.delta_broadcasts
+            == broadcasts_before + NUM_NODES - 1
+        )
+        for node in cluster.nodes:
+            if node.gpt is not None:
+                assert cluster.route(key, node.node_id).dropped
