@@ -15,6 +15,7 @@ import pytest
 
 from repro.core import twolevel
 from repro.core.params import BUCKETS_PER_BLOCK, GROUPS_PER_BLOCK
+from repro import perflab
 from benchmarks.conftest import print_header
 
 N_BLOCKS = 150
@@ -77,3 +78,28 @@ def test_assignment_ablation(benchmark):
         greedy_worst=max(greedy),
         refined_worst=max(refined),
     )
+
+
+# -- perf lab registration (repro.perflab; see EXPERIMENTS.md) -----------
+
+@perflab.benchmark(
+    "ablation.assignment.refined", figure="DESIGN ablation", repeats=3
+)
+def perflab_assignment(ctx):
+    """Refined greedy assignment over Poisson blocks (the hot design point)."""
+    n_blocks = 40 * ctx.scale
+    rng = np.random.default_rng(7)
+    blocks = [
+        rng.poisson(4.0, size=BUCKETS_PER_BLOCK) for _ in range(n_blocks)
+    ]
+    ctx.set_params(n_blocks=n_blocks, buckets_per_block=BUCKETS_PER_BLOCK)
+
+    def assign_all():
+        return [
+            twolevel.assign_block(sizes, np.random.default_rng(i))[1]
+            for i, sizes in enumerate(blocks)
+        ]
+
+    loads = ctx.timeit(assign_all)
+    ctx.registry.counter("assignment.blocks").inc(len(loads))
+    ctx.set_params(max_load=int(max(loads)))

@@ -19,6 +19,7 @@ import pytest
 from repro.baselines import BloomierFilter, BuffaloSeparator
 from repro.baselines.perfecthash import ChdValueTable
 from repro.core import SetSepParams, build
+from repro import perflab
 from benchmarks.conftest import bench_keys, bench_scale, print_header
 
 N_KEYS = 30_000 * bench_scale()
@@ -95,3 +96,36 @@ def test_separator_shootout(benchmark, workload):
     benchmark.extra_info["bits_per_key"] = {
         k: round(v, 2) for k, v in results.items()
     }
+
+
+# -- perf lab registration (repro.perflab; see EXPERIMENTS.md) -----------
+
+@perflab.benchmark(
+    "ablation.separators.shootout", figure="§8 related work",
+    suites=("full",), repeats=1,
+)
+def perflab_separators(ctx):
+    """Build every §8 separator on one workload; record bits/key each."""
+    n_keys = 8_000 * ctx.scale
+    keys = bench_keys(n_keys, seed=80)
+    nodes = (keys % np.uint64(NUM_NODES)).astype(np.uint32)
+    ctx.set_params(n_keys=n_keys, num_nodes=NUM_NODES)
+
+    def build_all():
+        setsep, _ = build(keys, nodes, SetSepParams(value_bits=2))
+        bloomier = BloomierFilter(keys, nodes, value_bits=2)
+        chd = ChdValueTable(keys, nodes, value_bits=2)
+        buffalo = BuffaloSeparator(
+            NUM_NODES, bits_per_key=10, expected_items=n_keys
+        )
+        buffalo.insert_batch(keys, nodes)
+        return setsep, bloomier, chd, buffalo
+
+    setsep, bloomier, chd, buffalo = ctx.timeit(build_all)
+    ctx.registry.counter("separators.keys").inc(n_keys)
+    ctx.record(
+        setsep_bits_per_key=setsep.size_bits() / n_keys,
+        bloomier_bits_per_key=bloomier.bits_per_key(),
+        chd_bits_per_key=chd.size_bits() / n_keys,
+        buffalo_bits_per_key=buffalo.size_bits() / n_keys,
+    )

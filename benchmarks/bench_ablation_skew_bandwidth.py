@@ -21,6 +21,7 @@ from repro.model.skew import (
     effective_nodes,
     zipf_shares,
 )
+from repro import perflab
 from benchmarks.conftest import bench_keys, bench_scale, print_header
 
 N_FLOWS = 4_000 * bench_scale()
@@ -104,3 +105,30 @@ def test_skew_functional_fib_sizes(benchmark):
     print(f"  per-node FIB entries: {sizes} (total {sum(sizes)})")
     assert sizes[0] > 2 * sizes[-1]
     assert sum(sizes) == N_FLOWS
+
+
+# -- perf lab registration (repro.perflab; see EXPERIMENTS.md) -----------
+
+@perflab.benchmark(
+    "ablation.bandwidth.transits", figure="§3.1", repeats=1
+)
+def perflab_bandwidth(ctx):
+    """Fabric transits per packet, all four architectures (§3.1)."""
+    n_flows = 1_500 * ctx.scale
+    keys = bench_keys(n_flows, seed=90)
+    handlers = (keys % np.uint64(4)).astype(np.int64)
+    values = np.arange(n_flows)
+    probes = keys[:500]
+    ctx.set_params(n_flows=n_flows, probes=len(probes), num_nodes=4)
+
+    def run():
+        out = {}
+        for arch in Architecture:
+            cluster = Cluster.build(arch, 4, keys, handlers, values)
+            cluster.route_batch(probes)
+            out[arch] = cluster.fabric.stats.packets / len(probes)
+        return out
+
+    transits = ctx.timeit(run)
+    for arch, per_packet in transits.items():
+        ctx.record(**{f"transits_{arch.value}": per_packet})

@@ -16,6 +16,7 @@ from repro.core import SetSepParams, build
 from repro.core.concurrent import SeqlockSetSep
 from repro.core.pipeline import batched_lookup
 from repro.hashtables import ChainingHashTable, CuckooHashTable, RteHashTable
+from repro import perflab
 from benchmarks.conftest import bench_keys, bench_scale, print_header
 
 N_KEYS = 20_000 * bench_scale()
@@ -105,3 +106,25 @@ def test_seqlock_quiescent_overhead(benchmark, workload):
     print(f"  retries   : {guard.stats.retries}")
     assert guard.stats.retries == 0  # quiescent: version checks never fire
     assert guarded < plain * 3 + 1e-3
+
+
+# -- perf lab registration (repro.perflab; see EXPERIMENTS.md) -----------
+
+@perflab.benchmark(
+    "ablation.fib.cuckoo_lookup", figure="§5.2", repeats=3
+)
+def perflab_cuckoo_lookup(ctx):
+    """The cuckoo FIB's vectorised batch lookup (the PFE fast path)."""
+    n_keys = 5_000 * ctx.scale
+    keys = bench_keys(n_keys, seed=120)
+    table = CuckooHashTable(capacity=n_keys)
+    for i, key in enumerate(keys):
+        table.insert(int(key), i)
+    probe = keys[: min(4_000, n_keys)]
+    ctx.set_params(n_keys=n_keys, probe=len(probe))
+
+    out = ctx.timeit(lambda: table.lookup_batch(probe))
+    ctx.registry.counter("fib.lookups").inc(
+        len(probe) * len(ctx.samples)
+    )
+    assert all(v is not None for v in out)

@@ -15,6 +15,7 @@ from repro.epc import EpcGateway, FlowGenerator
 from repro.epc.packets import parse_ip
 from repro.epc.traffic import run_downstream_trial
 from repro.epc.workload import BearerWorkload
+from repro import perflab
 from benchmarks.conftest import bench_scale, print_header
 
 BASE_FLOWS = 3_000 * bench_scale()
@@ -61,3 +62,38 @@ def test_churn_replay(benchmark):
     assert update_stats.mean_delta_bits < 300
     # Update ownership spread over all nodes (the scaling property).
     assert len(update_stats.per_owner_updates) >= 2
+
+
+# -- perf lab registration (repro.perflab; see EXPERIMENTS.md) -----------
+
+@perflab.benchmark(
+    "churn.bearer_replay", figure="§6.2 churn", repeats=1
+)
+def perflab_churn(ctx):
+    """Poisson bearer churn through a live gateway (update pipeline)."""
+    base_flows = 600 * ctx.scale
+    gen = FlowGenerator(seed=130)
+    gateway = EpcGateway(
+        Architecture.SCALEBRICKS, 4, parse_ip("192.0.2.1"),
+        registry=ctx.registry,
+    )
+    gen.populate(gateway, base_flows)
+    gateway.start()
+    workload = BearerWorkload(
+        arrival_rate=40.0,
+        mean_holding_s=1.5,
+        duration_s=4.0,
+        heavy_tailed=True,
+        seed=131,
+    )
+    ctx.set_params(base_flows=base_flows, arrival_rate=40.0, duration_s=4.0)
+
+    stats = ctx.timeit(lambda: workload.replay(gateway))
+    update_stats = gateway.updates.stats
+    ctx.set_params(
+        arrivals=stats.arrivals,
+        departures=stats.departures,
+        updates=update_stats.updates,
+    )
+    elapsed = ctx.samples[-1]
+    ctx.record(updates_per_second=update_stats.updates / elapsed)

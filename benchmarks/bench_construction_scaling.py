@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 
 from repro.core import SetSepParams, build
+from repro import perflab
 from benchmarks.conftest import bench_keys, bench_scale, print_header
 
 SIZES = [10_000, 20_000, 40_000, 80_000]
@@ -64,3 +65,32 @@ def test_construction_worker_speedup(benchmark):
     # Process startup costs bound the speedup at this scale; it must at
     # least not regress and should show real parallelism at scale >= 1.
     assert quad < serial * 1.2
+
+
+# -- perf lab registration (repro.perflab; see EXPERIMENTS.md) -----------
+
+@perflab.benchmark(
+    "construction.rate_linearity", figure="Table 1 linearity",
+    suites=("full",), repeats=1,
+)
+def perflab_rate_linearity(ctx):
+    """Construction rate across a 4x key-count range (should stay flat)."""
+    sizes = [10_000 * ctx.scale, 20_000 * ctx.scale, 40_000 * ctx.scale]
+    params = SetSepParams(value_bits=2)
+    ctx.set_params(sizes=",".join(str(s) for s in sizes))
+
+    def run():
+        rates = []
+        for n in sizes:
+            keys = bench_keys(n, seed=n)
+            values = (keys % np.uint64(4)).astype(np.uint32)
+            _, stats = build(keys, values, params)
+            rates.append(stats.keys_per_second)
+        return rates
+
+    rates = ctx.timeit(run)
+    ctx.registry.counter("construction.total_keys").inc(sum(sizes))
+    ctx.record(
+        rate_spread=max(rates) / min(rates),
+        slowest_keys_per_second=min(rates),
+    )

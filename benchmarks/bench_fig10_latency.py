@@ -17,6 +17,7 @@ from repro.cluster import Architecture, Cluster
 from repro.epc.traffic import Rfc2544Bench
 from repro.model.cache import XEON_E5_2697V2
 from repro.model.perf import cuckoo_model, rte_hash_model
+from repro import perflab
 from benchmarks.conftest import bench_keys, bench_scale, print_header
 
 NUM_TUNNELS = 1_000_000  # the paper's latency-test population
@@ -91,3 +92,28 @@ def test_fig10_functional_hop_audit(benchmark):
     assert hops["scalebricks"] == pytest.approx(0.75, abs=0.08)
     assert hops["full_duplication"] == pytest.approx(0.75, abs=0.08)
     assert hops["hash_partition"] > 1.3
+
+
+# -- perf lab registration (repro.perflab; see EXPERIMENTS.md) -----------
+
+@perflab.benchmark(
+    "fig10.latency_model", figure="Figure 10", repeats=3
+)
+def perflab_fig10(ctx):
+    """RFC 2544 latency comparison on the paper's 1 M-tunnel point."""
+    shared_cache = XEON_E5_2697V2.with_l3(15 * MIB)
+    ctx.set_params(num_tunnels=NUM_TUNNELS)
+
+    def run():
+        out = {}
+        for table in (rte_hash_model(), cuckoo_model()):
+            bench = Rfc2544Bench(shared_cache, table)
+            out[table.name] = bench.compare(NUM_TUNNELS)
+        return out
+
+    results = ctx.timeit(run)
+    row = results["cuckoo_hash"]
+    ctx.record(
+        vs_full_dup_pct=100 * (1 - row["scalebricks"] / row["full_duplication"]),
+        vs_hash_part_pct=100 * (1 - row["scalebricks"] / row["hash_partition"]),
+    )

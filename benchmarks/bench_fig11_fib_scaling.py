@@ -24,6 +24,7 @@ from repro.model.scaling import (
     peak_scaling_factor,
     scaling_curve,
 )
+from repro import perflab
 from benchmarks.conftest import bench_keys, print_header
 
 MEMORY_BITS = 16 * 1024 * 1024 * 8  # 16 MiB per node, as in the figure
@@ -84,3 +85,18 @@ def test_fig11_formula_matches_built_gpt(benchmark):
         formula = gpt_bits_per_key(num_nodes)
         print(f"  {num_nodes:>6} {formula:>9.2f} {measured:>9.2f}")
         assert measured == pytest.approx(formula, rel=0.12)
+
+
+# -- perf lab registration (repro.perflab; see EXPERIMENTS.md) -----------
+
+@perflab.benchmark(
+    "fig11.scaling_curve", figure="Figure 11", repeats=3
+)
+def perflab_fig11(ctx):
+    """The §6.3 capacity curve (analytic; counts are deterministic)."""
+    ctx.set_params(memory_bits=MEMORY_BITS, max_nodes=32)
+    rows = ctx.timeit(lambda: scaling_curve(MEMORY_BITS, max_nodes=32))
+    peak_n, ratio = peak_scaling_factor(32)
+    ctx.set_params(peak_nodes=peak_n)
+    ctx.registry.counter("scaling.curve_points").inc(len(rows))
+    ctx.record(peak_advantage=ratio)

@@ -15,6 +15,7 @@ estimated from the iteration distribution's entropy.
 import pytest
 
 from repro.core.group import expected_iterations, index_entropy_bits
+from repro import perflab
 from benchmarks.conftest import print_header
 
 M_SWEEP = [2, 4, 6, 8, 12, 16, 20, 24, 30]
@@ -75,3 +76,19 @@ def test_fig3b_space_breakdown_vs_m(benchmark, sweep_results):
     benchmark.extra_info["total_bits_by_m"] = {
         str(m): round(t, 1) for m, _, _, t in sweep_results
     }
+
+
+# -- perf lab registration (repro.perflab; see EXPERIMENTS.md) -----------
+
+@perflab.benchmark(
+    "fig3.search_iterations", figure="Figure 3a", repeats=1
+)
+def perflab_fig3(ctx):
+    """Mean brute-force iterations at the production m=8 point."""
+    trials = 40 * ctx.scale
+    ctx.set_params(group_size=GROUP_SIZE, m=8, trials=trials)
+    iters = ctx.timeit(
+        lambda: expected_iterations(GROUP_SIZE, 8, trials=trials, seed=5)
+    )
+    ctx.registry.counter("fig3.trials").inc(trials)
+    ctx.record(mean_iterations=iters)

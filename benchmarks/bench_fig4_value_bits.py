@@ -14,6 +14,7 @@ import pytest
 
 from repro.core import hashfamily
 from repro.core.group import search_bit, search_joint
+from repro import perflab
 from benchmarks.conftest import print_header
 
 GROUP_SIZE = 10
@@ -94,3 +95,21 @@ def test_fig4_split_beats_joint(benchmark, sweep):
     benchmark.extra_info["ratio_by_m"] = {
         str(m): round(j / s, 1) for m, j, s in sweep
     }
+
+
+# -- perf lab registration (repro.perflab; see EXPERIMENTS.md) -----------
+
+@perflab.benchmark(
+    "fig4.joint_vs_perbit", figure="Figure 4", suites=("full",), repeats=1
+)
+def perflab_fig4(ctx):
+    """Joint V-ary search vs per-bit search at one feasible m."""
+    m = 12
+    ctx.set_params(group_size=GROUP_SIZE, value_bits=VALUE_BITS, m=m)
+    joint = ctx.timeit(lambda: _mean_iterations(m, joint=True, seed=40))
+    per_bit = _mean_iterations(m, joint=False, seed=40)
+    ctx.record(
+        joint_iterations=joint,
+        per_bit_iterations=per_bit,
+        joint_penalty=joint / max(per_bit, 1e-12),
+    )

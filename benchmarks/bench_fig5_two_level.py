@@ -13,6 +13,7 @@ import pytest
 
 from repro.core import twolevel
 from repro.core.params import BUCKETS_PER_BLOCK, GROUPS_PER_BLOCK
+from repro import perflab
 from benchmarks.conftest import bench_keys, bench_scale, print_header
 
 N_KEYS = 64 * 1024 * bench_scale()
@@ -57,3 +58,24 @@ def test_fig5_balance_comparison(benchmark):
     assert direct >= 30
     assert two_level <= 21
     assert two_level < direct
+
+
+# -- perf lab registration (repro.perflab; see EXPERIMENTS.md) -----------
+
+@perflab.benchmark(
+    "fig5.two_level_balance", figure="Figure 5", repeats=1
+)
+def perflab_fig5(ctx):
+    """Two-level hashing's worst group load vs direct hashing."""
+    n_keys = 16 * 1024 * ctx.scale
+    keys = bench_keys(n_keys, seed=20)
+    num_groups = twolevel.num_blocks_for(len(keys)) * GROUPS_PER_BLOCK
+    direct = twolevel.max_group_load(
+        twolevel.direct_group_ids(keys, num_groups), num_groups
+    )
+    two_level = ctx.timeit(lambda: _two_level_max_load(keys))
+    ctx.set_params(
+        n_keys=n_keys, num_groups=num_groups,
+        direct_max_load=int(direct), two_level_max_load=int(two_level),
+    )
+    ctx.registry.counter("twolevel.keys_assigned").inc(n_keys)

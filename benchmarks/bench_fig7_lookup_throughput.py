@@ -21,6 +21,7 @@ from repro.core import SetSepParams, build
 from repro.model.cache import XEON_E5_2680
 from repro.model.perf import SetSepLookupModel
 from repro.obs import MetricsRegistry, span_histogram_name
+from repro import perflab
 from benchmarks.conftest import bench_keys, bench_scale, print_header
 
 MEASURE_KEYS = 200_000 * bench_scale()
@@ -103,3 +104,27 @@ def test_fig7_modelled_shape(benchmark):
         by_size[64_000_000][BATCHES.index(17)] * 1.05
     # Magnitudes land near the paper's ~520 Mops at 64 M / batch 17.
     assert 300 < by_size[64_000_000][BATCHES.index(17)] < 800
+
+
+# -- perf lab registration (repro.perflab; see EXPERIMENTS.md) -----------
+
+@perflab.benchmark(
+    "fig7.lookup_batch", figure="Figure 7", repeats=5
+)
+def perflab_fig7(ctx):
+    """Measured vectorised SetSep lookups; ops come from the obs registry."""
+    n_keys = 50_000 * ctx.scale
+    keys = bench_keys(n_keys, seed=30)
+    values = (keys % np.uint64(4)).astype(np.uint32)
+    setsep, _ = build(keys, values, SetSepParams(value_bits=2))
+    probe = keys[: min(40_000, n_keys)]
+    ctx.set_params(n_keys=n_keys, probe=len(probe))
+
+    setsep.bind_registry(ctx.registry)
+    try:
+        ctx.timeit(lambda: setsep.lookup_batch(probe))
+    finally:
+        setsep.bind_registry(None)
+    lookups = ctx.registry.counter("setsep.lookups").value
+    total_s = sum(ctx.samples)
+    ctx.record(measured_mops=lookups / total_s / 1e6)

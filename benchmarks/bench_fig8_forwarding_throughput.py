@@ -19,6 +19,7 @@ import pytest
 from repro.cluster import Architecture, Cluster
 from repro.model.cache import XEON_E5_2697V2
 from repro.model.perf import ForwardingModel, cuckoo_model, rte_hash_model
+from repro import perflab
 from benchmarks.conftest import bench_keys, bench_scale, print_header
 
 FLOW_COUNTS = [1_000_000, 2_000_000, 4_000_000, 8_000_000,
@@ -119,3 +120,17 @@ def test_fig8_functional_core_balance(benchmark):
     # Ingress only does ~1/4 of the exact lookups under ScaleBricks.
     assert sb_ingress_fib < 0.35 * 2_000
     assert sb_ingress_fib + peers_fib == 2_000
+
+
+# -- perf lab registration (repro.perflab; see EXPERIMENTS.md) -----------
+
+@perflab.benchmark(
+    "fig8.forwarding_model", figure="Figure 8", repeats=3
+)
+def perflab_fig8(ctx):
+    """Modelled PFE Mpps over the paper's flow counts (30 MiB L3)."""
+    ctx.set_params(flow_points=len(FLOW_COUNTS))
+    rows = ctx.timeit(lambda: _model_rows(XEON_E5_2697V2))
+    by = {(name, flows): (full, sb) for name, flows, full, sb in rows}
+    full, sb = by[("cuckoo_hash", 8_000_000)]
+    ctx.record(cuckoo_8m_gain_pct=100 * (sb / full - 1))

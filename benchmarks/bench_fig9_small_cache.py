@@ -12,6 +12,7 @@ import pytest
 
 from repro.model.cache import XEON_E5_2697V2
 from repro.model.perf import ForwardingModel, cuckoo_model, rte_hash_model
+from repro import perflab
 from benchmarks.conftest import print_header
 
 FLOW_COUNTS = [1_000_000, 2_000_000, 4_000_000, 8_000_000,
@@ -62,3 +63,18 @@ def test_fig9_small_cache_preserves_the_win(benchmark):
         assert sb_small >= full_small * 0.99
     gains = [sb / full - 1 for _, _, full, sb in small]
     assert max(gains) > 0.08
+
+
+# -- perf lab registration (repro.perflab; see EXPERIMENTS.md) -----------
+
+@perflab.benchmark(
+    "fig9.small_cache_model", figure="Figure 9", repeats=3
+)
+def perflab_fig9(ctx):
+    """The same forwarding model under the 15 MiB cache-bubble L3."""
+    small_cache = XEON_E5_2697V2.with_l3(15 * MIB)
+    ctx.set_params(l3_mib=15, flow_points=len(FLOW_COUNTS))
+    rows = ctx.timeit(lambda: _rows(small_cache))
+    by = {(name, flows): (full, sb) for name, flows, full, sb in rows}
+    full, sb = by[("cuckoo_hash", 8_000_000)]
+    ctx.record(cuckoo_8m_gain_pct=100 * (sb / full - 1))

@@ -13,6 +13,7 @@ import pytest
 from repro.model.cache import XEON_E5_2697V2
 from repro.model.perf import cuckoo_model
 from repro.model.queueing import LoadLatencyModel
+from repro import perflab
 from benchmarks.conftest import print_header
 
 NUM_FLOWS = 8_000_000
@@ -69,3 +70,34 @@ def test_load_latency_sweep(benchmark):
         knees[design] = model.knee_mpps(NUM_FLOWS, budget)
         print(f"  {design:18} {knees[design]:6.2f} Mpps")
     assert knees["scalebricks"] > knees["hash_partition"]
+
+
+# -- perf lab registration (repro.perflab; see EXPERIMENTS.md) -----------
+
+@perflab.benchmark(
+    "loadlatency.rfc2544_sweep", figure="RFC 2544 sweep", repeats=1
+)
+def perflab_load_latency(ctx):
+    """Latency-vs-load sweep across the three designs."""
+    cache = XEON_E5_2697V2.with_l3(15 * MIB)
+    designs = ("full_duplication", "scalebricks", "hash_partition")
+    ctx.set_params(num_flows=NUM_FLOWS, points=len(FRACTIONS))
+
+    def run():
+        out = {}
+        for design in designs:
+            model = LoadLatencyModel(cache, cuckoo_model(), design=design)
+            capacity = model._capacity_mpps(NUM_FLOWS)
+            out[design] = (
+                capacity,
+                [model.point(f * capacity, NUM_FLOWS) for f in FRACTIONS],
+            )
+        return out
+
+    results = ctx.timeit(run)
+    ctx.record(
+        scalebricks_capacity_mpps=results["scalebricks"][0],
+        capacity_vs_full_dup=(
+            results["scalebricks"][0] / results["full_duplication"][0]
+        ),
+    )

@@ -11,6 +11,7 @@ import pytest
 from repro.model.cache import XEON_E5_2697V2
 from repro.model.perf import ForwardingModel, cuckoo_model, rte_hash_model
 from repro.sim import ClusterSimulation
+from repro import perflab
 from benchmarks.conftest import print_header
 
 FLOWS = 8_000_000
@@ -81,3 +82,30 @@ def test_sim_latency_knee(benchmark):
     latencies = [r.mean_latency_us for _, r in points]
     assert latencies == sorted(latencies)
     assert latencies[-1] > 3 * latencies[0]  # the knee
+
+
+# -- perf lab registration (repro.perflab; see EXPERIMENTS.md) -----------
+
+@perflab.benchmark(
+    "sim.vs_closed_form", figure="Figs. 8-10 cross-check",
+    suites=("full",), repeats=1,
+)
+def perflab_sim_validation(ctx):
+    """Event-driven simulation replays one closed-form operating point."""
+    table = cuckoo_model()
+    forwarding = ForwardingModel(XEON_E5_2697V2, table)
+    predicted = forwarding.scalebricks_mpps(FLOWS)
+    ctx.set_params(num_flows=FLOWS, design="scalebricks")
+
+    def run():
+        sim = ClusterSimulation(
+            "scalebricks", XEON_E5_2697V2, table, num_flows=FLOWS, seed=3
+        )
+        return sim.offer_load(predicted * 1.4, duration_us=1_000)
+
+    report = ctx.timeit(run)
+    ctx.record(
+        predicted_mpps=predicted,
+        simulated_mpps=report.delivered_mpps_per_node,
+        agreement=report.delivered_mpps_per_node / predicted,
+    )

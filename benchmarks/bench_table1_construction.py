@@ -20,10 +20,24 @@ bits/key matches exactly, and multi-process construction scales.
 import numpy as np
 import pytest
 
+from repro import perflab
 from repro.core import SetSepParams, build
 from benchmarks.conftest import bench_keys, bench_scale, print_header
 
 N_KEYS = 50_000 * bench_scale()
+
+
+def run_construction(n_keys, params, workers=1, value_bits=1, seed=10):
+    """The module's measured path: one SetSep build at ``n_keys``.
+
+    Shared by the pytest benchmarks below and the perf-lab registrations,
+    so both measure the identical code path.
+    """
+    keys = bench_keys(n_keys, seed=seed)
+    values = np.random.default_rng(11).integers(
+        0, 1 << value_bits, size=n_keys
+    ).astype(np.uint32)
+    return build(keys, values, params, workers=workers)
 
 
 @pytest.fixture(scope="module")
@@ -110,3 +124,62 @@ def test_construction_worker_scaling(benchmark, population, workers):
     benchmark.extra_info.update(
         workers=workers, keys_per_second=stats.keys_per_second
     )
+
+
+# -- perf lab registrations (repro.perflab; see EXPERIMENTS.md) ----------
+
+def _construction_bench(ctx, params, workers):
+    n_keys = 20_000 * ctx.scale
+    ctx.set_params(
+        n_keys=n_keys, config=params.name,
+        value_bits=params.value_bits, workers=workers,
+    )
+    _, stats = ctx.timeit(
+        lambda: run_construction(n_keys, params, workers=workers)
+    )
+    ctx.registry.counter("construction.keys").inc(stats.num_keys)
+    ctx.registry.counter("construction.groups").inc(stats.num_groups)
+    ctx.registry.counter("construction.fallback_keys").inc(
+        stats.fallback_keys
+    )
+    ctx.record(
+        keys_per_second=stats.keys_per_second,
+        fallback_ratio=stats.fallback_ratio,
+        max_group_load=stats.max_group_load,
+    )
+    return stats
+
+
+@perflab.benchmark(
+    "table1.construction.16+8", figure="Table 1", repeats=2
+)
+def perflab_construction_16_8(ctx):
+    """Table 1 headline: one 16+8 build, 1-bit values."""
+    _construction_bench(ctx, SetSepParams(), workers=1)
+
+
+@perflab.benchmark(
+    "table1.construction.16+16", figure="Table 1", suites=("full",),
+    repeats=2,
+)
+def perflab_construction_16_16(ctx):
+    """Table 1: the fast-and-clean 16+16 configuration."""
+    _construction_bench(
+        ctx, SetSepParams(index_bits=16, array_bits=16), workers=1
+    )
+
+
+@perflab.benchmark(
+    "table1.construction.workers.1", figure="Table 1", repeats=2
+)
+def perflab_construction_workers_1(ctx):
+    """Table 1 thread scaling, serial leg (before of the before/after)."""
+    _construction_bench(ctx, SetSepParams(), workers=1)
+
+
+@perflab.benchmark(
+    "table1.construction.workers.4", figure="Table 1", repeats=2
+)
+def perflab_construction_workers_4(ctx):
+    """Table 1 thread scaling, 4-process leg (after of the before/after)."""
+    _construction_bench(ctx, SetSepParams(), workers=4)

@@ -18,6 +18,7 @@ import pytest
 from repro.cluster import Architecture, Cluster, UpdateEngine
 from repro.core.delta import GroupDelta
 from repro.obs import MetricsRegistry, span_histogram_name
+from repro import perflab
 from benchmarks.conftest import bench_keys, bench_scale, print_header
 
 N_FLOWS = 5_000 * bench_scale()
@@ -132,3 +133,32 @@ def test_full_duplication_contrast(benchmark):
     print_header("§6.2 contrast: messages per update")
     print(f"  full duplication : {messages / 100:.1f} per update")
     assert messages == 400  # N per update
+
+
+# -- perf lab registration (repro.perflab; see EXPERIMENTS.md) -----------
+
+@perflab.benchmark(
+    "update.single_owner_rate", figure="§6.2 update rate", repeats=1
+)
+def perflab_update_rate(ctx):
+    """Updates/s through the full owner pipeline, counted by the registry."""
+    n_flows = 2_000 * ctx.scale
+    n_updates = 200 * ctx.scale
+    keys = bench_keys(n_flows, seed=70)
+    handlers = (keys % np.uint64(4)).astype(np.int64)
+    values = np.arange(n_flows)
+    cluster = Cluster.build(
+        Architecture.SCALEBRICKS, 4, keys, handlers, values
+    )
+    engine = UpdateEngine(cluster, registry=ctx.registry)
+    ctx.set_params(n_flows=n_flows, n_updates=n_updates)
+
+    def run():
+        for i in range(n_updates):
+            engine.insert_flow(
+                int(keys[i]), (int(handlers[i]) + 1) % 4, int(values[i])
+            )
+
+    ctx.timeit(run)
+    updates = ctx.registry.counter("update.updates").value
+    ctx.record(updates_per_second=updates / sum(ctx.samples))

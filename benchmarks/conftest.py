@@ -25,15 +25,32 @@ def bench_scale() -> int:
     return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
 
 
-def bench_keys(count: int, seed: int = 1) -> np.ndarray:
-    """``count`` distinct uint64 keys for benchmark populations."""
+def bench_keys(count: int, seed: int = 1, high: int = 2**62) -> np.ndarray:
+    """``count`` distinct uint64 keys for benchmark populations.
+
+    Deterministic in ``seed``.  Oversamples by 2.2x and, should a draw
+    ever under-produce (only plausible when ``count`` approaches the key
+    space), retries with doubled oversampling from the same generator
+    stream instead of dying — large ``REPRO_BENCH_SCALE`` runs must not
+    abort on a recoverable condition.  ``high`` narrows the key space
+    (tests exercise the retry path with it).
+    """
+    if count > high - 1:
+        raise ValueError(f"cannot draw {count} distinct keys below {high}")
     rng = np.random.default_rng(seed)
-    keys = np.unique(
-        rng.integers(1, 2**62, size=int(count * 2.2), dtype=np.uint64)
+    oversample = 2.2
+    for _ in range(8):
+        keys = np.unique(
+            rng.integers(1, high, size=int(count * oversample),
+                         dtype=np.uint64)
+        )
+        if len(keys) >= count:
+            return keys[:count]
+        oversample *= 2
+    raise RuntimeError(
+        f"key generation under-produced: {count} keys requested from a "
+        f"space of {high - 1}"
     )
-    if len(keys) < count:
-        raise RuntimeError("key generation under-produced")
-    return keys[:count]
 
 
 def print_header(title: str) -> None:

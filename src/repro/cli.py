@@ -10,11 +10,17 @@ Commands:
 * ``stats``   — run an instrumented gateway trial and print its metrics.
 * ``chaos``   — run seeded fault-injection episodes with differential
   oracle checking (exit 1 if any invariant was violated).
+* ``bench``   — the performance lab (:mod:`repro.perflab`):
+  ``bench run`` executes a suite and writes ``BENCH_<gitsha>.json``,
+  ``bench compare`` gates one artifact against another with noise-aware
+  thresholds (exit 1 on a confirmed regression), ``bench list`` shows
+  the registered benchmarks.
 
-``info``, ``scale`` and ``stats`` accept ``--json`` for machine-readable
-output; ``gateway --metrics-json PATH`` dumps the full metrics registry
-snapshot.  The CLI is deliberately thin: every command is a few calls
-into the library, doubling as usage documentation.
+``info``, ``scale``, ``stats`` and the ``bench`` verbs accept ``--json``
+for machine-readable output; ``gateway --metrics-json PATH`` dumps the
+full metrics registry snapshot.  The CLI is deliberately thin: every
+command is a few calls into the library, doubling as usage
+documentation.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from repro.core.params import SetSepParams
 from repro.gpt.gpt import GlobalPartitionTable
 from repro.model.scaling import peak_scaling_factor, scaling_curve
 from repro.obs import MetricsRegistry
+from repro.utils.env import environment_fingerprint
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -92,6 +99,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
             "fallback_entries": len(setsep.fallback),
             "capacity_keys": capacity,
             "bits_per_key_at_capacity": setsep.size_bits() / capacity,
+            "environment": environment_fingerprint(),
         }, indent=2, sort_keys=True))
         return 0
     print(f"config       : {setsep.params.name}, "
@@ -228,6 +236,88 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro import perflab
+
+    try:
+        perflab.discover()
+    except perflab.DiscoveryError as exc:
+        print(f"bench run: {exc}", file=sys.stderr)
+        return 2
+    # Progress goes to stderr so --json output on stdout stays parseable.
+    artifact = perflab.run_suite(
+        suite=args.suite,
+        scale=args.scale,
+        repeats=args.repeats,
+        name_filter=args.filter,
+        emit=lambda line: print(line, file=sys.stderr),
+    )
+    if not artifact.results:
+        print("bench run: no benchmarks matched", file=sys.stderr)
+        return 2
+    path = perflab.write_artifact(artifact, args.out)
+    if args.json:
+        print(artifact.to_json(), end="")
+    else:
+        timed = [r for r in artifact.results if r.best is not None]
+        print(f"suite {args.suite} (scale {artifact.scale}): "
+              f"{len(artifact.results)} benchmarks, {len(timed)} timed")
+        for result in sorted(artifact.results, key=lambda r: r.name):
+            best = (f"{result.best * 1e3:10.2f}ms"
+                    if result.best is not None else f"{'-':>12}")
+            print(f"  {result.name:<44} {best}")
+    print(f"artifact written to {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro import perflab
+
+    try:
+        baseline = perflab.load_artifact(args.baseline)
+        current = perflab.load_artifact(args.current)
+        report = perflab.compare_artifacts(
+            baseline,
+            current,
+            fail_band=args.fail_band,
+            warn_band=args.warn_band,
+            mad_k=args.mad_k,
+        )
+    except (perflab.ArtifactError, ValueError) as exc:
+        print(f"bench compare: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.table())
+    if report.failures and not args.warn_only:
+        return 1
+    return 0
+
+
+def _cmd_bench_list(args: argparse.Namespace) -> int:
+    from repro import perflab
+
+    try:
+        perflab.discover()
+    except perflab.DiscoveryError as exc:
+        print(f"bench list: {exc}", file=sys.stderr)
+        return 2
+    specs = perflab.specs_for_suite(args.suite)
+    if args.json:
+        print(json.dumps(
+            {"suite": args.suite, "benchmarks": [s.to_row() for s in specs]},
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    print(f"{'name':<44} {'figure':<14} {'suites':<12} module")
+    for spec in specs:
+        print(f"{spec.name:<44} {spec.figure:<14} "
+              f"{','.join(spec.suites):<12} {spec.module}")
+    print(f"{len(specs)} benchmarks registered")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     _architecture, gateway, _stats = _run_gateway_trial(args)
     if args.json:
@@ -321,6 +411,68 @@ def make_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", action="store_true",
                        help="emit the full soak report as JSON")
     chaos.set_defaults(func=_cmd_chaos)
+
+    bench = sub.add_parser(
+        "bench",
+        help="the performance lab: run suites, compare artifacts",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run", help="run a suite and write BENCH_<gitsha>.json"
+    )
+    bench_run.add_argument(
+        "--suite", choices=["smoke", "full", "all"], default="smoke"
+    )
+    bench_run.add_argument(
+        "--scale", type=int, default=1,
+        help="workload multiplier (REPRO_BENCH_SCALE equivalent)",
+    )
+    bench_run.add_argument(
+        "--repeats", type=int, default=None,
+        help="override every benchmark's min-of-K repeat count",
+    )
+    bench_run.add_argument(
+        "--filter", default=None,
+        help="only run benchmarks whose name matches this pattern",
+    )
+    bench_run.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="directory for the BENCH_<gitsha>.json artifact",
+    )
+    bench_run.add_argument("--json", action="store_true",
+                           help="print the full artifact to stdout")
+    bench_run.set_defaults(func=_cmd_bench_run)
+
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="gate one artifact against a baseline (exit 1 on regression)",
+    )
+    bench_compare.add_argument("baseline", help="baseline BENCH_*.json")
+    bench_compare.add_argument("current", help="current BENCH_*.json")
+    bench_compare.add_argument("--fail-band", type=float, default=0.25,
+                               help="relative slowdown that fails the gate")
+    bench_compare.add_argument("--warn-band", type=float, default=0.10,
+                               help="relative slowdown that warns")
+    bench_compare.add_argument("--mad-k", type=float, default=4.0,
+                               help="noise multiplier on the MAD sigma")
+    bench_compare.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but always exit 0 (CI smoke mode)",
+    )
+    bench_compare.add_argument("--json", action="store_true",
+                               help="emit the machine verdict as JSON")
+    bench_compare.set_defaults(func=_cmd_bench_compare)
+
+    bench_list = bench_sub.add_parser(
+        "list", help="list registered benchmarks"
+    )
+    bench_list.add_argument(
+        "--suite", choices=["smoke", "full", "all"], default="all"
+    )
+    bench_list.add_argument("--json", action="store_true",
+                            help="emit the listing as JSON")
+    bench_list.set_defaults(func=_cmd_bench_list)
 
     reproduce = sub.add_parser(
         "reproduce",

@@ -10,7 +10,6 @@ slices are exchanged (§4.5).
 
 from __future__ import annotations
 
-import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -305,8 +304,11 @@ def _build_parallel(
     """Fan block ranges out to worker processes.
 
     Each worker receives only its partition's keys to bound pickling cost.
+    ``workers`` is clamped by the block count but *not* by ``cpu_count``:
+    the slicing (and thus the output) must depend only on the requested
+    worker count, and oversubscribing cores is the caller's trade-off.
     """
-    workers = min(workers, num_blocks, os.cpu_count() or 1)
+    workers = min(workers, num_blocks)
     bounds = np.linspace(0, num_blocks, workers + 1).astype(int)
     blocks = buckets // BUCKETS_PER_BLOCK
     tasks = []

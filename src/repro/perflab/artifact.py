@@ -1,0 +1,134 @@
+"""``BENCH_*.json`` artifacts: canonical serialisation and parsing.
+
+One artifact is one point on the repository's performance trajectory:
+the environment fingerprint, the suite/scale that ran, and every
+benchmark's :class:`~repro.perflab.registry.BenchResult`.  Artifacts are
+written as *canonical JSON* — sorted keys, two-space indent, trailing
+newline — so that byte comparison is meaningful and diffs are small.
+
+Determinism contract: for a fixed checkout, machine and scale, two runs
+produce artifacts whose :func:`deterministic_view` is byte-identical;
+only each result's ``timing`` and ``derived`` sections may differ.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Union
+
+from repro.perflab.registry import SCHEMA_VERSION, BenchResult
+
+PathLike = Union[str, Path]
+
+
+class ArtifactError(ValueError):
+    """An artifact file or document failed validation."""
+
+
+@dataclass
+class Artifact:
+    """One persisted perf-lab run."""
+
+    suite: str
+    scale: int
+    environment: Dict[str, Any]
+    results: List[BenchResult] = field(default_factory=list)
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready document; results are sorted by benchmark name."""
+        return {
+            "schema_version": self.schema_version,
+            "suite": self.suite,
+            "scale": self.scale,
+            "environment": dict(self.environment),
+            "results": [
+                r.to_dict() for r in sorted(self.results, key=lambda r: r.name)
+            ],
+        }
+
+    def to_json(self) -> str:
+        """The canonical JSON document."""
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Artifact":
+        """Parse a document (inverse of :meth:`to_dict`)."""
+        try:
+            version = int(data["schema_version"])
+            if version != SCHEMA_VERSION:
+                raise ArtifactError(
+                    f"unsupported schema_version {version} "
+                    f"(this build reads {SCHEMA_VERSION})"
+                )
+            return cls(
+                suite=str(data["suite"]),
+                scale=int(data["scale"]),
+                environment=dict(data["environment"]),
+                results=[BenchResult.from_dict(r) for r in data["results"]],
+                schema_version=version,
+            )
+        except (KeyError, TypeError) as exc:
+            raise ArtifactError(f"malformed artifact: {exc}") from exc
+
+    def results_by_name(self) -> Dict[str, BenchResult]:
+        """Results keyed by benchmark name."""
+        return {r.name: r for r in self.results}
+
+
+def canonical_json(document: Mapping[str, Any]) -> str:
+    """Sorted-key, indented JSON with a trailing newline.
+
+    The one serialisation every artifact writer uses, so serialize →
+    parse → serialize is byte-identical and ``cmp a.json b.json`` is a
+    valid equality check.
+    """
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def deterministic_view(document: Mapping[str, Any]) -> Dict[str, Any]:
+    """The document with every timing-dependent field removed.
+
+    Drops each result's ``timing`` and ``derived`` sections; what remains
+    (schema, suite, scale, environment, params, counters) must be
+    byte-identical across runs on the same checkout and machine.
+    """
+    out = json.loads(json.dumps(document))  # deep copy via JSON
+    for result in out.get("results", []):
+        result.pop("timing", None)
+        result.pop("derived", None)
+    return out
+
+
+def load_artifact(path: PathLike) -> Artifact:
+    """Read and validate a ``BENCH_*.json`` file."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ArtifactError(f"cannot read {path}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ArtifactError(f"{path}: artifact root must be an object")
+    return Artifact.from_dict(data)
+
+
+def artifact_filename(git_sha: str) -> str:
+    """``BENCH_<shortsha>.json`` (``nogit`` outside a repository)."""
+    sha = (git_sha or "nogit")[:12]
+    safe = "".join(c for c in sha if c.isalnum()) or "nogit"
+    return f"BENCH_{safe}.json"
+
+
+def write_artifact(artifact: Artifact, out_dir: PathLike = ".") -> Path:
+    """Write the canonical artifact file; returns its path."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    sha = str(artifact.environment.get("git_sha", "nogit"))
+    path = directory / artifact_filename(sha)
+    path.write_text(artifact.to_json(), encoding="utf-8")
+    return path

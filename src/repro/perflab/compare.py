@@ -1,0 +1,223 @@
+"""Noise-aware artifact comparison: the perf-lab regression gate.
+
+Timings are noisy; naive "is B slower than A" gates either miss real
+regressions or cry wolf.  The gate here follows the CRAM-lens discipline:
+a benchmark only *fails* when its best time worsened by more than both
+
+* a relative band (default 25% fail / 10% warn of the baseline best), and
+* ``mad_k`` × the *baseline* run's noise sigma estimated from its own
+  samples (median absolute deviation, scaled to sigma by 1.4826),
+
+so a micro-benchmark whose baseline samples scatter by 30% cannot fail
+on a 25% swing, while a stable benchmark that genuinely slowed 25% does.
+The noise term is anchored on the baseline alone on purpose: a genuinely
+regressed run usually scatters *more*, and pooling would let it raise
+its own gate.
+Improvements beyond the warn threshold are reported as ``improved``;
+benchmarks present on only one side are ``new``/``missing`` (warnings,
+never failures — adding a benchmark must not break the gate).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.perflab.artifact import Artifact
+
+#: sigma ≈ 1.4826 × MAD for normally distributed noise.
+MAD_TO_SIGMA = 1.4826
+
+#: Ordered most-severe-first; the table sorts by this.
+_STATUS_ORDER = ("fail", "warn", "missing", "new", "improved", "ok", "untimed")
+
+
+def noise_sigma(samples: Sequence[float]) -> float:
+    """Robust per-benchmark noise estimate from one run's samples."""
+    if len(samples) < 2:
+        return 0.0
+    med = statistics.median(samples)
+    mad = statistics.median(abs(s - med) for s in samples)
+    return MAD_TO_SIGMA * mad
+
+
+@dataclass
+class BenchDelta:
+    """One benchmark's verdict in a comparison."""
+
+    name: str
+    status: str
+    baseline_best: Optional[float] = None
+    current_best: Optional[float] = None
+    delta_seconds: Optional[float] = None
+    ratio: Optional[float] = None
+    noise_sigma: Optional[float] = None
+    fail_threshold: Optional[float] = None
+    warn_threshold: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "baseline_best": self.baseline_best,
+            "current_best": self.current_best,
+            "delta_seconds": self.delta_seconds,
+            "ratio": self.ratio,
+            "noise_sigma": self.noise_sigma,
+            "fail_threshold": self.fail_threshold,
+            "warn_threshold": self.warn_threshold,
+        }
+
+
+@dataclass
+class CompareReport:
+    """The full comparison: per-benchmark deltas plus the gate verdict."""
+
+    deltas: List[BenchDelta] = field(default_factory=list)
+    fail_band: float = 0.25
+    warn_band: float = 0.10
+    mad_k: float = 4.0
+
+    def _with_status(self, status: str) -> List[BenchDelta]:
+        return [d for d in self.deltas if d.status == status]
+
+    @property
+    def failures(self) -> List[BenchDelta]:
+        """Regressions beyond both the fail band and the noise threshold."""
+        return self._with_status("fail")
+
+    @property
+    def warnings(self) -> List[BenchDelta]:
+        """Soft findings: warn-band regressions, new/missing benchmarks."""
+        return [
+            d for d in self.deltas if d.status in ("warn", "new", "missing")
+        ]
+
+    @property
+    def ok(self) -> bool:
+        """True when no benchmark fails the gate."""
+        return not self.failures
+
+    @property
+    def verdict(self) -> str:
+        """``pass`` / ``warn`` / ``fail`` for the whole comparison."""
+        if self.failures:
+            return "fail"
+        return "warn" if self.warnings else "pass"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "verdict": self.verdict,
+            "ok": self.ok,
+            "thresholds": {
+                "fail_band": self.fail_band,
+                "warn_band": self.warn_band,
+                "mad_k": self.mad_k,
+            },
+            "counts": {
+                status: len(self._with_status(status))
+                for status in _STATUS_ORDER
+            },
+            "benchmarks": [d.to_dict() for d in self.deltas],
+        }
+
+    def table(self) -> str:
+        """The human-readable comparison table."""
+        lines = [
+            f"{'benchmark':<40} {'baseline':>10} {'current':>10} "
+            f"{'change':>8} {'noise':>9}  status"
+        ]
+        ordered = sorted(
+            self.deltas,
+            key=lambda d: (_STATUS_ORDER.index(d.status), d.name),
+        )
+        for d in ordered:
+            base = f"{d.baseline_best * 1e3:.2f}ms" if d.baseline_best else "-"
+            cur = f"{d.current_best * 1e3:.2f}ms" if d.current_best else "-"
+            change = (
+                f"{(d.ratio - 1) * 100:+.1f}%" if d.ratio is not None else "-"
+            )
+            noise = (
+                f"{d.noise_sigma * 1e3:.2f}ms"
+                if d.noise_sigma is not None
+                else "-"
+            )
+            lines.append(
+                f"{d.name:<40} {base:>10} {cur:>10} {change:>8} {noise:>9}  "
+                f"{d.status}"
+            )
+        lines.append(f"verdict: {self.verdict}")
+        return "\n".join(lines)
+
+
+def compare_artifacts(
+    baseline: Artifact,
+    current: Artifact,
+    fail_band: float = 0.25,
+    warn_band: float = 0.10,
+    mad_k: float = 4.0,
+) -> CompareReport:
+    """Compare two artifacts benchmark-by-benchmark.
+
+    A matched benchmark fails when ``current.best - baseline.best`` exceeds
+    ``max(fail_band * baseline.best, mad_k * sigma)``; the warn rule
+    substitutes ``warn_band``.  Sigma is the baseline run's
+    :func:`noise_sigma` (see the module docstring for why the current
+    run's scatter does not feed the threshold).
+    """
+    if not 0 < warn_band <= fail_band:
+        raise ValueError("need 0 < warn_band <= fail_band")
+    base_results = baseline.results_by_name()
+    cur_results = current.results_by_name()
+    deltas: List[BenchDelta] = []
+
+    for name in sorted(set(base_results) | set(cur_results)):
+        base = base_results.get(name)
+        cur = cur_results.get(name)
+        if base is None:
+            deltas.append(BenchDelta(name=name, status="new",
+                                     current_best=cur.best))
+            continue
+        if cur is None:
+            deltas.append(BenchDelta(name=name, status="missing",
+                                     baseline_best=base.best))
+            continue
+        if base.best is None or cur.best is None:
+            deltas.append(BenchDelta(name=name, status="untimed",
+                                     baseline_best=base.best,
+                                     current_best=cur.best))
+            continue
+
+        sigma = noise_sigma(base.samples)
+        delta = cur.best - base.best
+        fail_at = max(fail_band * base.best, mad_k * sigma)
+        warn_at = max(warn_band * base.best, mad_k * sigma)
+        if delta > fail_at:
+            status = "fail"
+        elif delta > warn_at:
+            status = "warn"
+        elif delta < -warn_at:
+            status = "improved"
+        else:
+            status = "ok"
+        deltas.append(
+            BenchDelta(
+                name=name,
+                status=status,
+                baseline_best=base.best,
+                current_best=cur.best,
+                delta_seconds=delta,
+                ratio=cur.best / base.best if base.best > 0 else None,
+                noise_sigma=sigma,
+                fail_threshold=fail_at,
+                warn_threshold=warn_at,
+            )
+        )
+
+    return CompareReport(
+        deltas=deltas,
+        fail_band=fail_band,
+        warn_band=warn_band,
+        mad_k=mad_k,
+    )

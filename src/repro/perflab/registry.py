@@ -1,0 +1,292 @@
+"""The perf-lab benchmark registry: specs, results and the run context.
+
+The paper's §6 is a set of measured trade-off curves; this module is the
+substrate that lets the reproduction *keep* such measurements rather than
+print and forget them.  A benchmark module registers its measured path
+once::
+
+    from repro import perflab
+
+    @perflab.benchmark("table1.construction.16+8", figure="Table 1")
+    def construction(ctx):
+        keys = make_keys(50_000 * ctx.scale)
+        ctx.set_params(n_keys=len(keys), config="16+8")
+        _, stats = ctx.timeit(lambda: build(keys, values))
+        ctx.record(keys_per_second=stats.keys_per_second)
+
+and the runner (:mod:`repro.perflab.runner`) turns every registered spec
+into a :class:`BenchResult` inside a persisted ``BENCH_<gitsha>.json``
+artifact (:mod:`repro.perflab.artifact`).
+
+The schema splits each result into *deterministic* content (workload
+``params`` and ops ``counters`` read from the :mod:`repro.obs` registry)
+and *timing-dependent* content (``samples``/``best`` and ``derived``
+metrics such as rates), so artifacts can be byte-compared outside their
+timing fields and diffed with noise awareness
+(:mod:`repro.perflab.compare`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs import MetricsRegistry
+
+#: Suites a benchmark may belong to.  ``smoke`` is the fast, CI-friendly
+#: subset; ``full`` is everything worth a trajectory point.  The runner
+#: also accepts the pseudo-suite ``all``.
+KNOWN_SUITES: Tuple[str, ...] = ("smoke", "full")
+
+#: Schema version stamped into every artifact; bump on breaking changes.
+SCHEMA_VERSION = 1
+
+
+class BenchmarkError(RuntimeError):
+    """A benchmark misbehaved (bad registration, bad result content)."""
+
+
+def _check_jsonable(mapping: Mapping[str, Any], what: str) -> Dict[str, Any]:
+    """Restrict recorded values to JSON scalars (keeps artifacts diffable)."""
+    out: Dict[str, Any] = {}
+    for key, value in mapping.items():
+        if not isinstance(key, str):
+            raise BenchmarkError(f"{what} keys must be strings, got {key!r}")
+        if isinstance(value, bool) or value is None or isinstance(value, str):
+            out[key] = value
+        elif isinstance(value, (int, float)):
+            out[key] = value if isinstance(value, int) else float(value)
+        else:
+            try:  # NumPy scalars: keep artifacts free of np types.
+                out[key] = value.item()
+            except AttributeError:
+                raise BenchmarkError(
+                    f"{what}[{key!r}] must be a JSON scalar, got "
+                    f"{type(value).__name__}"
+                ) from None
+    return out
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """A registered benchmark: the measured path plus its metadata."""
+
+    name: str
+    fn: Callable[["BenchContext"], None]
+    figure: str
+    suites: Tuple[str, ...]
+    repeats: int
+    module: str
+    description: str
+
+    def to_row(self) -> Dict[str, object]:
+        """JSON-ready listing row (``repro bench list --json``)."""
+        return {
+            "name": self.name,
+            "figure": self.figure,
+            "suites": list(self.suites),
+            "repeats": self.repeats,
+            "module": self.module,
+            "description": self.description,
+        }
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's measurements, split deterministic vs timing."""
+
+    name: str
+    figure: str
+    module: str
+    suites: Tuple[str, ...]
+    params: Dict[str, Any] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    derived: Dict[str, Any] = field(default_factory=dict)
+    samples: List[float] = field(default_factory=list)
+    repeats: int = 1
+
+    @property
+    def best(self) -> Optional[float]:
+        """Min-of-K wall time in seconds (``None`` if nothing was timed)."""
+        return min(self.samples) if self.samples else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The artifact entry for this result.
+
+        ``timing`` and ``derived`` hold everything wall-clock-dependent;
+        every other key is deterministic for a fixed scale and checkout
+        (see :func:`repro.perflab.artifact.deterministic_view`).
+        """
+        return {
+            "name": self.name,
+            "figure": self.figure,
+            "module": self.module,
+            "suites": list(self.suites),
+            "params": dict(self.params),
+            "counters": dict(self.counters),
+            "derived": dict(self.derived),
+            "timing": {
+                "repeats": self.repeats,
+                "samples": list(self.samples),
+                "best": self.best,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BenchResult":
+        """Parse an artifact entry (inverse of :meth:`to_dict`)."""
+        timing = data.get("timing", {})
+        return cls(
+            name=data["name"],
+            figure=data.get("figure", ""),
+            module=data.get("module", ""),
+            suites=tuple(data.get("suites", ())),
+            params=dict(data.get("params", {})),
+            counters=dict(data.get("counters", {})),
+            derived=dict(data.get("derived", {})),
+            samples=[float(s) for s in timing.get("samples", [])],
+            repeats=int(timing.get("repeats", 1)),
+        )
+
+
+class BenchContext:
+    """What a benchmark function receives: scale, timing, and recording.
+
+    ``registry`` is a fresh :class:`repro.obs.MetricsRegistry` per run;
+    bind instrumented components to it and the runner snapshots its
+    counters into the result's deterministic ``counters`` section.
+    """
+
+    def __init__(self, spec: BenchSpec, scale: int, repeats: int) -> None:
+        self.spec = spec
+        self.scale = max(1, int(scale))
+        self.repeats = max(1, int(repeats))
+        self.registry = MetricsRegistry()
+        self._params: Dict[str, Any] = {}
+        self._derived: Dict[str, Any] = {}
+        self._samples: List[float] = []
+
+    @property
+    def samples(self) -> Tuple[float, ...]:
+        """Wall-time samples recorded so far (seconds, read-only)."""
+        return tuple(self._samples)
+
+    def set_params(self, **params: Any) -> None:
+        """Record workload facts (sizes, configs) — deterministic content."""
+        self._params.update(_check_jsonable(params, "params"))
+
+    def record(self, **metrics: Any) -> None:
+        """Record derived metrics (rates, ratios) — timing-dependent."""
+        self._derived.update(_check_jsonable(metrics, "derived"))
+
+    def timeit(
+        self,
+        fn: Callable[[], Any],
+        repeats: Optional[int] = None,
+    ) -> Any:
+        """Run ``fn`` K times, record each wall time, return the last value.
+
+        The artifact keeps every sample; comparisons use the min (the
+        classic low-noise estimator) with the sample spread feeding the
+        MAD-based noise threshold.
+        """
+        reps = self.repeats if repeats is None else max(1, int(repeats))
+        result = None
+        for _ in range(reps):
+            started = time.perf_counter()
+            result = fn()
+            self._samples.append(time.perf_counter() - started)
+        return result
+
+    def finish(self) -> BenchResult:
+        """Assemble the result (runner-internal)."""
+        return BenchResult(
+            name=self.spec.name,
+            figure=self.spec.figure,
+            module=self.spec.module,
+            suites=self.spec.suites,
+            params=dict(self._params),
+            counters=dict(self.registry.counters()),
+            derived=dict(self._derived),
+            samples=list(self._samples),
+            repeats=self.repeats,
+        )
+
+
+#: The process-wide registry of benchmark specs, keyed by name.
+_REGISTRY: Dict[str, BenchSpec] = {}
+
+
+def benchmark(
+    name: str,
+    figure: str = "",
+    suites: Sequence[str] = ("smoke", "full"),
+    repeats: int = 3,
+) -> Callable[[Callable[[BenchContext], None]], Callable[[BenchContext], None]]:
+    """Register a measured path with the perf lab.
+
+    Args:
+        name: stable dotted identifier (``table1.construction.16+8``);
+            artifact comparison matches on it.
+        figure: the paper figure/table this measurement reproduces.
+        suites: which suites include it (``smoke`` must stay fast).
+        repeats: default min-of-K count for :meth:`BenchContext.timeit`.
+
+    Re-registering the same name from the same module replaces the spec
+    (so re-imports are harmless); registering it from a different module
+    is an error.
+    """
+    unknown = set(suites) - set(KNOWN_SUITES)
+    if unknown or not suites:
+        raise BenchmarkError(
+            f"benchmark {name!r}: suites must be a non-empty subset of "
+            f"{KNOWN_SUITES}, got {tuple(suites)}"
+        )
+
+    def decorate(fn: Callable[[BenchContext], None]) -> Callable[[BenchContext], None]:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing.module != fn.__module__:
+            raise BenchmarkError(
+                f"benchmark name {name!r} already registered by "
+                f"{existing.module}"
+            )
+        doc = (fn.__doc__ or "").strip().splitlines()
+        _REGISTRY[name] = BenchSpec(
+            name=name,
+            fn=fn,
+            figure=figure,
+            suites=tuple(suites),
+            repeats=max(1, int(repeats)),
+            module=fn.__module__,
+            description=doc[0] if doc else "",
+        )
+        return fn
+
+    return decorate
+
+
+def get(name: str) -> BenchSpec:
+    """The spec registered under ``name`` (KeyError if absent)."""
+    return _REGISTRY[name]
+
+
+def all_specs() -> List[BenchSpec]:
+    """Every registered spec, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def specs_for_suite(suite: str) -> List[BenchSpec]:
+    """Specs belonging to ``suite`` (``all`` selects everything)."""
+    if suite == "all":
+        return all_specs()
+    if suite not in KNOWN_SUITES:
+        raise BenchmarkError(
+            f"unknown suite {suite!r}; choose from {KNOWN_SUITES + ('all',)}"
+        )
+    return [spec for spec in all_specs() if suite in spec.suites]
+
+
+def clear() -> None:
+    """Drop every registration (test isolation helper)."""
+    _REGISTRY.clear()

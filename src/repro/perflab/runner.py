@@ -1,0 +1,137 @@
+"""Suite discovery and execution: registered specs → a persisted artifact.
+
+Discovery imports every ``benchmarks/bench_*.py`` module so their
+``@perflab.benchmark`` registrations execute; running walks the selected
+suite in name order, gives each benchmark a fresh
+:class:`~repro.perflab.registry.BenchContext`, and stamps the
+:func:`repro.utils.env.environment_fingerprint` into the artifact.
+
+The runner is decoupled from pytest on purpose: ``repro bench run`` works
+anywhere the ``benchmarks`` package is importable (the repository root,
+or any process that already imported it), and the pytest benchmarks stay
+usable as before.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import importlib
+import sys
+from pathlib import Path
+from typing import Callable, List, Optional
+
+from repro.perflab import registry as reg
+from repro.perflab.artifact import Artifact
+from repro.utils.env import environment_fingerprint
+
+#: Default workload multiplier source, mirroring ``benchmarks/conftest``.
+SCALE_ENV_VAR = "REPRO_BENCH_SCALE"
+
+
+class DiscoveryError(RuntimeError):
+    """The ``benchmarks`` package could not be located or imported."""
+
+
+def _benchmark_package():
+    """Import the repository's ``benchmarks`` package, extending sys.path.
+
+    Tries a plain import first (works under pytest and in-repo scripts);
+    falls back to the current directory and the repository root inferred
+    from the installed ``repro`` package (``src/repro`` → repo root).
+    """
+    candidates = [Path.cwd()]
+    try:
+        import repro
+
+        candidates.append(Path(repro.__file__).resolve().parents[2])
+    except Exception:  # pragma: no cover - repro is always importable here
+        pass
+
+    try:
+        return importlib.import_module("benchmarks")
+    except ImportError:
+        pass
+    for root in candidates:
+        if (root / "benchmarks" / "__init__.py").is_file():
+            if str(root) not in sys.path:
+                sys.path.insert(0, str(root))
+            try:
+                return importlib.import_module("benchmarks")
+            except ImportError:
+                continue
+    raise DiscoveryError(
+        "cannot import the 'benchmarks' package; run from the repository "
+        "root or add it to PYTHONPATH"
+    )
+
+
+def discover() -> List[str]:
+    """Import every ``benchmarks/bench_*.py`` module; returns their names.
+
+    Idempotent: registrations replace themselves on re-import.
+    """
+    package = _benchmark_package()
+    package_dir = Path(package.__file__).parent
+    imported = []
+    for path in sorted(package_dir.glob("bench_*.py")):
+        module = f"benchmarks.{path.stem}"
+        importlib.import_module(module)
+        imported.append(module)
+    if not imported:
+        raise DiscoveryError(f"no bench_*.py modules under {package_dir}")
+    return imported
+
+
+def run_suite(
+    suite: str = "smoke",
+    scale: int = 1,
+    repeats: Optional[int] = None,
+    name_filter: Optional[str] = None,
+    emit: Optional[Callable[[str], None]] = None,
+) -> Artifact:
+    """Run the selected suite and return the in-memory artifact.
+
+    Args:
+        suite: ``smoke``, ``full`` or ``all``.
+        scale: workload multiplier (the benchmarks' ``REPRO_BENCH_SCALE``).
+        repeats: override every spec's min-of-K count (None keeps each
+            spec's own default).
+        name_filter: ``fnmatch`` pattern (or plain substring) selecting a
+            subset of benchmark names.
+        emit: optional progress sink (one line per benchmark).
+
+    The selected specs run in name order; an exception in any benchmark
+    aborts the run (a broken measurement must not produce an artifact).
+    """
+    say = emit or (lambda _line: None)
+    specs = reg.specs_for_suite(suite)
+    if name_filter:
+        pattern = (
+            name_filter if any(c in name_filter for c in "*?[")
+            else f"*{name_filter}*"
+        )
+        specs = [s for s in specs if fnmatch.fnmatch(s.name, pattern)]
+    results = []
+    for index, spec in enumerate(specs, 1):
+        say(f"[{index}/{len(specs)}] {spec.name} ...")
+        ctx = reg.BenchContext(
+            spec,
+            scale=scale,
+            repeats=spec.repeats if repeats is None else repeats,
+        )
+        spec.fn(ctx)
+        result = ctx.finish()
+        best = result.best
+        say(
+            f"[{index}/{len(specs)}] {spec.name}: "
+            + (f"best {best * 1e3:.2f}ms "
+               f"over {len(result.samples)} samples" if best is not None
+               else "recorded (untimed)")
+        )
+        results.append(result)
+    return Artifact(
+        suite=suite,
+        scale=max(1, int(scale)),
+        environment=environment_fingerprint(),
+        results=results,
+    )

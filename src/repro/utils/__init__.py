@@ -1,6 +1,7 @@
-"""Shared low-level utilities: bit packing and summary statistics."""
+"""Shared low-level utilities: bit packing, statistics, environment."""
 
 from repro.utils.bits import BitWriter, BitReader, pack_bits, unpack_bits
+from repro.utils.env import environment_fingerprint, git_sha
 from repro.utils.stats import Summary, summarize
 
 __all__ = [
@@ -10,4 +11,6 @@ __all__ = [
     "unpack_bits",
     "Summary",
     "summarize",
+    "environment_fingerprint",
+    "git_sha",
 ]

@@ -1,0 +1,84 @@
+"""Environment fingerprinting for measurement artifacts.
+
+Every performance number this repository reports is only meaningful next
+to the machine and toolchain that produced it (the paper pins a Xeon
+E5-2680 the same way).  This module assembles that context once —
+CPU model, core count, Python/NumPy versions, git revision — so the
+perf-lab artifacts (:mod:`repro.perflab`), ``repro info --json`` and any
+future reporting surface share one fingerprint instead of each
+assembling their own.
+
+Everything here is deterministic on a given checkout of a given machine:
+two consecutive calls return identical dictionaries, which is what lets
+``BENCH_*.json`` artifacts be byte-compared outside their timing fields.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from typing import Dict, Optional
+
+
+def _cpu_model() -> str:
+    """Human CPU model string (``/proc/cpuinfo`` on Linux, else platform)."""
+    try:
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def repo_root() -> str:
+    """The repository root inferred from this package's location."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    # src/repro/utils -> src/repro -> src -> repo root
+    return os.path.dirname(os.path.dirname(os.path.dirname(here)))
+
+
+def git_sha(short: bool = False) -> Optional[str]:
+    """The checked-out git revision, or ``None`` outside a repository."""
+    cmd = ["git", "rev-parse"] + (["--short"] if short else []) + ["HEAD"]
+    try:
+        out = subprocess.run(
+            cmd,
+            cwd=repo_root(),
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def numpy_version() -> str:
+    """The NumPy version string (NumPy is a hard dependency)."""
+    import numpy
+
+    return numpy.__version__
+
+
+def environment_fingerprint() -> Dict[str, object]:
+    """One JSON-ready dict describing the measurement environment.
+
+    Stable across consecutive runs on the same checkout and machine; keys
+    are sorted by the canonical JSON writer, not here.
+    """
+    return {
+        "cpu_model": _cpu_model(),
+        "cpu_count": os.cpu_count() or 1,
+        "machine": platform.machine(),
+        "platform": sys.platform,
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "numpy_version": numpy_version(),
+        "git_sha": git_sha() or "unknown",
+    }

@@ -1,0 +1,510 @@
+"""Tests for the performance lab (repro.perflab).
+
+Covers the four subsystem contracts:
+
+* schema round-trip — serialize → parse → serialize is byte-identical
+  (including a hypothesis property over generated result content);
+* regression verdicts — an injected slowdown above the band/MAD
+  threshold flips the verdict and the CLI exit code, below it does not,
+  and noisy baselines widen the gate;
+* runner determinism — everything outside each result's ``timing`` and
+  ``derived`` sections is byte-identical across runs;
+* registration completeness — every ``benchmarks/bench_*.py`` module
+  registers at least one measured path, all visible to
+  ``repro bench list``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import perflab
+from repro.cli import main
+from repro.perflab import registry as reg
+from repro.utils.env import environment_fingerprint, git_sha
+
+BENCH_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+
+
+# -- helpers -------------------------------------------------------------
+
+
+def make_artifact(results):
+    return perflab.Artifact(
+        suite="smoke",
+        scale=1,
+        environment={"git_sha": "deadbeef", "cpu_count": 1},
+        results=results,
+    )
+
+
+def make_result(name, samples, **overrides):
+    fields = dict(
+        name=name,
+        figure="Test",
+        module="tests.synthetic",
+        suites=("smoke",),
+        params={"n": 10},
+        counters={"ops": 10},
+        derived={"rate": 1.0},
+        samples=list(samples),
+        repeats=len(samples),
+    )
+    fields.update(overrides)
+    return perflab.BenchResult(**fields)
+
+
+@pytest.fixture()
+def isolated_registry():
+    """Snapshot and restore the global benchmark registry."""
+    saved = dict(reg._REGISTRY)
+    reg._REGISTRY.clear()
+    try:
+        yield reg._REGISTRY
+    finally:
+        reg._REGISTRY.clear()
+        reg._REGISTRY.update(saved)
+
+
+# -- schema round-trip ---------------------------------------------------
+
+
+class TestSchemaRoundTrip:
+    def test_manual_round_trip_is_byte_identical(self):
+        artifact = make_artifact(
+            [make_result("b.one", [0.5, 0.4]), make_result("a.two", [1.0])]
+        )
+        text = artifact.to_json()
+        parsed = perflab.Artifact.from_dict(json.loads(text))
+        assert parsed.to_json() == text
+        # Results are sorted by name in the document.
+        names = [r["name"] for r in json.loads(text)["results"]]
+        assert names == sorted(names)
+
+    def test_best_is_min_of_samples(self):
+        result = make_result("x", [0.9, 0.3, 0.7])
+        assert result.best == 0.3
+        assert make_result("y", []).best is None
+
+    def test_rejects_wrong_schema_version(self):
+        doc = make_artifact([]).to_dict()
+        doc["schema_version"] = 999
+        with pytest.raises(perflab.ArtifactError):
+            perflab.Artifact.from_dict(doc)
+
+    def test_rejects_malformed_document(self):
+        with pytest.raises(perflab.ArtifactError):
+            perflab.Artifact.from_dict({"suite": "smoke"})
+
+    def test_load_artifact_errors(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(perflab.ArtifactError):
+            perflab.load_artifact(missing)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(perflab.ArtifactError):
+            perflab.load_artifact(bad)
+        nondict = tmp_path / "list.json"
+        nondict.write_text("[1, 2]")
+        with pytest.raises(perflab.ArtifactError):
+            perflab.load_artifact(nondict)
+
+    scalars = st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**53), max_value=2**53),
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+        st.text(max_size=20),
+    )
+    names = st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Nd"),
+                               whitelist_characters="._-"),
+        min_size=1, max_size=30,
+    )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        results=st.lists(
+            st.tuples(
+                names,
+                st.dictionaries(names, scalars, max_size=4),
+                st.dictionaries(names, st.integers(0, 2**40), max_size=4),
+                st.lists(
+                    st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), max_size=5
+                ),
+            ),
+            max_size=5,
+            unique_by=lambda t: t[0],
+        )
+    )
+    def test_property_serialize_parse_serialize(self, results):
+        artifact = make_artifact(
+            [
+                make_result(name, samples, params=params, counters=counters,
+                            derived={})
+                for name, params, counters, samples in results
+            ]
+        )
+        text = artifact.to_json()
+        reparsed = perflab.Artifact.from_dict(json.loads(text))
+        assert reparsed.to_json() == text
+
+    def test_deterministic_view_strips_timing_and_derived(self):
+        doc = make_artifact([make_result("x", [0.1])]).to_dict()
+        view = perflab.deterministic_view(doc)
+        assert "timing" not in view["results"][0]
+        assert "derived" not in view["results"][0]
+        assert view["results"][0]["params"] == {"n": 10}
+        # The original document is untouched.
+        assert "timing" in doc["results"][0]
+
+    def test_artifact_filename(self):
+        assert perflab.artifact_filename("abc123def456789") == \
+            "BENCH_abc123def456.json"
+        assert perflab.artifact_filename("") == "BENCH_nogit.json"
+
+
+# -- regression verdicts -------------------------------------------------
+
+
+class TestCompareVerdicts:
+    def test_clean_comparison_passes(self):
+        base = make_artifact([make_result("x", [1.0, 1.0, 1.01])])
+        cur = make_artifact([make_result("x", [1.02, 1.0, 1.01])])
+        report = perflab.compare_artifacts(base, cur)
+        assert report.ok
+        assert report.verdict == "pass"
+        assert [d.status for d in report.deltas] == ["ok"]
+
+    def test_regression_above_threshold_fails(self):
+        base = make_artifact([make_result("x", [1.0, 1.0, 1.01])])
+        cur = make_artifact([make_result("x", [1.5, 1.5, 1.52])])
+        report = perflab.compare_artifacts(base, cur)
+        assert not report.ok
+        assert report.verdict == "fail"
+        assert report.failures[0].name == "x"
+
+    def test_slowdown_below_band_is_ok(self):
+        base = make_artifact([make_result("x", [1.0, 1.0, 1.01])])
+        cur = make_artifact([make_result("x", [1.05, 1.06, 1.05])])
+        report = perflab.compare_artifacts(base, cur)
+        assert report.ok
+        assert report.deltas[0].status == "ok"
+
+    def test_noisy_baseline_widens_the_gate(self):
+        # Tight baseline: +30% fails.  Same +30% on a baseline whose own
+        # samples scatter by ~50% stays inside mad_k * sigma.
+        tight = make_artifact([make_result("x", [1.0, 1.0, 1.0])])
+        noisy = make_artifact([make_result("x", [1.0, 1.5, 2.0])])
+        cur = make_artifact([make_result("x", [1.3, 1.3, 1.3])])
+        assert not perflab.compare_artifacts(tight, cur).ok
+        assert perflab.compare_artifacts(noisy, cur).ok
+
+    def test_improvement_is_reported_not_failed(self):
+        base = make_artifact([make_result("x", [1.0, 1.0])])
+        cur = make_artifact([make_result("x", [0.5, 0.5])])
+        report = perflab.compare_artifacts(base, cur)
+        assert report.ok
+        assert report.deltas[0].status == "improved"
+
+    def test_new_and_missing_warn_but_never_fail(self):
+        base = make_artifact([make_result("old", [1.0])])
+        cur = make_artifact([make_result("fresh", [1.0])])
+        report = perflab.compare_artifacts(base, cur)
+        assert report.ok
+        assert report.verdict == "warn"
+        statuses = {d.name: d.status for d in report.deltas}
+        assert statuses == {"old": "missing", "fresh": "new"}
+
+    def test_untimed_results_are_neutral(self):
+        base = make_artifact([make_result("x", [])])
+        cur = make_artifact([make_result("x", [])])
+        report = perflab.compare_artifacts(base, cur)
+        assert report.ok
+        assert report.deltas[0].status == "untimed"
+
+    def test_threshold_bands_validated(self):
+        base = make_artifact([])
+        with pytest.raises(ValueError):
+            perflab.compare_artifacts(base, base, fail_band=0.1,
+                                      warn_band=0.2)
+
+    def test_report_table_and_dict(self):
+        base = make_artifact([make_result("x", [1.0, 1.0])])
+        cur = make_artifact([make_result("x", [1.5, 1.5])])
+        report = perflab.compare_artifacts(base, cur)
+        table = report.table()
+        assert "x" in table and "verdict: fail" in table
+        doc = report.to_dict()
+        assert doc["verdict"] == "fail"
+        assert doc["counts"]["fail"] == 1
+
+    def test_noise_sigma(self):
+        assert perflab.noise_sigma([]) == 0.0
+        assert perflab.noise_sigma([1.0]) == 0.0
+        assert perflab.noise_sigma([1.0, 1.0, 1.0]) == 0.0
+        assert perflab.noise_sigma([1.0, 2.0, 3.0]) == \
+            pytest.approx(1.4826, rel=1e-6)
+
+
+class TestCompareCli:
+    def _write(self, tmp_path, name, artifact):
+        path = tmp_path / name
+        path.write_text(artifact.to_json())
+        return str(path)
+
+    def test_exit_codes(self, tmp_path, capsys):
+        base = make_artifact([make_result("x", [1.0, 1.0, 1.01])])
+        ok = make_artifact([make_result("x", [1.01, 1.0, 1.0])])
+        slow = make_artifact([make_result("x", [1.6, 1.6, 1.6])])
+        base_p = self._write(tmp_path, "base.json", base)
+        assert main(["bench", "compare", base_p,
+                     self._write(tmp_path, "ok.json", ok)]) == 0
+        slow_p = self._write(tmp_path, "slow.json", slow)
+        assert main(["bench", "compare", base_p, slow_p]) == 1
+        assert main(["bench", "compare", base_p, slow_p,
+                     "--warn-only"]) == 0
+        capsys.readouterr()
+
+    def test_json_verdict(self, tmp_path, capsys):
+        base = make_artifact([make_result("x", [1.0, 1.0])])
+        slow = make_artifact([make_result("x", [2.0, 2.0])])
+        assert main(["bench", "compare",
+                     self._write(tmp_path, "a.json", base),
+                     self._write(tmp_path, "b.json", slow), "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["verdict"] == "fail"
+        assert doc["benchmarks"][0]["name"] == "x"
+
+    def test_malformed_artifact_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        good = self._write(tmp_path, "good.json", make_artifact([]))
+        assert main(["bench", "compare", str(bad), good]) == 2
+        capsys.readouterr()
+
+
+# -- runner determinism --------------------------------------------------
+
+
+class TestRunner:
+    def test_deterministic_outside_timing(self, isolated_registry):
+        @perflab.benchmark("det.alpha", figure="T", suites=("smoke",),
+                           repeats=2)
+        def alpha(ctx):
+            ctx.set_params(n=100 * ctx.scale)
+            ctx.registry.counter("alpha.ops").inc(100 * ctx.scale)
+            ctx.timeit(lambda: sum(range(1000)))
+            ctx.record(rate=123.0)
+
+        @perflab.benchmark("det.beta", figure="T", suites=("smoke",))
+        def beta(ctx):
+            ctx.set_params(mode="fast")
+            ctx.timeit(lambda: None, repeats=1)
+
+        one = perflab.run_suite("smoke", scale=2)
+        two = perflab.run_suite("smoke", scale=2)
+        view_one = perflab.canonical_json(
+            perflab.deterministic_view(one.to_dict()))
+        view_two = perflab.canonical_json(
+            perflab.deterministic_view(two.to_dict()))
+        assert view_one == view_two
+        assert one.results_by_name()["det.alpha"].counters == \
+            {"alpha.ops": 200}
+        assert len(one.results_by_name()["det.alpha"].samples) == 2
+
+    def test_suite_and_filter_selection(self, isolated_registry):
+        @perflab.benchmark("sel.smoke_only", suites=("smoke",))
+        def smoke_only(ctx):
+            ctx.timeit(lambda: None, repeats=1)
+
+        @perflab.benchmark("sel.full_only", suites=("full",))
+        def full_only(ctx):
+            ctx.timeit(lambda: None, repeats=1)
+
+        smoke = perflab.run_suite("smoke")
+        assert [r.name for r in smoke.results] == ["sel.smoke_only"]
+        everything = perflab.run_suite("all")
+        assert len(everything.results) == 2
+        filtered = perflab.run_suite("all", name_filter="full")
+        assert [r.name for r in filtered.results] == ["sel.full_only"]
+
+    def test_environment_fingerprint_is_stamped(self, isolated_registry):
+        @perflab.benchmark("env.probe", suites=("smoke",))
+        def probe(ctx):
+            ctx.timeit(lambda: None, repeats=1)
+
+        artifact = perflab.run_suite("smoke")
+        env = artifact.environment
+        for field in ("cpu_model", "cpu_count", "python_version",
+                      "numpy_version", "git_sha"):
+            assert field in env
+        assert env == environment_fingerprint()
+
+    def test_duplicate_name_across_modules_rejected(self, isolated_registry):
+        @perflab.benchmark("dup.name")
+        def first(ctx):
+            pass
+
+        def second(ctx):
+            pass
+
+        second.__module__ = "somewhere.else"
+        with pytest.raises(perflab.BenchmarkError):
+            perflab.benchmark("dup.name")(second)
+        # Same module re-registering (a re-import) is fine.
+        perflab.benchmark("dup.name")(first)
+
+    def test_unknown_suite_rejected(self, isolated_registry):
+        with pytest.raises(perflab.BenchmarkError):
+            @perflab.benchmark("bad.suite", suites=("nightly",))
+            def nope(ctx):
+                pass
+        with pytest.raises(perflab.BenchmarkError):
+            perflab.specs_for_suite("nightly")
+
+    def test_non_scalar_recordings_rejected(self, isolated_registry):
+        ctx = reg.BenchContext(
+            reg.BenchSpec("x", lambda c: None, "", ("smoke",), 1, "m", ""),
+            scale=1, repeats=1,
+        )
+        with pytest.raises(perflab.BenchmarkError):
+            ctx.set_params(bad=[1, 2, 3])
+        ctx.set_params(ok_numpy=np.uint64(7))
+        assert ctx._params["ok_numpy"] == 7
+
+
+# -- registration completeness -------------------------------------------
+
+
+class TestRegistrationCompleteness:
+    def test_every_bench_module_registers(self):
+        perflab.discover()
+        registered_modules = {
+            spec.module.rsplit(".", 1)[-1] for spec in perflab.all_specs()
+            if spec.module.startswith("benchmarks.")
+        }
+        on_disk = {p.stem for p in BENCH_DIR.glob("bench_*.py")}
+        assert on_disk, "no benchmark modules found"
+        missing = on_disk - registered_modules
+        assert not missing, (
+            f"bench modules without a perflab registration: {missing}"
+        )
+
+    def test_bench_list_shows_everything(self, capsys):
+        assert main(["bench", "list", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        names = {row["name"] for row in doc["benchmarks"]}
+        modules = {row["module"].rsplit(".", 1)[-1]
+                   for row in doc["benchmarks"]}
+        on_disk = {p.stem for p in BENCH_DIR.glob("bench_*.py")}
+        assert on_disk <= modules
+        assert "table1.construction.workers.4" in names
+
+    def test_bench_list_human(self, capsys):
+        assert main(["bench", "list", "--suite", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "table1.construction.workers.1" in out
+        assert "benchmarks registered" in out
+
+
+# -- the CLI run verb ----------------------------------------------------
+
+
+class TestBenchRunCli:
+    def test_run_writes_canonical_deterministic_artifact(
+        self, tmp_path, capsys
+    ):
+        argv = ["bench", "run", "--suite", "all", "--filter",
+                "fig11.scaling_curve", "--out", str(tmp_path / "a"),
+                "--json"]
+        assert main(argv) == 0
+        out_a = capsys.readouterr().out
+        argv[argv.index(str(tmp_path / "a"))] = str(tmp_path / "b")
+        assert main(argv) == 0
+        out_b = capsys.readouterr().out
+
+        paths_a = list((tmp_path / "a").glob("BENCH_*.json"))
+        assert len(paths_a) == 1
+        text = paths_a[0].read_text()
+        # Canonical: file equals its own re-serialisation, and stdout.
+        assert text == perflab.canonical_json(json.loads(text))
+        assert text == out_a
+        # Non-timing content is byte-identical across the two runs.
+        view = lambda t: perflab.canonical_json(  # noqa: E731
+            perflab.deterministic_view(json.loads(t)))
+        assert view(out_a) == view(out_b)
+        doc = json.loads(out_a)
+        assert doc["results"][0]["name"] == "fig11.scaling_curve"
+        assert doc["environment"]["git_sha"] == (git_sha() or "unknown")
+
+    def test_run_unmatched_filter_is_error(self, tmp_path, capsys):
+        assert main(["bench", "run", "--filter", "no.such.bench",
+                     "--out", str(tmp_path)]) == 2
+        capsys.readouterr()
+
+
+# -- environment fingerprint ---------------------------------------------
+
+
+class TestEnvironmentFingerprint:
+    def test_stable_and_complete(self):
+        one = environment_fingerprint()
+        two = environment_fingerprint()
+        assert one == two
+        assert one["cpu_count"] >= 1
+        assert isinstance(one["cpu_model"], str) and one["cpu_model"]
+        assert one["numpy_version"] == np.__version__
+
+    def test_git_sha_matches_repo(self):
+        sha = git_sha()
+        assert sha is None or (len(sha) == 40 and
+                               all(c in "0123456789abcdef" for c in sha))
+        short = git_sha(short=True)
+        if sha is not None:
+            assert sha.startswith(short)
+
+    def test_info_json_includes_environment(self, tmp_path, capsys):
+        csv = tmp_path / "flows.csv"
+        csv.write_text("\n".join(f"flow-{i},{i % 4}" for i in range(300)))
+        snapshot = tmp_path / "gpt.snap"
+        assert main(["build", str(csv), str(snapshot)]) == 0
+        capsys.readouterr()
+        assert main(["info", str(snapshot), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["environment"] == environment_fingerprint()
+
+
+# -- benchmarks/conftest key generation ----------------------------------
+
+
+class TestBenchKeys:
+    def test_exact_count_unique(self):
+        from benchmarks.conftest import bench_keys
+
+        keys = bench_keys(5_000, seed=3)
+        assert len(keys) == 5_000
+        assert len(np.unique(keys)) == 5_000
+
+    def test_recovers_from_underproduction(self):
+        from benchmarks.conftest import bench_keys
+
+        # 220 draws from 109 possible values virtually never yield 100
+        # distinct keys on the first draw; the retry loop must recover
+        # rather than raise.
+        keys = bench_keys(100, seed=1, high=110)
+        assert len(keys) == 100
+        assert len(np.unique(keys)) == 100
+
+    def test_impossible_request_raises(self):
+        from benchmarks.conftest import bench_keys
+
+        with pytest.raises(ValueError):
+            bench_keys(10, high=5)

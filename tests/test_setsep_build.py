@@ -112,6 +112,22 @@ class TestParallelBuild:
             serial.failed_groups, parallel.failed_groups
         )
 
+    def test_oversubscribed_workers_equal_serial(self):
+        # Output must depend only on the key set, never on the worker
+        # count — even when workers exceed the host's CPU count (the
+        # builder no longer clamps to os.cpu_count(), so this exercises
+        # real multi-slice process-pool builds on any machine).
+        keys = unique_keys(4_000, seed=5)
+        values = (keys % 4).astype(np.uint32)
+        params = SetSepParams(value_bits=2)
+        serial, serial_stats = build(keys, values, params, workers=1)
+        parallel, parallel_stats = build(keys, values, params, workers=4)
+        assert np.array_equal(serial.choices, parallel.choices)
+        assert np.array_equal(serial.indices, parallel.indices)
+        assert np.array_equal(serial.arrays, parallel.arrays)
+        assert serial_stats.fallback_keys == parallel_stats.fallback_keys
+        assert np.array_equal(parallel.lookup_batch(keys), values)
+
     def test_workers_capped_by_blocks(self):
         keys = unique_keys(100, seed=6)
         values = (keys % 2).astype(np.uint32)
