@@ -60,6 +60,8 @@ def test_fig7_measured_lookup_rate(benchmark, built):
         result = benchmark(probe_once)
     finally:
         setsep.bind_registry(None)
+    # The fused broadcast gather must agree with one-key-at-a-time reads.
+    assert list(result[:256]) == [setsep.lookup(int(k)) for k in probe[:256]]
     span_us = registry.histogram(span_histogram_name("fig7_lookup"))
     mops = lookups.value / span_us.sum
     print_header(

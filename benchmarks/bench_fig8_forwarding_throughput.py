@@ -93,8 +93,7 @@ def test_fig8_functional_core_balance(benchmark):
     def run(arch):
         cluster = Cluster.build(arch, 4, keys, handlers, values)
         cluster.reset_counters()
-        for key in keys[:2_000]:
-            cluster.route(int(key), ingress=0)
+        cluster.route_batch(keys[:2_000], [0] * 2_000)
         return cluster
 
     full = run(Architecture.FULL_DUPLICATION)

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Optional, Tuple
 
+import numpy as np
+
 
 class FallbackTable:
     """Exact key-to-value store for failed groups."""
@@ -21,6 +23,7 @@ class FallbackTable:
 
     def __init__(self) -> None:
         self._entries: Dict[int, int] = {}
+        self._sorted: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -31,10 +34,12 @@ class FallbackTable:
     def insert(self, key: int, value: int) -> None:
         """Insert or overwrite an entry."""
         self._entries[int(key)] = int(value)
+        self._sorted = None
 
     def remove(self, key: int) -> None:
         """Remove an entry; removing an absent key is a no-op."""
-        self._entries.pop(int(key), None)
+        if self._entries.pop(int(key), None) is not None:
+            self._sorted = None
 
     def get(self, key: int) -> Optional[int]:
         """Exact lookup; ``None`` when the key is absent."""
@@ -49,6 +54,27 @@ class FallbackTable:
         for key, value in pairs:
             self.insert(key, value)
 
+    def sorted_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The table as parallel (keys, values) arrays sorted by key.
+
+        Backs the vectorised fallback probe in
+        :meth:`repro.core.setsep.SetSep.lookup_batch`: a batch of keys is
+        resolved with one ``np.searchsorted`` instead of a dict access per
+        key.  The arrays are cached and rebuilt lazily after any mutation,
+        so steady-state lookups pay nothing for the materialisation.
+        """
+        if self._sorted is None:
+            count = len(self._entries)
+            keys = np.fromiter(
+                self._entries.keys(), dtype=np.uint64, count=count
+            )
+            values = np.fromiter(
+                self._entries.values(), dtype=np.uint32, count=count
+            )
+            order = np.argsort(keys)
+            self._sorted = (keys[order], values[order])
+        return self._sorted
+
     def size_bits(self) -> int:
         """Storage charged to the fallback table."""
         return len(self._entries) * self.ENTRY_BITS
@@ -56,3 +82,4 @@ class FallbackTable:
     def clear(self) -> None:
         """Drop all entries."""
         self._entries.clear()
+        self._sorted = None

@@ -21,6 +21,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 
 class BearerState(enum.Enum):
     """Lifecycle of a bearer's data-plane context."""
@@ -190,6 +192,57 @@ class DataPlaneEngine:
             context.uplink_bytes += size
             context.uplink_packets += 1
         return True
+
+    def process_batch(
+        self,
+        teids: np.ndarray,
+        sizes: np.ndarray,
+        downlink: bool,
+        nows: np.ndarray,
+    ) -> np.ndarray:
+        """Account many packets at once; returns per-packet accept flags.
+
+        Equivalent to calling :meth:`process` per packet in input order.
+        Packets are grouped by bearer; a group without a policer collapses
+        to one counter update (the intermediate state transitions have no
+        net effect), while policed bearers replay their packets through
+        the scalar path so the token bucket sees every arrival.
+        """
+        teids = np.asarray(teids, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        nows = np.asarray(nows, dtype=np.float64)
+        n = teids.size
+        ok = np.zeros(n, dtype=bool)
+        if n == 0:
+            return ok
+        order = np.argsort(teids, kind="stable")
+        sorted_teids = teids[order]
+        boundaries = np.nonzero(np.diff(sorted_teids))[0] + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [n]])
+        for start, end in zip(starts, ends):
+            idx = order[start:end]
+            teid = int(sorted_teids[start])
+            context = self._flows.get(teid)
+            if context is None:
+                continue
+            if context.policer is not None:
+                for i in idx:
+                    ok[i] = self.process(
+                        teid, int(sizes[i]), downlink, float(nows[i])
+                    )
+                continue
+            total = int(sizes[idx].sum())
+            context.state = BearerState.ACTIVE
+            context.last_activity = float(nows[idx[-1]])
+            if downlink:
+                context.downlink_bytes += total
+                context.downlink_packets += idx.size
+            else:
+                context.uplink_bytes += total
+                context.uplink_packets += idx.size
+            ok[idx] = True
+        return ok
 
     def expire_idle(self, now: float) -> int:
         """Demote bearers inactive for longer than the idle timeout."""

@@ -23,6 +23,7 @@ from repro.cluster.architectures import Architecture
 from repro.cluster.cluster import Cluster, FibFactory, RouteResult
 from repro.cluster.update import UpdateEngine
 from repro.core.params import SetSepParams
+from repro.epc import fastpath
 from repro.epc.controller import AssignmentPolicy, EpcController, FlowRecord
 from repro.epc.dpe import DataPlaneEngine
 from repro.epc.packets import FlowTuple, extract_flow, parse_frame
@@ -71,6 +72,20 @@ class GatewayStats:
         """DPE charging function: account bytes to a bearer."""
         self.bytes_charged[teid] = self.bytes_charged.get(teid, 0) + size
         self._c_bytes.inc(size)
+
+    def charge_many(self, teids: np.ndarray, sizes: np.ndarray) -> None:
+        """Batched :meth:`charge`: one dict update per distinct bearer."""
+        teids = np.asarray(teids, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if teids.size == 0:
+            return
+        unique, inverse = np.unique(teids, return_inverse=True)
+        sums = np.bincount(inverse, weights=sizes).astype(np.int64)
+        for teid, total in zip(unique, sums):
+            self.bytes_charged[int(teid)] = (
+                self.bytes_charged.get(int(teid), 0) + int(total)
+            )
+        self._c_bytes.inc(int(sums.sum()))
 
     def __getattr__(self, name: str) -> int:
         counter_name = _STAT_COUNTERS.get(name)
@@ -215,6 +230,19 @@ class EpcGateway:
         self._h_fabric_hop = r.histogram(
             "gateway.fabric_hop_us", buckets=LATENCY_BUCKETS_US,
             description="modelled switch-fabric latency per routed packet",
+        )
+        self._c_fp_batches = r.counter(
+            "gateway.fastpath.batches",
+            "downstream batches routed through the vectorised fast path",
+        )
+        self._c_fp_frames = r.counter(
+            "gateway.fastpath.frames",
+            "frames processed by the vectorised fast path",
+        )
+        self._c_fp_spilled = r.counter(
+            "gateway.fastpath.spilled_frames",
+            "frames that fell back to the scalar codec "
+            "(IPv4 options, degenerate batches)",
         )
         # One Data Plane Engine per node: bearer state lives where the
         # flow is handled (the pinning the whole paper exists to serve).
@@ -429,13 +457,236 @@ class EpcGateway:
         """Forward many downstream frames (batch query surface).
 
         Each element of the result is exactly what
-        :meth:`process_downstream` returns for the matching frame; the
-        optional ``ingress`` sequence pins per-frame ingress nodes.
+        :meth:`process_downstream` returns for the matching frame — same
+        output bytes, charging, counters and RNG trajectory — but the
+        whole batch flows through the vectorised codec
+        (:mod:`repro.epc.fastpath`), one batched cluster lookup, and
+        per-node grouped DPE charging.  The optional ``ingress`` sequence
+        pins per-frame ingress nodes.  Batches containing a frame the
+        scalar path would *raise* on (TTL 0, oversized inner packet) are
+        replayed through :meth:`process_downstream` so the exception
+        surfaces identically.
         """
+        cluster = self._require_cluster()
+        if ingress is not None and len(ingress) != len(frames):
+            raise ValueError("frames and ingress lengths differ")
+        n = len(frames)
+        if n == 0:
+            return []
+        parsed = fastpath.parse_frames(frames)
+        if parsed.degenerate:
+            self._c_fp_spilled.inc(n)
+            return self._process_downstream_scalar(frames, ingress)
+        self._c_fp_batches.inc()
+        self._c_fp_frames.inc(n)
+        if parsed.scalar_spills:
+            self._c_fp_spilled.inc(parsed.scalar_spills)
+
+        self._c_down_in.inc(n)
+        results: List[Optional[Tuple[RouteResult, Optional[bytes]]]] = (
+            [None] * n
+        )
+
+        def early_ingress(i: int) -> int:
+            if ingress is None or ingress[i] is None:
+                return -1
+            return int(ingress[i])  # type: ignore[arg-type]
+
+        with self.registry.span("downstream"):
+            with self.registry.span("ingress"):
+                malformed_idx = np.nonzero(parsed.malformed)[0]
+                if malformed_idx.size:
+                    self._c_drop_malformed.inc(int(malformed_idx.size))
+                    for i in malformed_idx:
+                        results[int(i)] = (
+                            RouteResult(
+                                key=0,
+                                ingress=early_ingress(int(i)),
+                                path=(),
+                                internal_hops=0,
+                                latency_us=0.0,
+                                handled_by=None,
+                                value=None,
+                                dropped=True,
+                                reason="malformed",
+                            ),
+                            None,
+                        )
+
+                acl = np.zeros(n, dtype=bool)
+                if self.acl_blocked_sources:
+                    blocked = np.fromiter(
+                        self.acl_blocked_sources,
+                        dtype=np.int64,
+                        count=len(self.acl_blocked_sources),
+                    )
+                    acl = parsed.valid & np.isin(parsed.src_ip, blocked)
+                    acl_idx = np.nonzero(acl)[0]
+                    if acl_idx.size:
+                        self._c_drop_acl.inc(int(acl_idx.size))
+                        for i in acl_idx:
+                            results[int(i)] = (
+                                RouteResult(
+                                    key=int(parsed.keys[i]),
+                                    ingress=early_ingress(int(i)),
+                                    path=(),
+                                    internal_hops=0,
+                                    latency_us=0.0,
+                                    handled_by=None,
+                                    value=None,
+                                    dropped=True,
+                                    reason="acl",
+                                ),
+                                None,
+                            )
+
+            routed_idx = np.nonzero(parsed.valid & ~acl)[0]
+            with self.registry.span("pfe_lookup"):
+                if ingress is None:
+                    ing_routed = cluster.pick_ingress_batch(routed_idx.size)
+                else:
+                    pinned = [ingress[int(i)] for i in routed_idx]
+                    ing_routed = np.fromiter(
+                        (
+                            cluster.pick_ingress() if node is None
+                            else int(node)
+                            for node in pinned
+                        ),
+                        dtype=np.int64,
+                        count=len(pinned),
+                    )
+                batch = cluster.route_batch(
+                    parsed.keys[routed_idx], ing_routed
+                )
+
+            node_down = np.zeros(routed_idx.size, dtype=bool)
+            if self.down_nodes:
+                for j, result in enumerate(batch.results):
+                    if any(node in self.down_nodes for node in result.path):
+                        node_down[j] = True
+                down_j = np.nonzero(node_down)[0]
+                if down_j.size:
+                    self._c_drop_node_down.inc(int(down_j.size))
+                    for j in down_j:
+                        result = batch.results[int(j)]
+                        results[int(routed_idx[j])] = (
+                            RouteResult(
+                                key=result.key,
+                                ingress=result.ingress,
+                                path=result.path,
+                                internal_hops=result.internal_hops,
+                                latency_us=result.latency_us,
+                                handled_by=None,
+                                value=None,
+                                dropped=True,
+                                reason="node_down",
+                            ),
+                            None,
+                        )
+
+            unknown = batch.dropped & ~node_down
+            unknown_j = np.nonzero(unknown)[0]
+            if unknown_j.size:
+                self._c_drop_unknown.inc(int(unknown_j.size))
+                for j in unknown_j:
+                    results[int(routed_idx[j])] = (
+                        batch.results[int(j)], None
+                    )
+
+            accepted_j = np.nonzero(~batch.dropped & ~node_down)[0]
+            self._h_fabric_hop.observe_many(batch.latencies_us[accepted_j])
+
+            with self.registry.span("dpe"):
+                record_cache: Dict[int, FlowRecord] = {}
+                records: List[FlowRecord] = []
+                for j in accepted_j:
+                    key = int(parsed.keys[routed_idx[j]])
+                    record = record_cache.get(key)
+                    if record is None:
+                        record = self.controller.record_for_key(key)
+                        record_cache[key] = record
+                    assert (
+                        record is not None
+                        and batch.results[int(j)].value == record.teid
+                    )
+                    records.append(record)
+                count = len(records)
+                nows = np.empty(count, dtype=np.float64)
+                now = self.now
+                for t in range(count):
+                    # Sequential addition on purpose: float accumulation
+                    # must match the scalar path tick for tick.
+                    now += self.tick
+                    nows[t] = now
+                self.now = now
+                teids = np.fromiter(
+                    (r.teid for r in records), dtype=np.int64, count=count
+                )
+                handling = np.fromiter(
+                    (r.handling_node for r in records),
+                    dtype=np.int64, count=count,
+                )
+                sizes = parsed.l3_len[routed_idx[accepted_j]]
+                ok = np.zeros(count, dtype=bool)
+                for node_id in np.unique(handling):
+                    mask = handling == node_id
+                    ok[mask] = self.dpes[int(node_id)].process_batch(
+                        teids[mask], sizes[mask], downlink=True,
+                        nows=nows[mask],
+                    )
+
+                policed_t = np.nonzero(~ok)[0]
+                if policed_t.size:
+                    self._c_drop_acl.inc(int(policed_t.size))
+                    self._c_drop_policed.inc(int(policed_t.size))
+                    for t in policed_t:
+                        j = int(accepted_j[t])
+                        result = batch.results[j]
+                        results[int(routed_idx[j])] = (
+                            RouteResult(
+                                key=result.key,
+                                ingress=result.ingress,
+                                path=result.path,
+                                internal_hops=result.internal_hops,
+                                latency_us=result.latency_us,
+                                handled_by=None,
+                                value=None,
+                                dropped=True,
+                                reason="policed",
+                            ),
+                            None,
+                        )
+                charged_t = np.nonzero(ok)[0]
+                self.stats.charge_many(teids[charged_t], sizes[charged_t])
+                self._c_down_bytes.inc(int(sizes[charged_t].sum()))
+
+            with self.registry.span("egress"):
+                frame_idx = routed_idx[accepted_j[charged_t]]
+                bs_ips = np.fromiter(
+                    (records[int(t)].base_station_ip for t in charged_t),
+                    dtype=np.int64, count=charged_t.size,
+                )
+                tunnelled = fastpath.encapsulate_batch(
+                    parsed, frame_idx, teids[charged_t], bs_ips,
+                    self.gateway_ip,
+                )
+            self._c_down_tunnelled.inc(int(charged_t.size))
+            for pos, t in enumerate(charged_t):
+                j = int(accepted_j[t])
+                results[int(routed_idx[j])] = (
+                    batch.results[j], tunnelled[pos]
+                )
+
+        return results  # type: ignore[return-value]
+
+    def _process_downstream_scalar(
+        self,
+        frames: Sequence[bytes],
+        ingress: Optional[Sequence[Optional[int]]],
+    ) -> List[Tuple[RouteResult, Optional[bytes]]]:
+        """Per-frame reference path (and exception-faithful fallback)."""
         if ingress is None:
             return [self.process_downstream(frame) for frame in frames]
-        if len(ingress) != len(frames):
-            raise ValueError("frames and ingress lengths differ")
         return [
             self.process_downstream(frame, node)
             for frame, node in zip(frames, ingress)

@@ -79,6 +79,11 @@ class CuckooHashTable(FibTable):
             self._values = ValueArray(num_slots, value_size)
         else:
             self._values = [None] * num_slots
+        # Integer sidecar mirroring the value array: slots whose value is a
+        # plain int are additionally kept here so the array-native batch
+        # lookup can gather values without touching Python objects.
+        self._int_values = np.zeros(num_slots, dtype=np.int64)
+        self._int_ok = np.zeros(num_slots, dtype=bool)
         self.value_store = value_store
         self._value_size = value_size
         self._len = 0
@@ -118,6 +123,7 @@ class CuckooHashTable(FibTable):
         slot = self._find_slot(ckey, b1, b2)
         if slot is not None:
             self._values[slot] = value
+            self._set_int_value(slot, value)
             return
 
         # Empty slot in either candidate bucket.
@@ -145,20 +151,20 @@ class CuckooHashTable(FibTable):
         # The separated value array costs exactly one extra indexed read.
         return self._values[slot]
 
-    def lookup_batch(self, keys) -> List[Optional[Any]]:
-        """Vectorised multi-key lookup (the PFE's batched fast path).
+    def lookup_slots(self, keys) -> np.ndarray:
+        """Vectorised slot resolution: each key's slot id, ``-1`` on miss.
 
         Candidate buckets, tags and slot comparisons for the whole batch
         are computed as NumPy array operations — the software analogue of
-        the prefetch pipelining CuckooSwitch uses (§5.1) — and only the
-        final value fetches touch Python objects.
+        the prefetch pipelining CuckooSwitch uses (§5.1).  Both batch
+        lookup shapes build on this.
         """
         from repro.hashtables.interface import canonical_many
 
         keys_arr = canonical_many(keys)
         n = len(keys_arr)
         if n == 0:
-            return []
+            return np.zeros(0, dtype=np.int64)
         primary = (hashfamily.fib_hash(keys_arr) & self._bucket_mask).astype(
             np.int64
         )
@@ -174,13 +180,41 @@ class CuckooHashTable(FibTable):
         slots = slot_base[:, :, None] + np.arange(SLOTS_PER_BUCKET)[None, None, :]
         slots = slots.reshape(n, 2 * SLOTS_PER_BUCKET)
         match = self._occupied[slots] & (self._keys[slots] == keys_arr[:, None])
+        any_hit = match.any(axis=1)
+        first = match.argmax(axis=1)
+        return np.where(
+            any_hit, slots[np.arange(n), first], np.int64(-1)
+        ).astype(np.int64)
 
-        out: List[Optional[Any]] = [None] * n
-        hit_rows, hit_cols = np.nonzero(match)
-        for row, col in zip(hit_rows.tolist(), hit_cols.tolist()):
-            if out[row] is None:
-                out[row] = self._values[int(slots[row, col])]
+    def lookup_batch(self, keys) -> List[Optional[Any]]:
+        """Vectorised multi-key lookup (the PFE's batched fast path).
+
+        Slot resolution is fully vectorised (:meth:`lookup_slots`); only
+        the final value fetches for hits touch Python objects.
+        """
+        slots = self.lookup_slots(keys)
+        out: List[Optional[Any]] = [None] * len(slots)
+        for row in np.nonzero(slots >= 0)[0].tolist():
+            out[row] = self._values[int(slots[row])]
         return out
+
+    def lookup_batch_array(self, keys, missing: int = -1):
+        """Array-native batch lookup: ``(found, int64 values)``.
+
+        Stays entirely in NumPy when every hit value is an integer (the
+        FIB's TEID case) by gathering from the integer sidecar; raises
+        :class:`TypeError` as the interface contract requires otherwise.
+        """
+        slots = self.lookup_slots(keys)
+        found = slots >= 0
+        hit_slots = slots[found]
+        if not np.all(self._int_ok[hit_slots]):
+            raise TypeError(
+                "CuckooHashTable holds non-integer values; use lookup_batch()"
+            )
+        values = np.full(len(slots), missing, dtype=np.int64)
+        values[found] = self._int_values[hit_slots]
+        return found, values
 
     def delete(self, key: Key) -> bool:
         ckey = canonical(key)
@@ -191,6 +225,7 @@ class CuckooHashTable(FibTable):
         self._occupied[slot] = False
         self._keys[slot] = 0
         self._values[slot] = None
+        self._int_ok[slot] = False
         self._len -= 1
         return True
 
@@ -218,10 +253,19 @@ class CuckooHashTable(FibTable):
                 return slot
         return None
 
+    def _set_int_value(self, slot: int, value: Any) -> None:
+        """Keep the integer sidecar coherent with the value array."""
+        if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+            self._int_values[slot] = int(value)
+            self._int_ok[slot] = True
+        else:
+            self._int_ok[slot] = False
+
     def _place(self, slot: int, ckey: int, value: Any) -> None:
         self._keys[slot] = ckey
         self._occupied[slot] = True
         self._values[slot] = value
+        self._set_int_value(slot, value)
         self._len += 1
 
     def _bfs_path(self, b1: int, b2: int) -> Optional[List[int]]:
@@ -262,9 +306,12 @@ class CuckooHashTable(FibTable):
             src, dst = path[i - 1], path[i]
             self._keys[dst] = self._keys[src]
             self._values[dst] = self._values[src]  # value moves with the key
+            self._int_values[dst] = self._int_values[src]
+            self._int_ok[dst] = self._int_ok[src]
             self._occupied[dst] = True
             self._occupied[src] = False
             self._values[src] = None
+            self._int_ok[src] = False
             self._relocations += 1
 
     # ------------------------------------------------------------------

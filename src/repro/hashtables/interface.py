@@ -59,6 +59,36 @@ class FibTable(abc.ABC):
             keys = keys.tolist()
         return [self.lookup(k) for k in keys]
 
+    def lookup_batch_array(
+        self,
+        keys: Union[Sequence[Key], np.ndarray],
+        missing: int = -1,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Array-native batch lookup for integer-valued tables.
+
+        Returns ``(found, values)`` where ``found`` is a boolean array and
+        ``values`` an ``int64`` array carrying ``missing`` for absent keys.
+        This is the shape the batched forwarding fast path consumes — no
+        per-key Python objects cross the boundary.  Tables holding
+        non-integer values raise :class:`TypeError`; callers fall back to
+        :meth:`lookup_batch`.
+        """
+        results = self.lookup_batch(keys)
+        n = len(results)
+        found = np.zeros(n, dtype=bool)
+        values = np.full(n, missing, dtype=np.int64)
+        for i, value in enumerate(results):
+            if value is None:
+                continue
+            if not isinstance(value, (int, np.integer)):
+                raise TypeError(
+                    f"{type(self).__name__} holds non-integer values; "
+                    "use lookup_batch()"
+                )
+            found[i] = True
+            values[i] = int(value)
+        return found, values
+
     def insert_many(self, pairs: Sequence[Tuple[Key, Any]]) -> None:
         """Bulk insert."""
         for key, value in pairs:

@@ -181,8 +181,93 @@ class ClusterSimulation:
         self.events.run()
         return self._report(mpps_per_node, duration_ns)
 
-    def _schedule_arrival(self, node: int, when_ns: float, pid: int) -> None:
-        handler = int(self._rng.integers(self.num_nodes))
+    def poisson_trace(
+        self,
+        mpps_per_node: float,
+        duration_us: float,
+        poisson: bool = True,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Generate an arrival trace with batched draws (batch ingest).
+
+        The vectorised companion to :meth:`offer_load`'s inline generation:
+        all of a node's inter-arrival gaps are drawn in one
+        ``rng.exponential(size=...)`` call and accumulated with
+        ``np.cumsum``.  Returns ``(nodes, times_ns)`` ready for
+        :meth:`offer_trace`.  (It consumes the generator differently from
+        :meth:`offer_load`, which interleaves gap and handler draws — the
+        two entry points produce equally valid, but not identical, traces.)
+        """
+        if mpps_per_node <= 0 or duration_us <= 0:
+            raise ValueError("load and duration must be positive")
+        interval_ns = 1e3 / mpps_per_node
+        duration_ns = duration_us * 1e3
+        node_ids: List[np.ndarray] = []
+        times: List[np.ndarray] = []
+        chunk = max(16, int(duration_ns / interval_ns * 1.2) + 1)
+        for node in range(self.num_nodes):
+            if poisson:
+                t = np.cumsum(self._rng.exponential(interval_ns, size=chunk))
+                while t[-1] < duration_ns:
+                    more = self._rng.exponential(interval_ns, size=chunk)
+                    t = np.concatenate([t, t[-1] + np.cumsum(more)])
+                t = t[t < duration_ns]
+            else:
+                count = int(np.ceil(duration_ns / interval_ns)) + 1
+                t = interval_ns * np.arange(1, count, dtype=np.float64)
+                t = t[t < duration_ns]
+            node_ids.append(np.full(t.size, node, dtype=np.int64))
+            times.append(t)
+        return np.concatenate(node_ids), np.concatenate(times)
+
+    def offer_trace(
+        self,
+        nodes: np.ndarray,
+        times_ns: np.ndarray,
+        handlers: Optional[np.ndarray] = None,
+    ) -> SimulationReport:
+        """Offer a precomputed arrival trace and run to quiescence.
+
+        Batch ingest for the event loop: handler assignment happens as one
+        vectorised draw (unless ``handlers`` pins it), and arrivals are
+        scheduled without the per-packet generation loop of
+        :meth:`offer_load`.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        times_ns = np.asarray(times_ns, dtype=np.float64)
+        if nodes.shape != times_ns.shape or nodes.ndim != 1:
+            raise ValueError("nodes and times_ns must be equal-length 1-D")
+        n = nodes.size
+        if n == 0:
+            raise ValueError("empty arrival trace")
+        if nodes.min() < 0 or nodes.max() >= self.num_nodes:
+            raise ValueError("trace names a node outside the cluster")
+        if times_ns.min() <= 0:
+            raise ValueError("arrival times must be positive")
+        if handlers is None:
+            handlers = self._rng.integers(self.num_nodes, size=n)
+        handlers = np.asarray(handlers, dtype=np.int64)
+        if handlers.shape != nodes.shape:
+            raise ValueError("handlers length differs from trace length")
+        for i in range(n):
+            self._schedule_arrival(
+                int(nodes[i]), float(times_ns[i]), i + 1,
+                handler=int(handlers[i]),
+            )
+        self._offered = n
+        self.events.run()
+        duration_ns = float(times_ns.max())
+        offered_mpps = n / self.num_nodes / duration_ns * 1e3
+        return self._report(offered_mpps, duration_ns)
+
+    def _schedule_arrival(
+        self,
+        node: int,
+        when_ns: float,
+        pid: int,
+        handler: Optional[int] = None,
+    ) -> None:
+        if handler is None:
+            handler = int(self._rng.integers(self.num_nodes))
 
         def arrive() -> None:
             packet = SimPacket(

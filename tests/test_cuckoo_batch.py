@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.hashtables import CuckooHashTable
+from repro.hashtables import (
+    ChainingHashTable,
+    CuckooHashTable,
+    RteHashTable,
+)
 from tests.conftest import unique_keys
 
 
@@ -64,6 +68,12 @@ class TestBatchLookup:
         table.insert("beta", 2)
         assert table.lookup_batch(["alpha", "beta", "gamma"]) == [1, 2, None]
 
+    def test_lookup_batch_accepts_numpy_arrays(self, loaded_table):
+        table, keys = loaded_table
+        assert table.lookup_batch(np.asarray(keys[:64], dtype=np.uint64)) == [
+            table.lookup(int(k)) for k in keys[:64]
+        ]
+
     def test_faster_than_scalar(self, loaded_table):
         import time
 
@@ -76,3 +86,79 @@ class TestBatchLookup:
             table.lookup(int(key))
         scalar = (time.perf_counter() - started) * (len(keys) / 500)
         assert batched < scalar  # the point of the fast path
+
+
+class TestBatchLookupArray:
+    """The array-native path: ``(found, values)`` NumPy pairs."""
+
+    @pytest.mark.parametrize("table_cls", [CuckooHashTable, RteHashTable])
+    def test_matches_list_batch(self, table_cls):
+        n = 2_000
+        keys = unique_keys(n, seed=1200)
+        table = table_cls(capacity=n)
+        for i, key in enumerate(keys):
+            table.insert(int(key), i)
+        probe = np.concatenate(
+            [keys[: n // 2], unique_keys(300, seed=1201, low=2**62, high=2**63)]
+        )
+        found, values = table.lookup_batch_array(probe)
+        assert found.dtype == np.bool_ and values.dtype == np.int64
+        reference = table.lookup_batch(probe)
+        for i, ref in enumerate(reference):
+            if ref is None:
+                assert not found[i] and values[i] == -1
+            else:
+                assert found[i] and values[i] == ref
+
+    @pytest.mark.parametrize("table_cls", [CuckooHashTable, RteHashTable])
+    def test_custom_missing_sentinel(self, table_cls):
+        table = table_cls(capacity=64)
+        table.insert(17, 5)
+        found, values = table.lookup_batch_array(
+            np.array([17, 404], dtype=np.uint64), missing=-7
+        )
+        assert found.tolist() == [True, False]
+        assert values.tolist() == [5, -7]
+
+    @pytest.mark.parametrize("table_cls", [CuckooHashTable, RteHashTable])
+    def test_empty_batch(self, table_cls):
+        table = table_cls(capacity=64)
+        found, values = table.lookup_batch_array(np.zeros(0, dtype=np.uint64))
+        assert found.size == 0 and values.size == 0
+
+    @pytest.mark.parametrize("table_cls", [CuckooHashTable, RteHashTable])
+    def test_non_integer_values_raise(self, table_cls):
+        table = table_cls(capacity=64)
+        table.insert(1, ("node", 3))
+        with pytest.raises(TypeError, match="non-integer"):
+            table.lookup_batch_array(np.array([1], dtype=np.uint64))
+
+    def test_chaining_uses_interface_fallback(self):
+        table = ChainingHashTable(num_buckets=256)
+        for i in range(100):
+            table.insert(i + 1, i * 3)
+        probe = np.arange(1, 151, dtype=np.uint64)
+        found, values = table.lookup_batch_array(probe)
+        assert found[:100].all() and not found[100:].any()
+        assert values[:100].tolist() == [i * 3 for i in range(100)]
+        assert (values[100:] == -1).all()
+
+    def test_cuckoo_sidecar_survives_mutation(self):
+        """Deletes, overwrites and cuckoo displacement keep the int sidecar
+        consistent with the authoritative value list."""
+        n = 1_500
+        keys = unique_keys(n, seed=1202)
+        table = CuckooHashTable(capacity=n)
+        for i, key in enumerate(keys):
+            table.insert(int(key), i)
+        for key in keys[::3]:
+            table.delete(int(key))
+        for j, key in enumerate(keys[1::3]):
+            table.insert(int(key), 10_000 + j)  # overwrite in place
+        found, values = table.lookup_batch_array(keys)
+        for i in range(n):
+            expected = table.lookup(int(keys[i]))
+            if expected is None:
+                assert not found[i]
+            else:
+                assert found[i] and values[i] == expected
