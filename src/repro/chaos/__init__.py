@@ -38,6 +38,13 @@ from repro.chaos.oracle import (
     OracleViolation,
     ReferenceGateway,
 )
+from repro.chaos.transport import (
+    DELAY,
+    DELIVER,
+    DROP,
+    DUPLICATE,
+    TransportFaultBudgets,
+)
 
 __all__ = [
     "DEFAULT_FAULT_KINDS",
@@ -49,4 +56,9 @@ __all__ = [
     "Expectation",
     "OracleViolation",
     "ReferenceGateway",
+    "DELAY",
+    "DELIVER",
+    "DROP",
+    "DUPLICATE",
+    "TransportFaultBudgets",
 ]

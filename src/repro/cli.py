@@ -15,6 +15,12 @@ Commands:
   ``bench compare`` gates one artifact against another with noise-aware
   thresholds (exit 1 on a confirmed regression), ``bench list`` shows
   the registered benchmarks.
+* ``serve`` / ``controller`` / ``runtime-demo`` — the multi-process
+  socket runtime (:mod:`repro.runtime`): ``serve`` runs one node
+  daemon, ``controller`` drives the differential workload against
+  already-running daemons, ``runtime-demo`` spawns a local cluster,
+  runs the workload (optionally SIGKILLing a daemon mid-run) and
+  prints the differential report (exit 1 on any divergence).
 
 ``info``, ``scale``, ``stats`` and the ``bench`` verbs accept ``--json``
 for machine-readable output; ``gateway --metrics-json PATH`` dumps the
@@ -272,9 +278,15 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
 
 def _cmd_bench_compare(args: argparse.Namespace) -> int:
     from repro import perflab
+    from repro.utils.env import git_sha
 
     try:
-        baseline = perflab.load_artifact(args.baseline)
+        baseline_path = perflab.select_baseline(
+            args.baseline,
+            current_sha=git_sha(),
+            warn=lambda line: print(f"bench compare: {line}", file=sys.stderr),
+        )
+        baseline = perflab.load_artifact(baseline_path)
         current = perflab.load_artifact(args.current)
         report = perflab.compare_artifacts(
             baseline,
@@ -325,6 +337,106 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     else:
         _print_metrics_text(gateway.registry)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.runtime.daemon import serve
+
+    def announce(port: int) -> None:
+        print(f"listening on {args.host}:{port}", flush=True)
+
+    serve(host=args.host, port=args.port, ready=announce)
+    return 0
+
+
+def _parse_addresses(spec: str) -> List[tuple]:
+    addresses = []
+    for part in spec.split(","):
+        host, _, port = part.strip().rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit(f"bad address {part!r}; expected host:port")
+        addresses.append((host, int(port)))
+    return addresses
+
+
+def _finish_runtime_report(report: dict, as_json: bool) -> int:
+    from repro.runtime.launcher import report_json
+
+    if as_json:
+        print(report_json(report))
+    else:
+        differential = report["differential"]
+        print(f"nodes={report['nodes']} seed={report['seed']}")
+        print(
+            f"frames={differential['frames']} "
+            f"delivered={differential['delivered']} "
+            f"divergences={differential['divergences']}"
+        )
+        print(
+            f"byte_identical={differential['byte_identical']} "
+            f"charging_identical={differential['charging_identical']} "
+            f"gpt_replicas_identical={differential['gpt_replicas_identical']}"
+        )
+        liveness = report["liveness"]
+        if liveness["killed_node"] is not None:
+            print(
+                f"killed node {liveness['killed_node']}: detected in "
+                f"{liveness['detection_polls']} polls, recovered "
+                f"{liveness['recovered_flows']} flows"
+            )
+        if "leaked_processes" in report:
+            print(f"leaked_processes={report['leaked_processes']}")
+        print("ok" if report["ok"] else "DIVERGED")
+    return 0 if report["ok"] else 1
+
+
+def _cmd_controller(args: argparse.Namespace) -> int:
+    from repro.runtime.launcher import run_workload
+
+    addresses = _parse_addresses(args.connect)
+    report = run_workload(
+        addresses,
+        len(addresses),
+        seed=args.seed,
+        flows=args.flows,
+        packets=args.packets,
+        updates=args.updates,
+        miss_threshold=args.miss_threshold,
+        heartbeat_interval=args.heartbeat_interval,
+    )
+    return _finish_runtime_report(report, args.json)
+
+
+def _cmd_runtime_demo(args: argparse.Namespace) -> int:
+    from repro.runtime.launcher import run_demo
+
+    report = run_demo(
+        num_nodes=args.nodes,
+        seed=args.seed,
+        flows=args.flows,
+        packets=args.packets,
+        updates=args.updates,
+        kill_node=args.kill_node,
+        miss_threshold=args.miss_threshold,
+        heartbeat_interval=args.heartbeat_interval,
+    )
+    if report["leaked_processes"]:
+        report["ok"] = False
+    return _finish_runtime_report(report, args.json)
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--flows", type=int, default=2000,
+                        help="initial bearer population")
+    parser.add_argument("--packets", type=int, default=4000,
+                        help="routed frames across the two traffic phases")
+    parser.add_argument("--updates", type=int, default=1000,
+                        help="RIB operations in the update storm")
+    parser.add_argument("--miss-threshold", type=int, default=3,
+                        help="consecutive heartbeat misses declaring death")
+    parser.add_argument("--heartbeat-interval", type=float, default=0.05)
+    parser.add_argument("--json", action="store_true")
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -448,7 +560,11 @@ def make_parser() -> argparse.ArgumentParser:
         "compare",
         help="gate one artifact against a baseline (exit 1 on regression)",
     )
-    bench_compare.add_argument("baseline", help="baseline BENCH_*.json")
+    bench_compare.add_argument(
+        "baseline", nargs="+",
+        help="baseline BENCH_*.json candidates (a glob is fine; the one "
+             "matching the current git sha wins, else newest by mtime)",
+    )
     bench_compare.add_argument("current", help="current BENCH_*.json")
     bench_compare.add_argument("--fail-band", type=float, default=0.25,
                                help="relative slowdown that fails the gate")
@@ -473,6 +589,37 @@ def make_parser() -> argparse.ArgumentParser:
     bench_list.add_argument("--json", action="store_true",
                             help="emit the listing as JSON")
     bench_list.set_defaults(func=_cmd_bench_list)
+
+    serve = sub.add_parser(
+        "serve", help="run one node daemon of the socket runtime"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.set_defaults(func=_cmd_serve)
+
+    controller = sub.add_parser(
+        "controller",
+        help="drive the differential workload against running daemons",
+    )
+    controller.add_argument(
+        "--connect", required=True,
+        help="comma-separated daemon addresses, host:port,... "
+             "(list index = node id)",
+    )
+    _add_workload_arguments(controller)
+    controller.set_defaults(func=_cmd_controller)
+
+    demo = sub.add_parser(
+        "runtime-demo",
+        help="spawn a local multi-process cluster, run the differential "
+             "workload, print the report (exit 1 on any divergence)",
+    )
+    demo.add_argument("--nodes", type=int, default=4)
+    demo.add_argument("--kill-node", type=int, default=None,
+                      help="SIGKILL this daemon mid-run (§7 failure drill)")
+    _add_workload_arguments(demo)
+    demo.set_defaults(func=_cmd_runtime_demo)
 
     reproduce = sub.add_parser(
         "reproduce",

@@ -9,16 +9,26 @@ Public surface:
 """
 
 from repro.core.builder import ConstructionStats, DuplicateKeyError, build
-from repro.core.delta import GroupDelta
+from repro.core.delta import DeltaWireError, GroupDelta
 from repro.core.fallback import FallbackTable
 from repro.core.params import SetSepParams
 from repro.core.setsep import SetSep
-from repro.core.serialize import SnapshotError, dump, dump_bytes, load, load_bytes
+from repro.core.serialize import (
+    SnapshotError,
+    dump,
+    dump_bytes,
+    dumps,
+    fingerprint,
+    load,
+    load_bytes,
+    loads,
+)
 
 __all__ = [
     "SetSep",
     "SetSepParams",
     "GroupDelta",
+    "DeltaWireError",
     "FallbackTable",
     "ConstructionStats",
     "DuplicateKeyError",
@@ -26,6 +36,9 @@ __all__ = [
     "SnapshotError",
     "dump",
     "dump_bytes",
+    "dumps",
+    "fingerprint",
     "load",
     "load_bytes",
+    "loads",
 ]

@@ -10,6 +10,7 @@ paper's size claim and the update-rate benchmark measures realistic payloads.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
@@ -18,6 +19,17 @@ from repro.utils.bits import BitReader, BitWriter
 
 #: Bits used for the group id on the wire.
 GROUP_ID_BITS = 32
+
+#: Self-describing wire header: payload length u16, then the three
+#: SetSep bit-widths (index, array, value) as u8 each.  The length
+#: header lets a receiver frame deltas out of a byte stream, and the
+#: bit-widths let it decode without knowing the sender's
+#: :class:`SetSepParams` up front.
+WIRE_HEADER = struct.Struct("<HBBB")
+
+
+class DeltaWireError(ValueError):
+    """A framed delta failed to parse (truncated or inconsistent)."""
 
 #: Bits used for the fallback entry counters.
 COUNT_BITS = 8
@@ -79,6 +91,60 @@ class GroupDelta:
         for key in self.fallback_removals:
             writer.write(key, FALLBACK_KEY_BITS)
         return writer.getvalue()
+
+    def wire_bytes(self, params: SetSepParams) -> bytes:
+        """Frame the delta for a byte stream: length + bit-widths + body.
+
+        The body is exactly :meth:`encode`'s bit-level format; the
+        5-byte header prepends the body length and the three
+        ``SetSepParams`` widths so :meth:`from_wire_bytes` needs no
+        out-of-band parameter agreement and multiple deltas can be
+        concatenated back to back.
+        """
+        body = self.encode(params)
+        if len(body) > 0xFFFF:
+            raise ValueError("delta body too large for the wire header")
+        return WIRE_HEADER.pack(
+            len(body), params.index_bits, params.array_bits, params.value_bits
+        ) + body
+
+    @classmethod
+    def from_wire_bytes(
+        cls, data: bytes, offset: int = 0
+    ) -> "Tuple[GroupDelta, SetSepParams, int]":
+        """Parse one framed delta starting at ``offset``.
+
+        Returns ``(delta, params, next_offset)`` where ``next_offset``
+        points just past this delta — ready to parse the next one out of
+        a concatenated stream.
+
+        Raises:
+            DeltaWireError: on truncation or an impossible header.
+        """
+        if offset + WIRE_HEADER.size > len(data):
+            raise DeltaWireError("delta frame truncated in header")
+        body_len, index_bits, array_bits, value_bits = WIRE_HEADER.unpack_from(
+            data, offset
+        )
+        body_start = offset + WIRE_HEADER.size
+        if body_start + body_len > len(data):
+            raise DeltaWireError("delta frame truncated in body")
+        try:
+            params = SetSepParams(
+                index_bits=index_bits,
+                array_bits=array_bits,
+                value_bits=value_bits,
+            )
+        except ValueError as exc:
+            raise DeltaWireError(f"impossible delta header: {exc}") from exc
+        body = data[body_start:body_start + body_len]
+        try:
+            delta = cls.decode(body, params)
+        except EOFError as exc:
+            raise DeltaWireError(f"delta body exhausted: {exc}") from exc
+        if (delta.size_bits(params) + 7) // 8 != body_len:
+            raise DeltaWireError("delta body length disagrees with content")
+        return delta, params, body_start + body_len
 
     @classmethod
     def decode(cls, data: bytes, params: SetSepParams) -> "GroupDelta":

@@ -144,6 +144,37 @@ def load_bytes(data: bytes) -> SetSep:
     )
 
 
+def fingerprint(setsep: SetSep) -> int:
+    """CRC32 identifying a SetSep's exact state (replica comparison).
+
+    This is the snapshot's own integrity CRC — crc32 over the snapshot
+    *body*.  Never take crc32 of a whole :func:`dumps` string to compare
+    replicas: a CRC-trailed message is its own checksum's fixed point,
+    so crc32(body ‖ crc32(body)) is the same constant (0x2144DF1C) for
+    every valid snapshot and such a comparison always "passes".
+    """
+    return struct.unpack("<I", dump_bytes(setsep)[-4:])[0]
+
+
+def dumps(setsep: SetSep) -> bytes:
+    """Serialise a SetSep to bytes (wire-caller convenience name).
+
+    Alias of :func:`dump_bytes`, mirroring the ``json``/``pickle``
+    naming so callers shipping snapshots over sockets don't reach for
+    the stream API and a throwaway buffer.
+    """
+    return dump_bytes(setsep)
+
+
+def loads(data: bytes) -> SetSep:
+    """Reconstruct a SetSep from :func:`dumps` output.
+
+    Alias of :func:`load_bytes`; raises :class:`SnapshotError` on bad
+    magic, version, truncation or CRC mismatch.
+    """
+    return load_bytes(data)
+
+
 def dump(setsep: SetSep, stream: BinaryIO) -> None:
     """Write a snapshot to a binary stream."""
     stream.write(dump_bytes(setsep))

@@ -33,6 +33,7 @@ from repro.perflab.artifact import (
     canonical_json,
     deterministic_view,
     load_artifact,
+    select_baseline,
     write_artifact,
 )
 from repro.perflab.compare import (
@@ -80,6 +81,7 @@ __all__ = [
     "load_artifact",
     "noise_sigma",
     "run_suite",
+    "select_baseline",
     "specs_for_suite",
     "write_artifact",
 ]

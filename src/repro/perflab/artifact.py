@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.perflab.registry import SCHEMA_VERSION, BenchResult
 
@@ -122,6 +122,52 @@ def artifact_filename(git_sha: str) -> str:
     sha = (git_sha or "nogit")[:12]
     safe = "".join(c for c in sha if c.isalnum()) or "nogit"
     return f"BENCH_{safe}.json"
+
+
+def select_baseline(
+    paths: Sequence[PathLike],
+    current_sha: Optional[str] = None,
+    warn: Optional[Callable[[str], None]] = None,
+) -> Path:
+    """Pick one baseline out of several candidate ``BENCH_*.json`` files.
+
+    CI checkouts accumulate committed baselines (one per refresh), and a
+    shell glob hands all of them to ``repro bench compare``.  Selection
+    is deterministic:
+
+    1. a candidate named exactly ``BENCH_<current git sha>.json`` wins
+       (the baseline measured on this very revision);
+    2. otherwise the newest by mtime wins and ``warn`` is told which
+       candidates lost (ties broken by filename, so equal-mtime
+       checkouts — fresh clones — still pick deterministically).
+
+    Raises:
+        ArtifactError: when ``paths`` is empty.
+    """
+    candidates = [Path(p) for p in paths]
+    if not candidates:
+        raise ArtifactError("no baseline artifacts given")
+    if len(candidates) == 1:
+        return candidates[0]
+    if current_sha:
+        wanted = artifact_filename(current_sha)
+        for path in candidates:
+            if path.name == wanted:
+                return path
+    def mtime(path: Path) -> float:
+        try:
+            return path.stat().st_mtime
+        except OSError:
+            return float("-inf")
+    ranked = sorted(candidates, key=lambda p: (mtime(p), p.name), reverse=True)
+    chosen = ranked[0]
+    if warn is not None:
+        losers = ", ".join(str(p) for p in ranked[1:])
+        warn(
+            f"multiple baselines given; no exact git-sha match, using "
+            f"newest by mtime: {chosen} (ignored: {losers})"
+        )
+    return chosen
 
 
 def write_artifact(artifact: Artifact, out_dir: PathLike = ".") -> Path:

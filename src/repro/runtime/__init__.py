@@ -1,0 +1,67 @@
+"""repro.runtime — the multi-process cluster runtime.
+
+Everything else in this repository simulates the ScaleBricks cluster
+inside one Python process.  This package runs it for real: a controller
+process drives N node-daemon processes over length-prefixed framed
+messages on local TCP sockets — GPT bootstrap as an SSEP snapshot on the
+wire, the §4.5 owner/delta update protocol between live daemons, batched
+raw-frame routing with exactly-once forwarding, heartbeat liveness and
+§7 failure repair, and graceful drain/join with make-before-break
+snapshot swaps.
+
+Modules:
+
+* :mod:`~repro.runtime.framing` — length-prefixed message transport;
+* :mod:`~repro.runtime.protocol` — message catalogue and payload codecs;
+* :mod:`~repro.runtime.daemon` — the node daemon (replica + FIB slice +
+  RIB-owner role + data path);
+* :mod:`~repro.runtime.controller` — bootstrap, updates, traffic
+  injection, liveness, failure repair, drain/join;
+* :mod:`~repro.runtime.liveness` — the heartbeat state machine;
+* :mod:`~repro.runtime.launcher` — process spawning and the seeded
+  differential workload behind ``repro runtime-demo``.
+
+``docs/runtime.md`` documents the wire protocol byte by byte.
+"""
+
+from repro.runtime.controller import RuntimeController
+from repro.runtime.daemon import NodeDaemon, serve
+from repro.runtime.framing import (
+    FramedSocket,
+    FramingError,
+    pack_frame_list,
+    pack_message,
+    unpack_frame_list,
+)
+from repro.runtime.launcher import (
+    LocalRuntime,
+    report_json,
+    run_demo,
+    run_workload,
+)
+from repro.runtime.liveness import HeartbeatMonitor, NodeState
+from repro.runtime.protocol import (
+    ProtocolError,
+    RouteOutcome,
+    UpdateOp,
+)
+
+__all__ = [
+    "RuntimeController",
+    "NodeDaemon",
+    "serve",
+    "FramedSocket",
+    "FramingError",
+    "pack_frame_list",
+    "pack_message",
+    "unpack_frame_list",
+    "LocalRuntime",
+    "report_json",
+    "run_demo",
+    "run_workload",
+    "HeartbeatMonitor",
+    "NodeState",
+    "ProtocolError",
+    "RouteOutcome",
+    "UpdateOp",
+]

@@ -1,0 +1,568 @@
+"""The cluster controller: bootstrap, updates, traffic, liveness, repair.
+
+``RuntimeController`` is the control-plane process of the socket
+runtime.  It owns one :class:`~repro.runtime.framing.FramedSocket` per
+daemon and drives the whole paper's lifecycle over the wire:
+
+* **bootstrap** — ship each daemon its identity (HELLO), then the full
+  state: an SSEP snapshot of the GPT plus its FIB and RIB slices
+  (SNAPSHOT), all derived from an in-process
+  :class:`~repro.epc.gateway.EpcGateway` acting as the authoritative
+  shadow;
+* **updates** — batch RIB operations to their owning daemons
+  (``block % N``), which run the §4.5 owner protocol for real;
+* **traffic** — raw frame batches to per-frame ingress daemons
+  (``MSG_ROUTE``), collecting per-frame outcomes;
+* **liveness** — heartbeat polls feeding a
+  :class:`~repro.runtime.liveness.HeartbeatMonitor`; a daemon declared
+  DEAD triggers §7 repair: its RIB slice is adopted by a successor, its
+  flows re-homed onto survivors through the live update path, mirrored
+  move for move in the shadow gateway via
+  :class:`~repro.cluster.failover.FailoverManager`;
+* **membership** — graceful drain/join built on
+  :func:`repro.cluster.membership.resize` with a make-before-break
+  snapshot swap (``MSG_SWAP``): the old forwarding plane serves until
+  the replacement state is fully built on every daemon.
+
+The controller mutates the shadow gateway in lockstep with the wire, so
+the differential harness (:mod:`repro.runtime.harness`) can assert that
+both worlds route, charge and encode byte-identically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.failover import FailoverManager
+from repro.cluster import membership
+from repro.cluster.update import UpdateEngine
+from repro.core import serialize
+from repro.core.hashfamily import canonical_key
+from repro.core.setsep import SetSep
+from repro.epc.gateway import EpcGateway
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime import protocol
+from repro.runtime.framing import (
+    DEFAULT_TIMEOUT,
+    FramedSocket,
+    FramingError,
+    pack_frame_list,
+)
+from repro.runtime.liveness import HeartbeatMonitor, NodeState
+from repro.runtime.protocol import (
+    MSG_ADOPT,
+    MSG_DOWN,
+    MSG_FAULT,
+    MSG_FLUSH,
+    MSG_HELLO,
+    MSG_NAMES,
+    MSG_PING,
+    MSG_ROUTE,
+    MSG_SHUTDOWN,
+    MSG_SNAPSHOT,
+    MSG_STATUS,
+    MSG_SWAP,
+    MSG_UPDATE,
+    OP_INSERT,
+    RSP_OK,
+    RSP_PONG,
+    RSP_ROUTE,
+    RSP_STATUS,
+    RSP_UPDATE,
+    RouteOutcome,
+    STATUS_NODE_DOWN,
+    UpdateOp,
+)
+
+#: RSP_UPDATE accounting fields the controller aggregates.
+_UPDATE_FIELDS = (
+    "updates", "fib_messages", "groups_rebuilt", "delta_broadcasts",
+    "delta_bits", "deltas_dropped", "deltas_delayed", "deltas_duplicated",
+)
+
+
+class RuntimeController:
+    """Drives a cluster of :class:`~repro.runtime.daemon.NodeDaemon`."""
+
+    def __init__(
+        self,
+        addresses: Sequence[Tuple[str, int]],
+        registry: Optional[MetricsRegistry] = None,
+        miss_threshold: int = 3,
+        ping_timeout: float = 2.0,
+    ) -> None:
+        self.addresses: List[Tuple[str, int]] = [
+            (str(h), int(p)) for h, p in addresses
+        ]
+        self.num_nodes = len(self.addresses)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.monitor = HeartbeatMonitor(
+            self.num_nodes, miss_threshold=miss_threshold,
+            registry=self.registry,
+        )
+        self.ping_timeout = ping_timeout
+        self.down: set = set()
+        self._socks: Dict[int, FramedSocket] = {}
+        self._ref_setsep: Optional[SetSep] = None
+        self._ping_seq = 0
+        self._c_tx_bytes = self.registry.counter(
+            "runtime.tx_bytes", "bytes the controller shipped to daemons"
+        )
+        self._c_snapshot_bytes = self.registry.counter(
+            "runtime.snapshot_bytes", "SSEP snapshot bytes shipped on the wire"
+        )
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    def connect(self) -> None:
+        """Dial every daemon."""
+        for node_id in range(self.num_nodes):
+            self._sock(node_id)
+
+    def _sock(self, node_id: int) -> FramedSocket:
+        sock = self._socks.get(node_id)
+        if sock is None:
+            host, port = self.addresses[node_id]
+            sock = FramedSocket.connect(host, port)
+            self._socks[node_id] = sock
+        return sock
+
+    def _request(
+        self, node_id: int, msg_type: int, payload: bytes = b""
+    ) -> Tuple[int, bytes]:
+        """One request/response; counts traffic, drops dead links."""
+        sock = self._sock(node_id)
+        name = MSG_NAMES[msg_type]
+        self.registry.counter(f"runtime.tx.{name}").inc()
+        self._c_tx_bytes.inc(len(payload) + 5)
+        try:
+            return sock.request(msg_type, payload)
+        except (FramingError, OSError):
+            self._socks.pop(node_id, None)
+            sock.close()
+            raise
+
+    def close(self) -> None:
+        """Drop every controller-side connection (daemons keep running)."""
+        for sock in self._socks.values():
+            sock.close()
+        self._socks.clear()
+
+    def shutdown_all(self) -> List[int]:
+        """Gracefully stop every reachable daemon; returns who acked."""
+        acked: List[int] = []
+        for node_id in range(self.num_nodes):
+            if node_id in self.down:
+                continue
+            try:
+                rsp_type, rsp = self._request(node_id, MSG_SHUTDOWN)
+                protocol.expect(rsp_type, RSP_OK, rsp)
+                acked.append(node_id)
+            except (FramingError, OSError, protocol.ProtocolError):
+                pass
+        self.close()
+        return acked
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+
+    def _state_payloads(self, gateway: EpcGateway) -> Tuple[List[bytes], bytes]:
+        """Per-daemon SNAPSHOT/SWAP payloads from the shadow gateway."""
+        cluster = gateway.cluster
+        assert cluster is not None, "gateway not started"
+        snapshot = serialize.dumps(cluster.nodes[0].gpt.setsep)
+        self._ref_setsep = serialize.loads(snapshot)
+        num_nodes = len(cluster.nodes)
+        fib_slices: List[List[List[int]]] = [[] for _ in range(num_nodes)]
+        for record in gateway.controller.flows.values():
+            fib_slices[record.handling_node].append(
+                [record.key, record.handling_node, record.teid,
+                 record.base_station_ip]
+            )
+        rib_slices: List[List[List[int]]] = [[] for _ in range(num_nodes)]
+        for entry in cluster.rib.entries():
+            owner = cluster.rib.owner_of_key(entry.key)
+            rib_slices[owner].append([entry.key, entry.node, entry.value])
+        peers = [[host, port] for host, port in self.addresses[:num_nodes]]
+        payloads = [
+            protocol.encode_state(
+                {
+                    "num_nodes": num_nodes,
+                    "peers": peers,
+                    "fib": fib_slices[node_id],
+                    "rib": rib_slices[node_id],
+                },
+                snapshot,
+            )
+            for node_id in range(num_nodes)
+        ]
+        return payloads, snapshot
+
+    def bootstrap_from_gateway(self, gateway: EpcGateway) -> Dict[str, int]:
+        """HELLO + SNAPSHOT every daemon from the shadow's built state."""
+        payloads, snapshot = self._state_payloads(gateway)
+        for node_id in range(self.num_nodes):
+            hello = protocol.encode_json({
+                "node_id": node_id,
+                "num_nodes": self.num_nodes,
+                "peers": [[h, p] for h, p in self.addresses],
+                "gateway_ip": gateway.gateway_ip,
+            })
+            rsp_type, rsp = self._request(node_id, MSG_HELLO, hello)
+            protocol.expect(rsp_type, RSP_OK, rsp)
+            rsp_type, rsp = self._request(
+                node_id, MSG_SNAPSHOT, payloads[node_id]
+            )
+            protocol.expect(rsp_type, RSP_OK, rsp)
+            self._c_snapshot_bytes.inc(len(snapshot))
+        return {
+            "nodes": self.num_nodes,
+            "snapshot_bytes": len(snapshot),
+            "total_shipped_bytes": len(snapshot) * self.num_nodes,
+        }
+
+    # ------------------------------------------------------------------
+    # Ownership
+    # ------------------------------------------------------------------
+
+    def owner_of_key(self, key: int) -> int:
+        """The daemon owning a key's RIB slice, skipping dead owners."""
+        assert self._ref_setsep is not None, "controller not bootstrapped"
+        block = self._ref_setsep.block_of(canonical_key(key))
+        base = block % self.num_nodes
+        return self._successor(base)
+
+    def _successor(self, node_id: int) -> int:
+        """``node_id`` itself when alive, else the next live node above."""
+        for offset in range(self.num_nodes):
+            candidate = (node_id + offset) % self.num_nodes
+            if candidate not in self.down:
+                return candidate
+        raise RuntimeError("no live nodes")
+
+    # ------------------------------------------------------------------
+    # §4.5 updates
+    # ------------------------------------------------------------------
+
+    def push_updates(self, ops: Sequence[UpdateOp]) -> Dict[str, int]:
+        """Route a batch of RIB operations to their owning daemons.
+
+        Per-key order is preserved (a key always maps to one owner), and
+        each owner acknowledges only after its FIB pushes and delta
+        broadcasts completed — when this returns, every live replica has
+        converged.
+        """
+        batches: Dict[int, List[UpdateOp]] = {}
+        for op in ops:
+            batches.setdefault(self.owner_of_key(op.key), []).append(op)
+        totals = {field: 0 for field in _UPDATE_FIELDS}
+        for owner in sorted(batches):
+            rsp_type, rsp = self._request(
+                owner, MSG_UPDATE, protocol.encode_updates(batches[owner])
+            )
+            acc = protocol.decode_json(
+                protocol.expect(rsp_type, RSP_UPDATE, rsp)
+            )
+            for field in _UPDATE_FIELDS:
+                totals[field] += int(acc.get(field, 0))
+        for field in _UPDATE_FIELDS:
+            if totals[field]:
+                self.registry.counter(f"runtime.update.{field}").inc(
+                    totals[field]
+                )
+        return totals
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def route_frames(
+        self, frames: Sequence[bytes], ingress: Sequence[int]
+    ) -> List[RouteOutcome]:
+        """Deliver frames to their per-frame ingress daemons.
+
+        Frames whose ingress is a dead node are reported NODE_DOWN
+        without touching the wire — the switch fabric has nowhere to
+        send them (§7).
+        """
+        if len(frames) != len(ingress):
+            raise ValueError("frames and ingress lengths differ")
+        outcomes: List[Optional[RouteOutcome]] = [None] * len(frames)
+        by_ingress: Dict[int, List[int]] = {}
+        for i, node in enumerate(ingress):
+            by_ingress.setdefault(int(node), []).append(i)
+        for node in sorted(by_ingress):
+            idx = by_ingress[node]
+            if node in self.down:
+                for i in idx:
+                    outcomes[i] = RouteOutcome(STATUS_NODE_DOWN, -1, 0, None)
+                continue
+            payload = pack_frame_list([frames[i] for i in idx])
+            try:
+                rsp_type, rsp = self._request(node, MSG_ROUTE, payload)
+                body = protocol.expect(rsp_type, RSP_ROUTE, rsp)
+            except (FramingError, OSError):
+                for i in idx:
+                    outcomes[i] = RouteOutcome(STATUS_NODE_DOWN, -1, 0, None)
+                continue
+            for i, outcome in zip(idx, protocol.decode_outcomes(body)):
+                outcomes[i] = outcome
+        return outcomes  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+
+    def poll_liveness(self) -> List[int]:
+        """One heartbeat round; returns nodes newly declared DEAD."""
+        newly_dead: List[int] = []
+        for node_id in self.monitor.tracked():
+            if node_id in self.down:
+                continue
+            if self.monitor.state(node_id) is NodeState.DEAD:
+                continue
+            self._ping_seq += 1
+            started = time.perf_counter()
+            try:
+                sock = self._sock(node_id)
+                sock.settimeout(self.ping_timeout)
+                try:
+                    rsp_type, rsp = self._request(
+                        node_id, MSG_PING,
+                        protocol.encode_ping(self._ping_seq),
+                    )
+                finally:
+                    if self._socks.get(node_id) is sock:
+                        sock.settimeout(DEFAULT_TIMEOUT)
+                protocol.expect(rsp_type, RSP_PONG, rsp)
+                if protocol.decode_ping(rsp) != self._ping_seq:
+                    raise protocol.ProtocolError("pong sequence mismatch")
+                self.monitor.record_success(
+                    node_id, time.perf_counter() - started
+                )
+            except (FramingError, OSError, protocol.ProtocolError):
+                if self.monitor.record_miss(node_id) is NodeState.DEAD:
+                    newly_dead.append(node_id)
+        return newly_dead
+
+    def await_detection(
+        self, node_id: int, max_polls: Optional[int] = None
+    ) -> int:
+        """Poll until ``node_id`` is declared DEAD; returns polls used."""
+        limit = (max_polls if max_polls is not None
+                 else self.monitor.miss_threshold + 2)
+        for polls in range(1, limit + 1):
+            self.poll_liveness()
+            if self.monitor.state(node_id) is NodeState.DEAD:
+                return polls
+        raise RuntimeError(
+            f"node {node_id} not declared dead within {limit} polls"
+        )
+
+    # ------------------------------------------------------------------
+    # §7 failure repair
+    # ------------------------------------------------------------------
+
+    def handle_node_failure(
+        self, failed: int, gateway: EpcGateway
+    ) -> Dict[str, int]:
+        """Repair after a daemon died: adopt its slice, re-home its flows.
+
+        Mirrors every move into the shadow ``gateway`` through
+        :class:`FailoverManager.recover_flows`, so wire and shadow stay
+        comparable after the repair.
+        """
+        cluster = gateway.cluster
+        assert cluster is not None, "gateway not started"
+        self.down.add(failed)
+        stale = self._socks.pop(failed, None)
+        if stale is not None:
+            stale.close()
+        # Every survivor must stop shipping FIB/deltas to the corpse.
+        down_payload = protocol.encode_json({"down": sorted(self.down)})
+        for node_id in range(self.num_nodes):
+            if node_id in self.down:
+                continue
+            rsp_type, rsp = self._request(node_id, MSG_DOWN, down_payload)
+            protocol.expect(rsp_type, RSP_OK, rsp)
+        # The dead node's RIB slice moves to its successor (§4.5 ownership
+        # must stay total for updates to keep flowing).
+        successor = self._successor(failed)
+        orphaned = [
+            [entry.key, entry.node, entry.value]
+            for entry in cluster.rib.entries()
+            if cluster.rib.owner_of_key(entry.key) == failed
+        ]
+        rsp_type, rsp = self._request(
+            successor, MSG_ADOPT,
+            protocol.encode_json({"entries": orphaned}),
+        )
+        protocol.expect(rsp_type, RSP_OK, rsp)
+        # Shadow-side liveness + recovery through the §4.5 update path.
+        failover = FailoverManager(cluster)
+        failover.updates = gateway.updates
+        failover.down = set(self.down)
+        gateway.down_nodes.add(failed)
+        survivors = [n for n in range(self.num_nodes) if n not in self.down]
+        victims = [
+            entry for entry in list(cluster.rib.entries())
+            if entry.node == failed
+        ]
+        reassign = {
+            entry.key: survivors[i % len(survivors)]
+            for i, entry in enumerate(victims)
+        }
+        ops: List[UpdateOp] = []
+        for entry in victims:
+            record = gateway.controller.record_for_key(entry.key)
+            assert record is not None, "RIB/controller disagree"
+            target = reassign[entry.key]
+            context = gateway.dpes[failed].export_context(record.teid)
+            gateway.dpes[target].import_context(context)
+            gateway.controller.rehome(record.flow, target)
+            ops.append(UpdateOp(OP_INSERT, entry.key, target, record.teid,
+                                record.base_station_ip))
+        moved = failover.recover_flows(failed, reassign)
+        wire_totals = self.push_updates(ops)
+        return {
+            "failed_node": failed,
+            "adopted_rib_entries": len(orphaned),
+            "recovered_flows": moved,
+            "wire_updates": wire_totals["updates"],
+        }
+
+    # ------------------------------------------------------------------
+    # Membership: graceful drain and join (§6.3 over sockets)
+    # ------------------------------------------------------------------
+
+    def _swap_all(self, gateway: EpcGateway) -> None:
+        """Ship the rebuilt state to every remaining daemon (SWAP)."""
+        payloads, snapshot = self._state_payloads(gateway)
+        for node_id in range(len(payloads)):
+            rsp_type, rsp = self._request(node_id, MSG_SWAP,
+                                          payloads[node_id])
+            protocol.expect(rsp_type, RSP_OK, rsp)
+            self._c_snapshot_bytes.inc(len(snapshot))
+
+    def _rebuild_shadow(self, gateway: EpcGateway, new_n: int):
+        """Resize the shadow cluster; the gateway tracks the new plane."""
+        cluster = gateway.cluster
+        assert cluster is not None
+        new_cluster, report = membership.resize(cluster, new_n)
+        gateway.cluster = new_cluster
+        gateway.updates = UpdateEngine(new_cluster, gateway.registry)
+        gateway.num_nodes = new_n
+        gateway.controller.num_nodes = new_n
+        while len(gateway.dpes) < new_n:
+            from repro.epc.dpe import DataPlaneEngine
+
+            gateway.dpes.append(DataPlaneEngine())
+        return report
+
+    def drain_node(self, gateway: EpcGateway) -> Dict[str, int]:
+        """Gracefully remove the highest-numbered daemon.
+
+        Make-before-break: the leaver's flows are re-homed through the
+        live update path (old GPT keeps serving), then every survivor
+        swaps to the resized state, and only then does the leaver stop.
+        """
+        leaving = self.num_nodes - 1
+        if leaving in self.down:
+            raise ValueError("cannot drain a dead node; use failure repair")
+        cluster = gateway.cluster
+        assert cluster is not None
+        survivors = [
+            n for n in range(self.num_nodes)
+            if n != leaving and n not in self.down
+        ]
+        if not survivors:
+            raise RuntimeError("no survivors to drain onto")
+        victims = [
+            entry for entry in list(cluster.rib.entries())
+            if entry.node == leaving
+        ]
+        ops: List[UpdateOp] = []
+        for i, entry in enumerate(victims):
+            target = survivors[i % len(survivors)]
+            record = gateway.controller.record_for_key(entry.key)
+            assert record is not None, "RIB/controller disagree"
+            gateway.rehome_flow(record.flow, target)
+            ops.append(UpdateOp(OP_INSERT, entry.key, target, record.teid,
+                                record.base_station_ip))
+        self.push_updates(ops)
+        report = self._rebuild_shadow(gateway, self.num_nodes - 1)
+        self.num_nodes -= 1
+        self._swap_all(gateway)
+        try:
+            rsp_type, rsp = self._request(leaving, MSG_SHUTDOWN)
+            protocol.expect(rsp_type, RSP_OK, rsp)
+        except (FramingError, OSError):
+            pass
+        sock = self._socks.pop(leaving, None)
+        if sock is not None:
+            sock.close()
+        self.monitor.untrack(leaving)
+        self.addresses = self.addresses[:self.num_nodes]
+        return {
+            "drained_node": leaving,
+            "rehomed_flows": len(victims),
+            "new_nodes": self.num_nodes,
+            "gpt_rebuilt_wider": int(report.gpt_rebuilt_wider),
+        }
+
+    def join_node(
+        self, gateway: EpcGateway, address: Tuple[str, int]
+    ) -> Dict[str, int]:
+        """Grow the cluster by one freshly spawned daemon."""
+        new_id = self.num_nodes
+        self.addresses.append((str(address[0]), int(address[1])))
+        self.num_nodes += 1
+        report = self._rebuild_shadow(gateway, self.num_nodes)
+        hello = protocol.encode_json({
+            "node_id": new_id,
+            "num_nodes": self.num_nodes,
+            "peers": [[h, p] for h, p in self.addresses],
+            "gateway_ip": gateway.gateway_ip,
+        })
+        rsp_type, rsp = self._request(new_id, MSG_HELLO, hello)
+        protocol.expect(rsp_type, RSP_OK, rsp)
+        self._swap_all(gateway)
+        self.monitor.track(new_id)
+        return {
+            "joined_node": new_id,
+            "new_nodes": self.num_nodes,
+            "gpt_rebuilt_wider": int(report.gpt_rebuilt_wider),
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection / fault control
+    # ------------------------------------------------------------------
+
+    def status_all(self) -> Dict[int, dict]:
+        """STATUS report from every live daemon."""
+        out: Dict[int, dict] = {}
+        for node_id in range(self.num_nodes):
+            if node_id in self.down:
+                continue
+            rsp_type, rsp = self._request(node_id, MSG_STATUS)
+            out[node_id] = protocol.decode_json(
+                protocol.expect(rsp_type, RSP_STATUS, rsp)
+            )
+        return out
+
+    def arm_faults(self, node_id: int, budgets: dict) -> None:
+        """Arm a daemon's transport fault budgets (``MSG_FAULT``)."""
+        rsp_type, rsp = self._request(
+            node_id, MSG_FAULT, protocol.encode_json(budgets)
+        )
+        protocol.expect(rsp_type, RSP_OK, rsp)
+
+    def flush_node(self, node_id: int) -> Dict[str, int]:
+        """Deliver a daemon's delayed deltas/forwards (``MSG_FLUSH``)."""
+        rsp_type, rsp = self._request(node_id, MSG_FLUSH)
+        doc = protocol.decode_json(protocol.expect(rsp_type, RSP_OK, rsp))
+        return {key: int(value) for key, value in doc.items()}

@@ -1,0 +1,592 @@
+"""The per-node daemon: one real process of the ScaleBricks cluster.
+
+A ``NodeDaemon`` is everything one appliance node runs, behind a TCP
+listener instead of Python method calls:
+
+* a **GPT replica** bootstrapped from an SSEP snapshot shipped on the
+  wire (``MSG_SNAPSHOT``) and kept current by applying §4.5 GroupDelta
+  broadcasts from its peers (``MSG_DELTA``);
+* its **RIB slice** — the blocks this node owns (``block % N``); for
+  updates on owned keys it plays the §4.5 *owner* role: recompute the
+  group on its own replica, push FIB changes to handling nodes, ship the
+  delta to every peer;
+* its **partial FIB** — exact entries for exactly the flows it handles,
+  which is what rejects one-sided-error packets (§3.2);
+* the **data path**: raw Ethernet frames arrive (``MSG_ROUTE``), are
+  parsed by the vectorised codec, looked up in the local GPT replica and
+  either handled here or forwarded once to the handling daemon
+  (``MSG_FORWARD``) — never more than one internal hop, the paper's
+  core forwarding property.
+
+The daemon is single-threaded and event-driven; determinism comes from
+the controller serialising its requests and from the owner completing
+all sub-requests (FIB pushes, delta ships) before acknowledging an
+update batch.  A :class:`repro.chaos.transport.TransportFaultBudgets`
+plan, armed over the wire, injects drop/delay/duplicate faults at the
+socket boundary for delta ships and forwarded frames.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.chaos import transport as tfaults
+from repro.core import serialize
+from repro.core.delta import GroupDelta
+from repro.core.hashfamily import canonical_key
+from repro.epc import fastpath
+from repro.gpt.gpt import GlobalPartitionTable
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime import protocol
+from repro.runtime.framing import FramedSocket, FramingError, pack_frame_list, unpack_frame_list
+from repro.runtime.protocol import (
+    MSG_DELTA,
+    MSG_FIB,
+    MSG_FORWARD,
+    MSG_NAMES,
+    OP_INSERT,
+    OP_REMOVE,
+    RSP_ERR,
+    RSP_FORWARD,
+    RSP_OK,
+    RSP_PONG,
+    RSP_ROUTE,
+    RSP_STATUS,
+    RSP_UPDATE,
+    RouteOutcome,
+    STATUS_DELIVERED,
+    STATUS_LOST,
+    STATUS_MALFORMED,
+    STATUS_NODE_DOWN,
+    STATUS_UNKNOWN,
+    UpdateOp,
+)
+
+
+class NodeDaemon:
+    """One cluster node as a socket-served process."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.registry = registry if registry is not None else MetricsRegistry()
+        # Topology (set by HELLO).
+        self.node_id: int = -1
+        self.num_nodes: int = 0
+        self.peers: List[Tuple[str, int]] = []
+        self.gateway_ip: int = 0
+        # Forwarding state (set by SNAPSHOT/SWAP).
+        self.gpt: Optional[GlobalPartitionTable] = None
+        self.fib: Dict[int, int] = {}          # key -> teid
+        self.bs: Dict[int, int] = {}           # key -> base-station IP
+        #: RIB slice: block -> {key: (handling node, value)}, insertion
+        #: order per block mirrors the in-process RIB exactly — group
+        #: rebuild inputs must match byte for byte.
+        self.slice: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        self.charges: Dict[int, int] = {}      # teid -> bytes charged
+        #: Peers the controller has declared dead (MSG_DOWN): no FIB or
+        #: delta ships are attempted toward them.
+        self.down: set = set()
+        # Transport fault injection.
+        self.faults = tfaults.TransportFaultBudgets()
+        self._delayed_deltas: List[Tuple[int, bytes]] = []
+        self._delayed_forwards: List[Tuple[int, bytes]] = []
+        self._peer_socks: Dict[int, FramedSocket] = {}
+        self._running = False
+        self._c_snapshot_bytes = self.registry.counter(
+            "runtime.snapshot_bytes", "SSEP snapshot bytes received"
+        )
+        self._c_deltas_applied = self.registry.counter(
+            "runtime.deltas.applied", "GPT deltas applied to this replica"
+        )
+        self._c_groups_rebuilt = self.registry.counter(
+            "runtime.groups_rebuilt", "owner-side group recomputations"
+        )
+        self._c_frames_local = self.registry.counter(
+            "runtime.frames.local", "frames handled at their ingress node"
+        )
+        self._c_frames_forwarded = self.registry.counter(
+            "runtime.frames.forwarded", "frames forwarded to a peer daemon"
+        )
+        self._c_frames_received = self.registry.counter(
+            "runtime.frames.received", "forwarded frames received from peers"
+        )
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def serve_forever(
+        self, ready: Optional[Callable[[int], None]] = None
+    ) -> None:
+        """Bind, announce the port via ``ready`` and serve until SHUTDOWN."""
+        lsock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        lsock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        lsock.bind((self.host, self.port))
+        lsock.listen(64)
+        self.port = lsock.getsockname()[1]
+        if ready is not None:
+            ready(self.port)
+        sel = selectors.DefaultSelector()
+        sel.register(lsock, selectors.EVENT_READ, None)
+        conns: List[FramedSocket] = []
+        self._running = True
+        try:
+            while self._running:
+                for key, _events in sel.select(timeout=0.5):
+                    if key.data is None:
+                        conn, _addr = lsock.accept()
+                        framed = FramedSocket(conn)
+                        sel.register(conn, selectors.EVENT_READ, framed)
+                        conns.append(framed)
+                        continue
+                    framed = key.data
+                    try:
+                        msg_type, payload = framed.recv()
+                    except (FramingError, OSError):
+                        sel.unregister(framed.sock)
+                        framed.close()
+                        conns.remove(framed)
+                        continue
+                    rsp_type, rsp_payload = self._dispatch(msg_type, payload)
+                    try:
+                        framed.send(rsp_type, rsp_payload)
+                    except OSError:
+                        sel.unregister(framed.sock)
+                        framed.close()
+                        conns.remove(framed)
+                    if not self._running:
+                        break
+        finally:
+            for framed in conns:
+                framed.close()
+            sel.close()
+            lsock.close()
+            for sock in self._peer_socks.values():
+                sock.close()
+            self._peer_socks.clear()
+
+    def _dispatch(self, msg_type: int, payload: bytes) -> Tuple[int, bytes]:
+        name = MSG_NAMES.get(msg_type)
+        if name is None:
+            return RSP_ERR, protocol.encode_json(
+                {"error": f"unknown message type {msg_type:#x}"}
+            )
+        self.registry.counter(f"runtime.rx.{name}").inc()
+        handler = getattr(self, f"_on_{name}", None)
+        if handler is None:
+            return RSP_ERR, protocol.encode_json(
+                {"error": f"message {name!r} has no daemon handler"}
+            )
+        try:
+            return handler(payload)
+        except Exception as exc:  # noqa: BLE001 - a PFE never dies
+            return RSP_ERR, protocol.encode_json(
+                {"error": f"{type(exc).__name__}: {exc}"}
+            )
+
+    # ------------------------------------------------------------------
+    # Peer links
+    # ------------------------------------------------------------------
+
+    def _peer(self, node_id: int) -> FramedSocket:
+        """Cached connection to a peer daemon (lazily dialled)."""
+        sock = self._peer_socks.get(node_id)
+        if sock is None:
+            host, port = self.peers[node_id]
+            sock = FramedSocket.connect(host, port)
+            self._peer_socks[node_id] = sock
+        return sock
+
+    def _peer_request(
+        self, node_id: int, msg_type: int, payload: bytes
+    ) -> Tuple[int, bytes]:
+        """Request/response with a peer; a dead link is dropped and raised."""
+        sock = self._peer(node_id)
+        try:
+            return sock.request(msg_type, payload)
+        except (FramingError, OSError):
+            self._peer_socks.pop(node_id, None)
+            sock.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Control plane handlers
+    # ------------------------------------------------------------------
+
+    def _on_hello(self, payload: bytes) -> Tuple[int, bytes]:
+        doc = protocol.decode_json(payload)
+        self.node_id = int(doc["node_id"])
+        self.num_nodes = int(doc["num_nodes"])
+        self.peers = [(str(h), int(p)) for h, p in doc["peers"]]
+        self.gateway_ip = int(doc["gateway_ip"])
+        return RSP_OK, protocol.encode_json({"node_id": self.node_id})
+
+    def _load_state(self, payload: bytes) -> Tuple[int, bytes]:
+        header, snapshot = protocol.decode_state(payload)
+        setsep = serialize.loads(snapshot)
+        num_nodes = int(header["num_nodes"])
+        gpt = GlobalPartitionTable(num_nodes, setsep)
+        fib: Dict[int, int] = {}
+        bs: Dict[int, int] = {}
+        for key, _node, value, bs_ip in header["fib"]:
+            fib[int(key)] = int(value)
+            bs[int(key)] = int(bs_ip)
+        rib_slice: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        for key, node, value in header["rib"]:
+            block = gpt.block_of(int(key))
+            rib_slice.setdefault(block, {})[int(key)] = (int(node), int(value))
+        # Make-before-break: the new state is fully built before any
+        # reference is swapped; a failure above leaves the old plane live.
+        self.gpt = gpt
+        self.fib = fib
+        self.bs = bs
+        self.slice = rib_slice
+        self.num_nodes = num_nodes
+        if "peers" in header:
+            self.peers = [(str(h), int(p)) for h, p in header["peers"]]
+            for sock in self._peer_socks.values():
+                sock.close()
+            self._peer_socks.clear()
+        self._c_snapshot_bytes.inc(len(snapshot))
+        return RSP_OK, protocol.encode_json({
+            "fib_entries": len(fib),
+            "rib_entries": len(header["rib"]),
+            "snapshot_bytes": len(snapshot),
+        })
+
+    _on_snapshot = _load_state
+    _on_swap = _load_state
+
+    def _on_adopt(self, payload: bytes) -> Tuple[int, bytes]:
+        assert self.gpt is not None, "adopt before snapshot"
+        doc = protocol.decode_json(payload)
+        adopted = 0
+        for key, node, value in doc["entries"]:
+            block = self.gpt.block_of(int(key))
+            self.slice.setdefault(block, {})[int(key)] = (int(node), int(value))
+            adopted += 1
+        return RSP_OK, protocol.encode_json({"adopted": adopted})
+
+    def _on_down(self, payload: bytes) -> Tuple[int, bytes]:
+        doc = protocol.decode_json(payload)
+        self.down = {int(n) for n in doc["down"]}
+        for node_id in list(self._peer_socks):
+            if node_id in self.down:
+                self._peer_socks.pop(node_id).close()
+        return RSP_OK, protocol.encode_json({"down": sorted(self.down)})
+
+    def _on_fault(self, payload: bytes) -> Tuple[int, bytes]:
+        self.faults = tfaults.TransportFaultBudgets.from_dict(
+            protocol.decode_json(payload)
+        )
+        return RSP_OK, protocol.encode_json(
+            {"pending": self.faults.pending()}
+        )
+
+    def _on_ping(self, payload: bytes) -> Tuple[int, bytes]:
+        return RSP_PONG, payload
+
+    def _on_shutdown(self, payload: bytes) -> Tuple[int, bytes]:
+        self._running = False
+        return RSP_OK, protocol.encode_json({"node_id": self.node_id})
+
+    def _on_status(self, payload: bytes) -> Tuple[int, bytes]:
+        gpt_crc = 0
+        gpt_bytes = 0
+        if self.gpt is not None:
+            snapshot = serialize.dumps(self.gpt.setsep)
+            gpt_crc = serialize.fingerprint(self.gpt.setsep)
+            gpt_bytes = len(snapshot)
+        return RSP_STATUS, protocol.encode_json({
+            "node_id": self.node_id,
+            "num_nodes": self.num_nodes,
+            "fib_entries": len(self.fib),
+            "rib_entries": sum(len(b) for b in self.slice.values()),
+            "charges": {str(teid): total
+                        for teid, total in self.charges.items()},
+            "counters": self.registry.counters(),
+            "gpt_crc": gpt_crc,
+            "gpt_bytes": gpt_bytes,
+            "faults_applied": self.faults.applied,
+            "delayed_deltas": len(self._delayed_deltas),
+            "delayed_forwards": len(self._delayed_forwards),
+        })
+
+    # ------------------------------------------------------------------
+    # §4.5 update protocol: the owner role
+    # ------------------------------------------------------------------
+
+    def _group_contents(
+        self, block: int, group: int
+    ) -> Tuple[List[int], List[int]]:
+        """(keys, nodes) of one group, in RIB-slice insertion order."""
+        bucket = self.slice.get(block)
+        if not bucket:
+            return [], []
+        keys = np.fromiter(bucket.keys(), dtype=np.uint64, count=len(bucket))
+        member = self.gpt.setsep.groups_of(keys) == group
+        return (
+            [int(k) for k in keys[member]],
+            [entry[0] for entry, hit in zip(bucket.values(), member) if hit],
+        )
+
+    def _on_update(self, payload: bytes) -> Tuple[int, bytes]:
+        assert self.gpt is not None, "update before snapshot"
+        ops = protocol.decode_updates(payload)
+        params = self.gpt.setsep.params
+        fib_batches: Dict[int, List[UpdateOp]] = {}
+        delta_wires: Dict[int, List[bytes]] = {}
+        acc = {
+            "updates": 0, "fib_messages": 0, "groups_rebuilt": 0,
+            "delta_broadcasts": 0, "delta_bits": 0,
+            "deltas_dropped": 0, "deltas_delayed": 0,
+            "deltas_duplicated": 0,
+        }
+        for op in ops:
+            key = canonical_key(op.key)
+            block = self.gpt.block_of(key)
+            bucket = self.slice.setdefault(block, {})
+            if op.op == OP_INSERT:
+                previous = bucket.get(key)
+                bucket[key] = (op.node, op.value)
+                if previous is not None and previous[0] != op.node:
+                    fib_batches.setdefault(previous[0], []).append(
+                        UpdateOp(OP_REMOVE, key)
+                    )
+                    acc["fib_messages"] += 1
+                fib_batches.setdefault(op.node, []).append(
+                    UpdateOp(OP_INSERT, key, op.node, op.value, op.bs_ip)
+                )
+                acc["fib_messages"] += 1
+                removed: Tuple[int, ...] = ()
+            else:
+                previous = bucket.pop(key, None)
+                if previous is None:
+                    continue  # unknown key: not an update (engine parity)
+                fib_batches.setdefault(previous[0], []).append(
+                    UpdateOp(OP_REMOVE, key)
+                )
+                acc["fib_messages"] += 1
+                removed = (key,)
+            acc["updates"] += 1
+            group = self.gpt.group_of(key)
+            group_keys, group_nodes = self._group_contents(block, group)
+            delta = self.gpt.rebuild_group(
+                group, group_keys, group_nodes, removed_keys=removed
+            )
+            acc["groups_rebuilt"] += 1
+            self._c_groups_rebuilt.inc()
+            wire = delta.wire_bytes(params)
+            bits = delta.size_bits(params)
+            for peer in range(self.num_nodes):
+                if peer == self.node_id or peer in self.down:
+                    continue
+                verdict = self.faults.verdict("delta")
+                if verdict == tfaults.DROP:
+                    acc["deltas_dropped"] += 1
+                    continue
+                if verdict == tfaults.DELAY:
+                    self._delayed_deltas.append((peer, wire))
+                    acc["deltas_delayed"] += 1
+                    continue
+                delta_wires.setdefault(peer, []).append(wire)
+                if verdict == tfaults.DUPLICATE:
+                    delta_wires[peer].append(wire)
+                    acc["deltas_duplicated"] += 1
+                acc["delta_broadcasts"] += 1
+                acc["delta_bits"] += bits
+        # One FIB batch per handling node, one delta batch per peer —
+        # same per-key ordering as shipping each individually.
+        for target in sorted(fib_batches):
+            if target in self.down:
+                continue
+            batch = fib_batches[target]
+            if target == self.node_id:
+                self._apply_fib(batch)
+            else:
+                rsp_type, rsp = self._peer_request(
+                    target, MSG_FIB, protocol.encode_updates(batch)
+                )
+                protocol.expect(rsp_type, RSP_OK, rsp)
+        for peer in sorted(delta_wires):
+            if peer in self.down:
+                continue
+            rsp_type, rsp = self._peer_request(
+                peer, MSG_DELTA, b"".join(delta_wires[peer])
+            )
+            protocol.expect(rsp_type, RSP_OK, rsp)
+        return RSP_UPDATE, protocol.encode_json(acc)
+
+    def _apply_fib(self, ops: List[UpdateOp]) -> None:
+        for op in ops:
+            key = canonical_key(op.key)
+            if op.op == OP_INSERT:
+                self.fib[key] = op.value
+                self.bs[key] = op.bs_ip
+            else:
+                self.fib.pop(key, None)
+                self.bs.pop(key, None)
+
+    def _on_fib(self, payload: bytes) -> Tuple[int, bytes]:
+        ops = protocol.decode_updates(payload)
+        self._apply_fib(ops)
+        return RSP_OK, protocol.encode_json({"applied": len(ops)})
+
+    def _on_delta(self, payload: bytes) -> Tuple[int, bytes]:
+        assert self.gpt is not None, "delta before snapshot"
+        offset = 0
+        applied = 0
+        while offset < len(payload):
+            delta, _params, offset = GroupDelta.from_wire_bytes(
+                payload, offset
+            )
+            self.gpt.apply_delta(delta)
+            applied += 1
+        self._c_deltas_applied.inc(applied)
+        return RSP_OK, protocol.encode_json({"applied": applied})
+
+    def _on_flush(self, payload: bytes) -> Tuple[int, bytes]:
+        """Deliver every delayed delta and forward, in FIFO ship order."""
+        deltas, self._delayed_deltas = self._delayed_deltas, []
+        per_peer: Dict[int, List[bytes]] = {}
+        for peer, wire in deltas:
+            per_peer.setdefault(peer, []).append(wire)
+        for peer in sorted(per_peer):
+            rsp_type, rsp = self._peer_request(
+                peer, MSG_DELTA, b"".join(per_peer[peer])
+            )
+            protocol.expect(rsp_type, RSP_OK, rsp)
+        forwards, self._delayed_forwards = self._delayed_forwards, []
+        for peer, frame_payload in forwards:
+            # Late delivery: the handler charges and encapsulates, but
+            # the original ROUTE response already went out without it.
+            self._peer_request(peer, MSG_FORWARD, frame_payload)
+        return RSP_OK, protocol.encode_json({
+            "flushed_deltas": len(deltas),
+            "flushed_forwards": len(forwards),
+        })
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def _handle_frames(self, frames: List[bytes]) -> List[RouteOutcome]:
+        """Terminal handling: FIB check, charge, GTP-U encapsulation."""
+        assert self.gpt is not None, "frames before snapshot"
+        parsed = fastpath.parse_frames(frames)
+        if parsed.degenerate:
+            raise ValueError("degenerate frame batch (TTL/oversize) refused")
+        outcomes: List[Optional[RouteOutcome]] = [None] * len(frames)
+        for i in np.nonzero(parsed.malformed)[0]:
+            outcomes[int(i)] = RouteOutcome(STATUS_MALFORMED, -1, 0, None)
+        accepted_idx: List[int] = []
+        teids: List[int] = []
+        bs_ips: List[int] = []
+        for i in np.nonzero(parsed.valid)[0]:
+            key = int(parsed.keys[int(i)])
+            teid = self.fib.get(key)
+            if teid is None:
+                # One-sided error: the GPT pointed here, the exact FIB
+                # says otherwise — reject (§3.2).
+                outcomes[int(i)] = RouteOutcome(
+                    STATUS_UNKNOWN, self.node_id, 0, None
+                )
+                continue
+            accepted_idx.append(int(i))
+            teids.append(teid)
+            bs_ips.append(self.bs.get(key, 0))
+        if accepted_idx:
+            idx = np.asarray(accepted_idx, dtype=np.int64)
+            teid_arr = np.asarray(teids, dtype=np.int64)
+            sizes = parsed.l3_len[idx]
+            for pos, teid in enumerate(teids):
+                self.charges[teid] = (
+                    self.charges.get(teid, 0) + int(sizes[pos])
+                )
+            tunnelled = fastpath.encapsulate_batch(
+                parsed, idx, teid_arr,
+                np.asarray(bs_ips, dtype=np.int64), self.gateway_ip,
+            )
+            for pos, i in enumerate(accepted_idx):
+                outcomes[i] = RouteOutcome(
+                    STATUS_DELIVERED, self.node_id, teids[pos],
+                    tunnelled[pos],
+                )
+        return outcomes  # type: ignore[return-value]
+
+    def _on_forward(self, payload: bytes) -> Tuple[int, bytes]:
+        frames, _ = unpack_frame_list(payload)
+        self._c_frames_received.inc(len(frames))
+        outcomes = self._handle_frames(frames)
+        return RSP_FORWARD, protocol.encode_outcomes(outcomes)
+
+    def _on_route(self, payload: bytes) -> Tuple[int, bytes]:
+        """Ingress role: parse, GPT lookup, handle locally or forward once."""
+        assert self.gpt is not None, "route before snapshot"
+        frames, _ = unpack_frame_list(payload)
+        parsed = fastpath.parse_frames(frames)
+        if parsed.degenerate:
+            raise ValueError("degenerate frame batch (TTL/oversize) refused")
+        outcomes: List[Optional[RouteOutcome]] = [None] * len(frames)
+        for i in np.nonzero(parsed.malformed)[0]:
+            outcomes[int(i)] = RouteOutcome(STATUS_MALFORMED, -1, 0, None)
+        valid_idx = np.nonzero(parsed.valid)[0]
+        if valid_idx.size:
+            handlers = self.gpt.lookup_batch(parsed.keys[valid_idx])
+            for handler in np.unique(handlers):
+                handler = int(handler)
+                sub_idx = [int(valid_idx[j])
+                           for j in np.nonzero(handlers == handler)[0]]
+                sub_frames = [frames[i] for i in sub_idx]
+                if handler == self.node_id:
+                    self._c_frames_local.inc(len(sub_frames))
+                    for i, outcome in zip(
+                        sub_idx, self._handle_frames(sub_frames)
+                    ):
+                        outcomes[i] = outcome
+                    continue
+                for i, outcome in zip(
+                    sub_idx, self._forward(handler, sub_frames)
+                ):
+                    outcomes[i] = outcome
+        return RSP_ROUTE, protocol.encode_outcomes(outcomes)
+
+    def _forward(
+        self, handler: int, frames: List[bytes]
+    ) -> List[RouteOutcome]:
+        """Ship a sub-batch to its handling daemon, honouring faults."""
+        payload = pack_frame_list(frames)
+        verdict = self.faults.verdict("forward")
+        if verdict == tfaults.DROP:
+            return [RouteOutcome(STATUS_LOST, handler, 0, None)] * len(frames)
+        if verdict == tfaults.DELAY:
+            self._delayed_forwards.append((handler, payload))
+            return [RouteOutcome(STATUS_LOST, handler, 0, None)] * len(frames)
+        self._c_frames_forwarded.inc(len(frames))
+        try:
+            rsp_type, rsp = self._peer_request(handler, MSG_FORWARD, payload)
+            body = protocol.expect(rsp_type, RSP_FORWARD, rsp)
+            if verdict == tfaults.DUPLICATE:
+                self._peer_request(handler, MSG_FORWARD, payload)
+            return protocol.decode_outcomes(body)
+        except (FramingError, OSError):
+            # The handling daemon is gone; the fabric cannot deliver.
+            return [
+                RouteOutcome(STATUS_NODE_DOWN, handler, 0, None)
+            ] * len(frames)
+
+
+def serve(host: str = "127.0.0.1", port: int = 0,
+          ready: Optional[Callable[[int], None]] = None) -> None:
+    """Run one daemon in the current process until SHUTDOWN."""
+    NodeDaemon(host=host, port=port).serve_forever(ready=ready)

@@ -1,0 +1,114 @@
+"""Heartbeat-driven liveness detection (paper §7, over real sockets).
+
+The controller probes every daemon with ``MSG_PING``; this module keeps
+the per-node state machine:
+
+    ALIVE --miss--> SUSPECT --(miss_threshold consecutive misses)--> DEAD
+
+Any successful probe resets a SUSPECT node to ALIVE.  DEAD is sticky —
+a crashed daemon that comes back needs explicit :meth:`reset` (after
+re-bootstrap), because its replica and FIB are gone.  State transitions
+are driven purely by probe outcomes, never by wall-clock reads, so a
+run's detection latency is an exact, reproducible number of polls.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import LATENCY_BUCKETS_US, MetricsRegistry
+
+
+class NodeState(enum.Enum):
+    """Liveness verdict for one daemon."""
+
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
+class HeartbeatMonitor:
+    """Tracks consecutive heartbeat misses per node.
+
+    Args:
+        num_nodes: daemons to track (ids ``0..num_nodes-1``).
+        miss_threshold: consecutive misses that declare a node DEAD.
+        registry: metrics registry for heartbeat RTTs and miss counts.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        miss_threshold: int = 3,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if miss_threshold < 1:
+            raise ValueError("miss_threshold must be at least 1")
+        self.miss_threshold = miss_threshold
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._misses: Dict[int, int] = {n: 0 for n in range(num_nodes)}
+        self._dead: Dict[int, bool] = {n: False for n in range(num_nodes)}
+        self._h_rtt = self.registry.histogram(
+            "runtime.heartbeat_rtt_us", buckets=LATENCY_BUCKETS_US,
+            description="round-trip time of successful heartbeat probes",
+        )
+        self._c_misses = self.registry.counter(
+            "runtime.heartbeat.misses", "failed heartbeat probes"
+        )
+        self._c_deaths = self.registry.counter(
+            "runtime.heartbeat.deaths", "nodes declared dead"
+        )
+
+    def track(self, node_id: int) -> None:
+        """Start tracking a node that joined after construction."""
+        self._misses.setdefault(node_id, 0)
+        self._dead.setdefault(node_id, False)
+
+    def untrack(self, node_id: int) -> None:
+        """Stop tracking a node that drained out gracefully."""
+        self._misses.pop(node_id, None)
+        self._dead.pop(node_id, None)
+
+    def record_success(self, node_id: int, rtt_s: float) -> None:
+        """A probe came back; SUSPECT resets, DEAD stays dead."""
+        self._h_rtt.observe(rtt_s * 1e6)
+        if not self._dead[node_id]:
+            self._misses[node_id] = 0
+
+    def record_miss(self, node_id: int) -> NodeState:
+        """A probe failed; returns the node's state afterwards."""
+        self._c_misses.inc()
+        if self._dead[node_id]:
+            return NodeState.DEAD
+        self._misses[node_id] += 1
+        if self._misses[node_id] >= self.miss_threshold:
+            self._dead[node_id] = True
+            self._c_deaths.inc()
+            return NodeState.DEAD
+        return NodeState.SUSPECT
+
+    def reset(self, node_id: int) -> None:
+        """Forget a node's death (it was re-bootstrapped)."""
+        self._misses[node_id] = 0
+        self._dead[node_id] = False
+
+    def state(self, node_id: int) -> NodeState:
+        """Current liveness verdict."""
+        if self._dead[node_id]:
+            return NodeState.DEAD
+        if self._misses[node_id]:
+            return NodeState.SUSPECT
+        return NodeState.ALIVE
+
+    def misses(self, node_id: int) -> int:
+        """Consecutive misses so far (0 once declared dead or alive)."""
+        return self._misses[node_id]
+
+    def dead_nodes(self) -> List[int]:
+        """Every node currently declared DEAD, ascending."""
+        return sorted(n for n, dead in self._dead.items() if dead)
+
+    def tracked(self) -> List[int]:
+        """Every node under observation, ascending."""
+        return sorted(self._misses)

@@ -1,0 +1,297 @@
+"""The runtime's message catalogue and payload codecs.
+
+Every controller<->daemon and daemon<->daemon exchange is one of the
+message types below, carried inside a :mod:`repro.runtime.framing`
+message.  Control-plane payloads that are naturally tabular (update
+batches, routing outcomes) use fixed-width binary structs; negotiation
+and reporting payloads (HELLO, STATUS) are canonical JSON.  GPT deltas
+ride as concatenated :meth:`repro.core.delta.GroupDelta.wire_bytes`
+frames — self-delimiting, so a DELTA batch is a plain byte join.
+
+``docs/runtime.md`` documents every layout byte by byte.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+# ----------------------------------------------------------------------
+# Message types
+# ----------------------------------------------------------------------
+
+MSG_HELLO = 0x01      # controller -> daemon: identity + topology (JSON)
+MSG_SNAPSHOT = 0x02   # controller -> daemon: bootstrap state + SSEP bytes
+MSG_SWAP = 0x03       # controller -> daemon: replacement state (resize)
+MSG_UPDATE = 0x04     # controller -> owner daemon: RIB update batch
+MSG_FIB = 0x05        # owner -> handling daemon: FIB install/remove batch
+MSG_DELTA = 0x06      # owner -> peer daemon: concatenated GPT deltas
+MSG_ROUTE = 0x07      # controller -> ingress daemon: raw frame batch
+MSG_FORWARD = 0x08    # ingress -> handling daemon: forwarded sub-batch
+MSG_PING = 0x09       # controller -> daemon: liveness probe
+MSG_STATUS = 0x0A     # controller -> daemon: report counters/charges/CRC
+MSG_ADOPT = 0x0B      # controller -> successor daemon: orphaned RIB slice
+MSG_FAULT = 0x0C      # controller -> daemon: arm transport fault budgets
+MSG_FLUSH = 0x0D      # controller -> daemon: deliver delayed deltas
+MSG_DOWN = 0x0E       # controller -> daemon: the current dead-node set
+MSG_SHUTDOWN = 0x0F   # controller -> daemon: reply then exit
+
+RSP_OK = 0x80         # generic acknowledgement (optional JSON detail)
+RSP_UPDATE = 0x84     # MSG_UPDATE accounting (JSON)
+RSP_ROUTE = 0x87      # per-frame routing outcomes
+RSP_FORWARD = 0x88    # per-frame outcomes for a forwarded sub-batch
+RSP_PONG = 0x89       # liveness echo
+RSP_STATUS = 0x8A     # STATUS report (JSON)
+RSP_ERR = 0xFF        # handler raised; payload is JSON {"error": ...}
+
+#: Human names, used in metric names and fault budgets.
+MSG_NAMES: Dict[int, str] = {
+    MSG_HELLO: "hello",
+    MSG_SNAPSHOT: "snapshot",
+    MSG_SWAP: "swap",
+    MSG_UPDATE: "update",
+    MSG_FIB: "fib",
+    MSG_DELTA: "delta",
+    MSG_ROUTE: "route",
+    MSG_FORWARD: "forward",
+    MSG_PING: "ping",
+    MSG_STATUS: "status",
+    MSG_ADOPT: "adopt",
+    MSG_FAULT: "fault",
+    MSG_FLUSH: "flush",
+    MSG_DOWN: "down",
+    MSG_SHUTDOWN: "shutdown",
+    RSP_OK: "ok",
+    RSP_UPDATE: "update_rsp",
+    RSP_ROUTE: "route_rsp",
+    RSP_FORWARD: "forward_rsp",
+    RSP_PONG: "pong",
+    RSP_STATUS: "status_rsp",
+    RSP_ERR: "err",
+}
+
+
+class ProtocolError(ValueError):
+    """A payload failed to parse or an unexpected response arrived."""
+
+
+def encode_json(document: object) -> bytes:
+    """Canonical JSON payload (sorted keys, compact separators)."""
+    return json.dumps(document, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def decode_json(payload: bytes) -> dict:
+    """Parse a JSON payload; raises :class:`ProtocolError` on garbage."""
+    try:
+        document = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad JSON payload: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ProtocolError("JSON payload root must be an object")
+    return document
+
+
+# ----------------------------------------------------------------------
+# Update batches (MSG_UPDATE and MSG_FIB share the record layout)
+# ----------------------------------------------------------------------
+
+OP_INSERT = 1
+OP_REMOVE = 2
+
+#: One update record: op u8, key u64, node u32, value u32, bs_ip u32.
+_UPDATE_RECORD = struct.Struct("<BQIII")
+_COUNT = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """One RIB/FIB operation on the wire.
+
+    ``node``/``value``/``bs_ip`` are ignored for :data:`OP_REMOVE` (the
+    authoritative slice knows where the key lives).
+    """
+
+    op: int
+    key: int
+    node: int = 0
+    value: int = 0
+    bs_ip: int = 0
+
+
+def encode_updates(ops: Sequence[UpdateOp]) -> bytes:
+    """``u32 count | count x update records``."""
+    parts = [_COUNT.pack(len(ops))]
+    for op in ops:
+        parts.append(_UPDATE_RECORD.pack(op.op, op.key, op.node,
+                                         op.value, op.bs_ip))
+    return b"".join(parts)
+
+
+def decode_updates(payload: bytes) -> List[UpdateOp]:
+    """Inverse of :func:`encode_updates`."""
+    if len(payload) < _COUNT.size:
+        raise ProtocolError("update batch truncated in count")
+    (count,) = _COUNT.unpack_from(payload, 0)
+    expected = _COUNT.size + count * _UPDATE_RECORD.size
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"update batch length {len(payload)} != expected {expected}"
+        )
+    out: List[UpdateOp] = []
+    offset = _COUNT.size
+    for _ in range(count):
+        op, key, node, value, bs_ip = _UPDATE_RECORD.unpack_from(
+            payload, offset
+        )
+        if op not in (OP_INSERT, OP_REMOVE):
+            raise ProtocolError(f"unknown update op {op}")
+        out.append(UpdateOp(op=op, key=key, node=node, value=value,
+                            bs_ip=bs_ip))
+        offset += _UPDATE_RECORD.size
+    return out
+
+
+# ----------------------------------------------------------------------
+# Routing outcomes (RSP_ROUTE / RSP_FORWARD)
+# ----------------------------------------------------------------------
+
+STATUS_DELIVERED = 0
+STATUS_UNKNOWN = 1     # FIB rejected (one-sided error / stale replica)
+STATUS_MALFORMED = 2
+STATUS_NODE_DOWN = 3
+STATUS_LOST = 4        # consumed by an injected transport fault
+
+#: Shadow-simulation drop reason -> wire status, for the differential
+#: harness (``"handled"`` maps to DELIVERED).
+REASON_TO_STATUS: Dict[str, int] = {
+    "handled": STATUS_DELIVERED,
+    "unknown_key": STATUS_UNKNOWN,
+    "malformed": STATUS_MALFORMED,
+    "node_down": STATUS_NODE_DOWN,
+}
+
+#: One outcome header: status u8, handler i32, teid u32, out length u32.
+_OUTCOME_HEADER = struct.Struct("<BiII")
+
+
+@dataclass(frozen=True)
+class RouteOutcome:
+    """What happened to one routed frame.
+
+    ``handler`` is the GPT's answer even for drops (−1 when the frame
+    never reached a lookup); ``out`` is the GTP-U encapsulated packet for
+    delivered frames, ``None`` otherwise.
+    """
+
+    status: int
+    handler: int
+    teid: int
+    out: Optional[bytes]
+
+
+def encode_outcomes(outcomes: Sequence[RouteOutcome]) -> bytes:
+    """``u32 count | count x (outcome header | out bytes)``."""
+    parts = [_COUNT.pack(len(outcomes))]
+    for outcome in outcomes:
+        out = outcome.out if outcome.out is not None else b""
+        parts.append(_OUTCOME_HEADER.pack(outcome.status, outcome.handler,
+                                          outcome.teid, len(out)))
+        parts.append(out)
+    return b"".join(parts)
+
+
+def decode_outcomes(payload: bytes) -> List[RouteOutcome]:
+    """Inverse of :func:`encode_outcomes`."""
+    if len(payload) < _COUNT.size:
+        raise ProtocolError("outcome batch truncated in count")
+    (count,) = _COUNT.unpack_from(payload, 0)
+    offset = _COUNT.size
+    out: List[RouteOutcome] = []
+    for _ in range(count):
+        if offset + _OUTCOME_HEADER.size > len(payload):
+            raise ProtocolError("outcome batch truncated in header")
+        status, handler, teid, out_len = _OUTCOME_HEADER.unpack_from(
+            payload, offset
+        )
+        offset += _OUTCOME_HEADER.size
+        if offset + out_len > len(payload):
+            raise ProtocolError("outcome batch truncated in packet body")
+        body = payload[offset:offset + out_len]
+        offset += out_len
+        out.append(RouteOutcome(
+            status=status,
+            handler=handler,
+            teid=teid,
+            out=body if status == STATUS_DELIVERED else None,
+        ))
+    if offset != len(payload):
+        raise ProtocolError("outcome batch has trailing bytes")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Bootstrap state (MSG_SNAPSHOT / MSG_SWAP)
+# ----------------------------------------------------------------------
+
+_JSON_LEN = struct.Struct("<I")
+
+
+def encode_state(header: dict, snapshot: bytes) -> bytes:
+    """``u32 json_len | json | SSEP snapshot bytes``.
+
+    ``header`` carries the daemon's FIB slice, RIB slice and topology;
+    ``snapshot`` is :func:`repro.core.serialize.dumps` of the GPT.
+    """
+    blob = encode_json(header)
+    return _JSON_LEN.pack(len(blob)) + blob + snapshot
+
+
+def decode_state(payload: bytes) -> Tuple[dict, bytes]:
+    """Inverse of :func:`encode_state`; returns (header, snapshot)."""
+    if len(payload) < _JSON_LEN.size:
+        raise ProtocolError("state payload truncated in header length")
+    (json_len,) = _JSON_LEN.unpack_from(payload, 0)
+    start = _JSON_LEN.size
+    if start + json_len > len(payload):
+        raise ProtocolError("state payload truncated in JSON header")
+    header = decode_json(payload[start:start + json_len])
+    return header, payload[start + json_len:]
+
+
+# ----------------------------------------------------------------------
+# Liveness
+# ----------------------------------------------------------------------
+
+_PING = struct.Struct("<Q")
+
+
+def encode_ping(seq: int) -> bytes:
+    """``u64 sequence number``."""
+    return _PING.pack(seq)
+
+
+def decode_ping(payload: bytes) -> int:
+    """Inverse of :func:`encode_ping`."""
+    if len(payload) != _PING.size:
+        raise ProtocolError("ping payload must be exactly 8 bytes")
+    return _PING.unpack(payload)[0]
+
+
+def expect(rsp_type: int, wanted: int, payload: bytes) -> bytes:
+    """Assert a response type, surfacing RSP_ERR bodies as exceptions."""
+    if rsp_type == RSP_ERR:
+        detail = "remote error"
+        try:
+            detail = str(decode_json(payload).get("error", detail))
+        except ProtocolError:
+            pass
+        raise ProtocolError(f"peer reported: {detail}")
+    if rsp_type != wanted:
+        raise ProtocolError(
+            f"expected {MSG_NAMES.get(wanted, wanted)} response, got "
+            f"{MSG_NAMES.get(rsp_type, rsp_type)}"
+        )
+    return payload

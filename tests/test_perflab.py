@@ -508,3 +508,79 @@ class TestBenchKeys:
 
         with pytest.raises(ValueError):
             bench_keys(10, high=5)
+
+
+# -- baseline selection --------------------------------------------------
+
+
+class TestSelectBaseline:
+    def _touch(self, tmp_path, name, mtime):
+        path = tmp_path / name
+        path.write_text("{}")
+        import os
+
+        os.utime(path, (mtime, mtime))
+        return path
+
+    def test_single_candidate_wins_without_warning(self, tmp_path):
+        only = self._touch(tmp_path, "BENCH_only.json", 100.0)
+        warnings = []
+        chosen = perflab.select_baseline([only], warn=warnings.append)
+        assert chosen == only
+        assert warnings == []
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(perflab.ArtifactError):
+            perflab.select_baseline([])
+
+    def test_exact_sha_match_beats_newer_mtime(self, tmp_path):
+        sha = "abc123def456789"
+        match = self._touch(
+            tmp_path, perflab.artifact_filename(sha), 100.0
+        )
+        newer = self._touch(tmp_path, "BENCH_other.json", 9_000_000.0)
+        warnings = []
+        chosen = perflab.select_baseline(
+            [newer, match], current_sha=sha, warn=warnings.append
+        )
+        assert chosen == match
+        assert warnings == []
+
+    def test_no_sha_match_newest_mtime_wins_with_warning(self, tmp_path):
+        older = self._touch(tmp_path, "BENCH_older.json", 100.0)
+        newer = self._touch(tmp_path, "BENCH_newer.json", 200.0)
+        warnings = []
+        chosen = perflab.select_baseline(
+            [older, newer], current_sha="feedface0000", warn=warnings.append
+        )
+        assert chosen == newer
+        assert len(warnings) == 1
+        assert str(older) in warnings[0]
+
+    def test_equal_mtime_tie_breaks_by_filename(self, tmp_path):
+        a = self._touch(tmp_path, "BENCH_aaa.json", 100.0)
+        z = self._touch(tmp_path, "BENCH_zzz.json", 100.0)
+        chosen = perflab.select_baseline([a, z])
+        assert chosen == z  # reverse sort: highest filename on equal mtime
+
+    def test_cli_compare_accepts_multiple_baselines(self, tmp_path, capsys):
+        import os
+
+        # The stale baseline would fail the gate; the fresh one passes.
+        # Exit 0 proves the newest-mtime candidate was selected.
+        stale = make_artifact([make_result("x", [0.1, 0.1, 0.1])])
+        fresh = make_artifact([make_result("x", [1.0, 1.0, 1.0])])
+        current = make_artifact([make_result("x", [1.01, 1.0, 1.0])])
+        stale_p = tmp_path / "BENCH_stale.json"
+        stale_p.write_text(stale.to_json())
+        os.utime(stale_p, (100.0, 100.0))
+        fresh_p = tmp_path / "BENCH_fresh.json"
+        fresh_p.write_text(fresh.to_json())
+        os.utime(fresh_p, (200.0, 200.0))
+        current_p = tmp_path / "BENCH_current.json"
+        current_p.write_text(current.to_json())
+        assert main(["bench", "compare", str(stale_p), str(fresh_p),
+                     str(current_p)]) == 0
+        err = capsys.readouterr().err
+        assert "newest by mtime" in err
+        assert "BENCH_fresh.json" in err

@@ -1,0 +1,441 @@
+"""Tests for the multi-process socket runtime (repro.runtime).
+
+The expensive scenarios — spawning real daemon processes, the seeded
+differential workload, the SIGKILL failure drill — run once per module
+via fixtures; the assertions then pick the reports apart.  Pure codec
+and state-machine tests (framing, protocol, fault budgets, heartbeat)
+cost nothing and run inline.
+"""
+
+import socket
+
+import pytest
+
+from repro.chaos.transport import (
+    DELAY,
+    DELIVER,
+    DROP,
+    DUPLICATE,
+    TransportFaultBudgets,
+)
+from repro.core import serialize
+from repro.epc.gateway import EpcGateway
+from repro.epc.packets import parse_ip
+from repro.epc.traffic import FlowGenerator
+from repro.cluster.architectures import Architecture
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime import framing, protocol
+from repro.runtime.controller import RuntimeController
+from repro.runtime.framing import FramedSocket, FramingError
+from repro.runtime.launcher import LocalRuntime, report_json, run_demo
+from repro.runtime.liveness import HeartbeatMonitor, NodeState
+from repro.runtime.protocol import (
+    OP_INSERT,
+    OP_REMOVE,
+    ProtocolError,
+    RouteOutcome,
+    STATUS_DELIVERED,
+    STATUS_UNKNOWN,
+    UpdateOp,
+)
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+
+class TestFraming:
+    def test_frame_list_roundtrip(self):
+        frames = [b"", b"a", b"x" * 1000]
+        packed = framing.pack_frame_list(frames)
+        unpacked, offset = framing.unpack_frame_list(packed)
+        assert unpacked == frames
+        assert offset == len(packed)
+
+    def test_frame_list_truncation_rejected(self):
+        packed = framing.pack_frame_list([b"hello", b"world"])
+        for cut in range(len(packed)):
+            with pytest.raises(FramingError):
+                framing.unpack_frame_list(packed[:cut])
+
+    def test_framed_socket_roundtrip(self):
+        left, right = socket.socketpair()
+        a, b = FramedSocket(left), FramedSocket(right)
+        try:
+            a.send(0x42, b"payload")
+            msg_type, payload = b.recv()
+            assert (msg_type, payload) == (0x42, b"payload")
+            b.send(0x99, b"")
+            assert a.recv() == (0x99, b"")
+        finally:
+            a.close()
+            b.close()
+
+    def test_truncated_stream_raises(self):
+        left, right = socket.socketpair()
+        a, b = FramedSocket(left), FramedSocket(right)
+        try:
+            # Half a header, then EOF.
+            left.sendall(b"\x10")
+            left.close()
+            with pytest.raises(FramingError):
+                b.recv()
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_message_rejected(self):
+        left, right = socket.socketpair()
+        a, b = FramedSocket(left), FramedSocket(right)
+        try:
+            left.sendall(
+                framing.LENGTH_HEADER.pack(framing.MAX_MESSAGE_BYTES + 1)
+            )
+            with pytest.raises(FramingError):
+                b.recv()
+        finally:
+            a.close()
+            b.close()
+
+
+# ----------------------------------------------------------------------
+# Protocol codecs
+# ----------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_update_batch_roundtrip(self):
+        ops = [
+            UpdateOp(OP_INSERT, key=2**63 + 5, node=3, value=77, bs_ip=1234),
+            UpdateOp(OP_REMOVE, key=42),
+        ]
+        assert protocol.decode_updates(protocol.encode_updates(ops)) == ops
+
+    def test_update_batch_length_mismatch_rejected(self):
+        payload = protocol.encode_updates([UpdateOp(OP_INSERT, 1)])
+        with pytest.raises(ProtocolError):
+            protocol.decode_updates(payload[:-1])
+        with pytest.raises(ProtocolError):
+            protocol.decode_updates(payload + b"\x00")
+
+    def test_update_batch_unknown_op_rejected(self):
+        payload = bytearray(protocol.encode_updates([UpdateOp(OP_INSERT, 1)]))
+        payload[4] = 9  # first record's op byte
+        with pytest.raises(ProtocolError):
+            protocol.decode_updates(bytes(payload))
+
+    def test_outcomes_roundtrip(self):
+        outcomes = [
+            RouteOutcome(STATUS_DELIVERED, 2, 0xDEAD, b"packet-bytes"),
+            RouteOutcome(STATUS_UNKNOWN, 1, 0, None),
+        ]
+        decoded = protocol.decode_outcomes(protocol.encode_outcomes(outcomes))
+        assert decoded == outcomes
+
+    def test_outcomes_trailing_bytes_rejected(self):
+        payload = protocol.encode_outcomes(
+            [RouteOutcome(STATUS_DELIVERED, 0, 1, b"x")]
+        )
+        with pytest.raises(ProtocolError):
+            protocol.decode_outcomes(payload + b"junk")
+
+    def test_state_roundtrip(self):
+        header = {"num_nodes": 4, "fib": [[1, 2, 3, 4]]}
+        payload = protocol.encode_state(header, b"SSEP-bytes")
+        got_header, got_snapshot = protocol.decode_state(payload)
+        assert got_header == header
+        assert got_snapshot == b"SSEP-bytes"
+
+    def test_state_truncation_rejected(self):
+        payload = protocol.encode_state({"a": 1}, b"snap")
+        with pytest.raises(ProtocolError):
+            protocol.decode_state(payload[:3])
+
+    def test_ping_roundtrip(self):
+        assert protocol.decode_ping(protocol.encode_ping(123456789)) == 123456789
+        with pytest.raises(ProtocolError):
+            protocol.decode_ping(b"\x01\x02")
+
+    def test_expect_surfaces_remote_errors(self):
+        err = protocol.encode_json({"error": "kaboom"})
+        with pytest.raises(ProtocolError, match="kaboom"):
+            protocol.expect(protocol.RSP_ERR, protocol.RSP_OK, err)
+        with pytest.raises(ProtocolError, match="expected"):
+            protocol.expect(protocol.RSP_PONG, protocol.RSP_OK, b"")
+        assert protocol.expect(protocol.RSP_OK, protocol.RSP_OK, b"x") == b"x"
+
+
+# ----------------------------------------------------------------------
+# Transport fault budgets
+# ----------------------------------------------------------------------
+
+
+class TestTransportFaultBudgets:
+    def test_consumes_in_drop_delay_duplicate_order(self):
+        budgets = TransportFaultBudgets()
+        budgets.arm(DROP, "delta", 1)
+        budgets.arm(DELAY, "delta", 1)
+        budgets.arm(DUPLICATE, "delta", 1)
+        assert [budgets.verdict("delta") for _ in range(4)] == [
+            DROP, DELAY, DUPLICATE, DELIVER,
+        ]
+        assert budgets.pending() == 0
+        assert budgets.applied[DROP]["delta"] == 1
+
+    def test_kinds_are_independent(self):
+        budgets = TransportFaultBudgets()
+        budgets.arm(DROP, "forward", 2)
+        assert budgets.verdict("delta") == DELIVER
+        assert budgets.verdict("forward") == DROP
+        assert budgets.pending() == 1
+
+    def test_dict_roundtrip(self):
+        budgets = TransportFaultBudgets()
+        budgets.arm(DROP, "delta", 3)
+        budgets.arm(DELAY, "forward", 1)
+        restored = TransportFaultBudgets.from_dict(budgets.to_dict())
+        assert restored.to_dict() == budgets.to_dict()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            TransportFaultBudgets().arm(DROP, "delta", -1)
+
+
+# ----------------------------------------------------------------------
+# Heartbeat state machine
+# ----------------------------------------------------------------------
+
+
+class TestHeartbeatMonitor:
+    def test_declares_dead_after_threshold_misses(self):
+        monitor = HeartbeatMonitor(2, miss_threshold=3)
+        assert monitor.state(0) is NodeState.ALIVE
+        assert monitor.record_miss(0) is NodeState.SUSPECT
+        assert monitor.record_miss(0) is NodeState.SUSPECT
+        assert monitor.record_miss(0) is NodeState.DEAD
+        assert monitor.dead_nodes() == [0]
+        assert monitor.state(1) is NodeState.ALIVE
+
+    def test_success_resets_suspect(self):
+        monitor = HeartbeatMonitor(1, miss_threshold=2)
+        monitor.record_miss(0)
+        assert monitor.state(0) is NodeState.SUSPECT
+        monitor.record_success(0, rtt_s=0.001)
+        assert monitor.state(0) is NodeState.ALIVE
+
+    def test_dead_is_sticky_until_reset(self):
+        monitor = HeartbeatMonitor(1, miss_threshold=1)
+        assert monitor.record_miss(0) is NodeState.DEAD
+        monitor.record_success(0, rtt_s=0.001)
+        assert monitor.state(0) is NodeState.DEAD
+        monitor.reset(0)
+        assert monitor.state(0) is NodeState.ALIVE
+
+    def test_track_untrack(self):
+        monitor = HeartbeatMonitor(1)
+        monitor.track(5)
+        assert monitor.tracked() == [0, 5]
+        monitor.untrack(5)
+        assert monitor.tracked() == [0]
+
+
+# ----------------------------------------------------------------------
+# The full differential demo (one spawn, many assertions)
+# ----------------------------------------------------------------------
+
+DEMO_CONFIG = dict(
+    num_nodes=4, seed=7, flows=1600, packets=600, updates=150,
+    kill_node=1, miss_threshold=3,
+)
+
+
+@pytest.fixture(scope="module")
+def kill_report():
+    return run_demo(**DEMO_CONFIG)
+
+
+class TestDifferentialDemo:
+    def test_no_divergence(self, kill_report):
+        differential = kill_report["differential"]
+        assert differential["divergences"] == 0
+        assert differential["frames"] > 0
+        assert differential["delivered"] > 0
+
+    def test_gtpu_bytes_identical(self, kill_report):
+        assert kill_report["differential"]["byte_identical"] is True
+
+    def test_charging_identical(self, kill_report):
+        differential = kill_report["differential"]
+        assert differential["charging_identical"] is True
+        assert differential["charged_teids"] > 0
+
+    def test_gpt_replicas_identical(self, kill_report):
+        assert kill_report["differential"]["gpt_replicas_identical"] is True
+
+    def test_update_protocol_ran(self, kill_report):
+        updates = kill_report["update_protocol"]
+        assert updates["updates"] > 0
+        assert updates["delta_broadcasts"] > 0
+        assert updates["delta_bits"] > 0
+        assert updates["fib_messages"] > 0
+        assert updates["snapshot_bytes_shipped"] > 0
+
+    def test_failure_detected_within_threshold(self, kill_report):
+        liveness = kill_report["liveness"]
+        assert liveness["killed_node"] == DEMO_CONFIG["kill_node"]
+        assert liveness["pre_kill_dead"] == []
+        # Poll-count detection latency is exact: a SIGKILLed daemon
+        # misses every probe, so death lands on poll == miss_threshold.
+        assert liveness["detection_polls"] == DEMO_CONFIG["miss_threshold"]
+
+    def test_failure_recovery_rehomed_flows(self, kill_report):
+        liveness = kill_report["liveness"]
+        assert liveness["recovered_flows"] > 0
+        # 1600 flows span several RIB blocks, so the dead node owned a
+        # slice that had to move to its successor.
+        assert liveness["adopted_rib_entries"] > 0
+
+    def test_no_leaked_processes(self, kill_report):
+        assert kill_report["leaked_processes"] == 0
+
+    def test_report_is_deterministic(self, kill_report):
+        again = run_demo(**DEMO_CONFIG)
+        assert report_json(again) == report_json(kill_report)
+
+    def test_overall_verdict(self, kill_report):
+        assert kill_report["ok"] is True
+
+
+# ----------------------------------------------------------------------
+# Membership over sockets: drain and join
+# ----------------------------------------------------------------------
+
+
+def _fingerprints_match(controller, gateway):
+    return all(
+        int(status["gpt_crc"])
+        == serialize.fingerprint(gateway.cluster.nodes[node].gpt.setsep)
+        for node, status in controller.status_all().items()
+    )
+
+
+class TestMembership:
+    def test_drain_then_join_converges(self):
+        with LocalRuntime(4) as runtime:
+            gateway = EpcGateway(
+                Architecture.SCALEBRICKS, 4, parse_ip("192.0.2.1"),
+                registry=MetricsRegistry(),
+            )
+            generator = FlowGenerator(5)
+            generator.populate(gateway, 600)
+            gateway.start()
+            controller = RuntimeController(runtime.addresses)
+            controller.connect()
+            controller.bootstrap_from_gateway(gateway)
+
+            drained = controller.drain_node(gateway)
+            assert drained["drained_node"] == 3
+            assert drained["new_nodes"] == 3
+            assert drained["rehomed_flows"] > 0
+            assert sorted(controller.status_all()) == [0, 1, 2]
+            assert _fingerprints_match(controller, gateway)
+            # The leaver's flows survive the drain: every RIB entry
+            # points at a remaining node.
+            assert all(
+                entry.node < 3 for entry in gateway.cluster.rib.entries()
+            )
+
+            address = runtime.add_node()
+            joined = controller.join_node(gateway, address)
+            assert joined["joined_node"] == 3
+            assert joined["new_nodes"] == 4
+            assert sorted(controller.status_all()) == [0, 1, 2, 3]
+            assert _fingerprints_match(controller, gateway)
+
+            controller.shutdown_all()
+            runtime.stop()
+            assert runtime.leaked() == []
+
+
+# ----------------------------------------------------------------------
+# Transport fault injection over the wire
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def fault_cluster():
+    """A 2-node wire cluster + shadow, ready for fault drills."""
+    with LocalRuntime(2) as runtime:
+        gateway = EpcGateway(
+            Architecture.SCALEBRICKS, 2, parse_ip("192.0.2.1"),
+            registry=MetricsRegistry(),
+        )
+        generator = FlowGenerator(9)
+        generator.populate(gateway, 300)
+        gateway.start()
+        controller = RuntimeController(runtime.addresses)
+        controller.connect()
+        controller.bootstrap_from_gateway(gateway)
+        yield controller, gateway, generator
+        controller.shutdown_all()
+
+
+def _connect_ops(gateway, generator, count):
+    """Connect ``count`` fresh flows on the shadow; mirrored wire ops."""
+    ops = []
+    for _ in range(count):
+        flow = generator.flows(1)[0]
+        record = gateway.connect(
+            flow,
+            generator.base_station_for(flow),
+            generator.region_for(flow),
+        )
+        ops.append(UpdateOp(
+            OP_INSERT, record.key, record.handling_node,
+            record.teid, record.base_station_ip,
+        ))
+    return ops
+
+
+def _stale_nodes(controller, gateway):
+    return sorted(
+        node
+        for node, status in controller.status_all().items()
+        if int(status["gpt_crc"])
+        != serialize.fingerprint(gateway.cluster.nodes[node].gpt.setsep)
+    )
+
+
+class TestWireFaults:
+    def test_dropped_deltas_stale_the_replica_and_repair_heals(
+        self, fault_cluster
+    ):
+        controller, gateway, generator = fault_cluster
+        controller.arm_faults(0, {"drop": {"delta": 10}})
+        ops = _connect_ops(gateway, generator, 10)
+        totals = controller.push_updates(ops)
+        assert totals["deltas_dropped"] == 10
+        # Node 1 never saw the deltas: its replica no longer matches the
+        # shadow (§3.4 staleness — one-sided, so nothing crashed).
+        assert _stale_nodes(controller, gateway) == [1]
+        # Repair: replay the same updates; the owner recomputes and this
+        # time the deltas ship.
+        controller.push_updates(ops)
+        assert _stale_nodes(controller, gateway) == []
+
+    def test_delayed_delta_applies_on_flush(self, fault_cluster):
+        controller, gateway, generator = fault_cluster
+        controller.arm_faults(0, {"delay": {"delta": 1}})
+        controller.push_updates(_connect_ops(gateway, generator, 1))
+        assert _stale_nodes(controller, gateway) == [1]
+        flushed = controller.flush_node(0)
+        assert flushed["flushed_deltas"] == 1
+        assert _stale_nodes(controller, gateway) == []
+
+    def test_duplicated_delta_is_idempotent(self, fault_cluster):
+        controller, gateway, generator = fault_cluster
+        controller.arm_faults(0, {"duplicate": {"delta": 1}})
+        totals = controller.push_updates(_connect_ops(gateway, generator, 1))
+        assert totals["deltas_duplicated"] == 1
+        assert _stale_nodes(controller, gateway) == []

@@ -8,12 +8,21 @@ lookup, and any damaged snapshot raises :class:`SnapshotError` — never a
 different exception, never a silently wrong structure.
 """
 
+import zlib
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core import SetSepParams, build
-from repro.core.serialize import SnapshotError, dump_bytes, load_bytes
+from repro.core.serialize import (
+    SnapshotError,
+    dump_bytes,
+    dumps,
+    fingerprint,
+    load_bytes,
+    loads,
+)
 from tests.conftest import unique_keys
 
 #: SetSep construction dominates example cost; keep example counts low and
@@ -83,3 +92,46 @@ def test_arbitrary_bytes_never_parse_as_snapshot(garbage):
     # errors somewhere inside the parser.
     with pytest.raises(SnapshotError):
         load_bytes(garbage)
+
+
+@SLOW_BUILD
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    count=st.integers(min_value=50, max_value=800),
+)
+def test_dumps_loads_aliases_roundtrip(seed, count):
+    keys = unique_keys(count, seed=seed)
+    values = (keys % 4).astype(np.uint32)
+    setsep, _ = build(keys, values, SetSepParams(value_bits=2))
+    restored = loads(dumps(setsep))
+    assert np.array_equal(restored.lookup_batch(keys), values)
+    assert dumps(restored) == dumps(setsep)
+
+
+def test_fingerprint_is_the_body_crc(blob):
+    setsep = load_bytes(blob)
+    assert fingerprint(setsep) == zlib.crc32(blob[:-4])
+    # Same structure, same fingerprint, every time.
+    assert fingerprint(setsep) == fingerprint(load_bytes(blob))
+
+
+def test_fingerprint_distinguishes_structures():
+    keys = unique_keys(400, seed=71)
+    values = (keys % 4).astype(np.uint32)
+    one, _ = build(keys, values, SetSepParams(value_bits=2))
+    other, _ = build(keys, ((keys + 1) % 4).astype(np.uint32),
+                     SetSepParams(value_bits=2))
+    assert fingerprint(one) != fingerprint(other)
+
+
+def test_whole_dump_crc_is_a_constant_and_useless(blob):
+    # The trap fingerprint() exists to avoid: CRC32 over a blob that
+    # *ends* in its own CRC32 collapses to the fixed residue 0x2144DF1C
+    # for every valid snapshot, so comparing whole-dump CRCs compares
+    # nothing at all.
+    keys = unique_keys(400, seed=72)
+    values = (keys % 4).astype(np.uint32)
+    other, _ = build(keys, values, SetSepParams(value_bits=2))
+    other_blob = dump_bytes(other)
+    assert other_blob != blob
+    assert zlib.crc32(blob) == zlib.crc32(other_blob) == 0x2144DF1C

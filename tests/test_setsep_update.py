@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import SetSepParams, build
-from repro.core.delta import GroupDelta
+from repro.core.delta import WIRE_HEADER, DeltaWireError, GroupDelta
 from tests.conftest import unique_keys
 
 
@@ -196,3 +196,71 @@ class TestDeltaEncoding:
         )
         with pytest.raises(ValueError):
             delta.encode(params)
+
+
+class TestWireBytes:
+    """Self-delimiting framed deltas (GroupDelta.wire_bytes, §4.5)."""
+
+    PARAMS = SetSepParams(value_bits=2)
+
+    def _delta(self, group_id=7, **overrides):
+        fields = dict(
+            group_id=group_id,
+            failed=False,
+            indices=(3, 9),
+            arrays=(0xAB, 0xCD),
+        )
+        fields.update(overrides)
+        return GroupDelta(**fields)
+
+    def test_roundtrip_recovers_delta_and_params(self):
+        delta = self._delta(
+            failed=True, indices=(0, 0), arrays=(0, 0),
+            fallback_upserts=((2**64 - 1, 65535),),
+            fallback_removals=(42,),
+        )
+        framed = delta.wire_bytes(self.PARAMS)
+        decoded, params, offset = GroupDelta.from_wire_bytes(framed)
+        assert decoded == delta
+        assert params == self.PARAMS
+        assert offset == len(framed)
+
+    def test_frame_wraps_exact_encode_body(self):
+        delta = self._delta()
+        framed = delta.wire_bytes(self.PARAMS)
+        assert framed[WIRE_HEADER.size:] == delta.encode(self.PARAMS)
+
+    def test_concatenated_stream_parses_in_order(self):
+        deltas = [self._delta(group_id=g) for g in (1, 50, 2**20)]
+        stream = b"".join(d.wire_bytes(self.PARAMS) for d in deltas)
+        offset = 0
+        seen = []
+        while offset < len(stream):
+            delta, params, offset = GroupDelta.from_wire_bytes(stream, offset)
+            assert params == self.PARAMS
+            seen.append(delta)
+        assert seen == deltas
+        assert offset == len(stream)
+
+    def test_truncation_rejected_at_every_cut(self):
+        framed = self._delta().wire_bytes(self.PARAMS)
+        for cut in range(len(framed)):
+            with pytest.raises(DeltaWireError):
+                GroupDelta.from_wire_bytes(framed[:cut])
+
+    def test_impossible_header_widths_rejected(self):
+        framed = bytearray(self._delta().wire_bytes(self.PARAMS))
+        framed[2] = 0  # index_bits = 0 is not a valid SetSepParams
+        with pytest.raises(DeltaWireError):
+            GroupDelta.from_wire_bytes(bytes(framed))
+
+    def test_body_length_disagreement_rejected(self):
+        import struct
+
+        framed = self._delta().wire_bytes(self.PARAMS)
+        # Grow the declared body length and pad: content no longer fills
+        # the claimed length.
+        body_len = struct.unpack_from("<H", framed, 0)[0]
+        forged = struct.pack("<H", body_len + 1) + framed[2:] + b"\x00"
+        with pytest.raises(DeltaWireError):
+            GroupDelta.from_wire_bytes(forged)
