@@ -92,7 +92,7 @@ def test_fig8_functional_core_balance(benchmark):
 
     def run(arch):
         cluster = Cluster.build(arch, 4, keys, handlers, values)
-        cluster.reset_counters()
+        cluster.reset_stats()
         cluster.route_batch(keys[:2_000], [0] * 2_000)
         return cluster
 

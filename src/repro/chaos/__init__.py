@@ -25,6 +25,7 @@ driver lives in :mod:`repro.sim.soak`; the CLI front end is
 ``repro chaos``.
 """
 
+from repro.chaos.drills import run_fence_drill
 from repro.chaos.faults import (
     DEFAULT_FAULT_KINDS,
     FaultEvent,
@@ -61,4 +62,5 @@ __all__ = [
     "DROP",
     "DUPLICATE",
     "TransportFaultBudgets",
+    "run_fence_drill",
 ]

@@ -1,0 +1,112 @@
+"""Operator-driven chaos drills, exercised through the REST API only.
+
+The harness drills (:func:`repro.runtime.launcher.run_demo`) reach
+straight into the controller.  The drills here are stricter: they drive
+the cluster exclusively through :class:`~repro.ops.client.OpsClient`,
+the same surface a human operator (or the CI smoke job) has — if a
+drill passes, the API alone was sufficient to detect, fence and repair
+a grey failure without breaking the differential.
+
+:func:`run_fence_drill` is the §7 grey-failure scenario:
+
+1. launch an API-managed cluster with the auto-fence policy armed
+   (``fence_after=1``),
+2. run differential traffic and §4.5 churn with everything healthy,
+3. SIGSTOP one daemon — alive but unresponsive, the state fencing
+   exists for,
+4. one heartbeat poll marks it SUSPECT and the policy fences it
+   (force-kill + §7 repair + membership broadcast),
+5. more traffic over the survivors, then the global audit.
+
+The report's ``ok`` is true only with zero divergences, byte-identical
+frames, identical charging (minus the victim's fate-shared slice) and
+CRC-identical GPT replicas — the exact gates the harness uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+def run_fence_drill(
+    num_nodes: int = 4,
+    seed: int = 7,
+    flows: int = 800,
+    packets: int = 800,
+    churn: int = 120,
+    victim: Optional[int] = None,
+    fence_after: int = 1,
+) -> Dict[str, object]:
+    """The grey-failure fence drill, driven through the operator API.
+
+    Args:
+        num_nodes: daemons to spawn.
+        seed: master seed (same seed ⇒ same drill).
+        flows: initial bearer population.
+        packets: differential frames, split across the two phases.
+        churn: §4.5 update operations while everything is healthy.
+        victim: daemon to freeze (default: ``num_nodes // 2``).
+        fence_after: auto-fence threshold in consecutive misses.
+
+    Returns:
+        A JSON-ready report with the phase summaries, the fence
+        outcome, the final audit and the overall ``ok`` verdict.
+    """
+    # Imported here, not at module top: repro.ops pulls in the runtime,
+    # which pulls this package back in (daemon-side transport faults).
+    from repro.ops.api import OpsApiServer
+    from repro.ops.client import OpsClient
+    from repro.ops.manager import ClusterOps
+
+    if victim is None:
+        victim = num_nodes // 2
+    if not 0 <= victim < num_nodes:
+        raise ValueError("victim out of range")
+    ops = ClusterOps.launch(
+        num_nodes=num_nodes, seed=seed, flows=flows,
+        fence_after=fence_after, ping_timeout=0.5,
+    )
+    server = OpsApiServer(ops).start_background()
+    client = OpsClient(server.host, server.port)
+    report: Dict[str, object] = {
+        "drill": "fence",
+        "nodes": num_nodes,
+        "seed": seed,
+        "victim": victim,
+        "fence_after": fence_after,
+    }
+    try:
+        first = packets // 2
+        report["phase1"] = client.traffic(first)
+        report["churn"] = client.updates(
+            connects=churn // 4, rehomes=churn // 2,
+            disconnects=churn // 4,
+        )
+        client.suspend(victim)
+        poll = client.poll()
+        report["poll"] = poll
+        report["fenced"] = victim in poll["fenced"]
+        report["phase2"] = client.traffic(packets - first)
+        report["audit"] = client.audit()
+        report["cluster"] = {
+            key: client.cluster()[key]
+            for key in ("nodes", "epoch", "down", "states")
+        }
+        metrics = client.metrics()
+        report["metrics_nonempty"] = bool(metrics.strip())
+        report["ok"] = bool(
+            report["fenced"]
+            and report["phase1"]["divergences"] == 0
+            and report["phase2"]["divergences"] == 0
+            and report["phase1"]["byte_identical"]
+            and report["phase2"]["byte_identical"]
+            and report["audit"]["charging_identical"]
+            and report["audit"]["gpt_replicas_identical"]
+            and report["metrics_nonempty"]
+        )
+    finally:
+        shutdown = client.shutdown()
+        report["leaked_processes"] = shutdown["leaked_processes"]
+        server.shutdown()
+    report["ok"] = bool(report.get("ok") and report["leaked_processes"] == 0)
+    return report

@@ -19,13 +19,21 @@ Commands:
   socket runtime (:mod:`repro.runtime`): ``serve`` runs one node
   daemon, ``controller`` drives the differential workload against
   already-running daemons, ``runtime-demo`` spawns a local cluster,
-  runs the workload (optionally SIGKILLing a daemon mid-run) and
-  prints the differential report (exit 1 on any divergence).
+  runs the workload (optionally SIGKILLing or fencing a daemon
+  mid-run) and prints the differential report (exit 1 on any
+  divergence).
+* ``serve-api`` / ``ctl`` — the operator control plane
+  (:mod:`repro.ops`): ``serve-api`` launches a managed cluster behind
+  the REST API daemon, ``ctl`` is the HTTP client driving it (drain,
+  join, kill, fence, traffic, audit, metrics, ...).
 
-``info``, ``scale``, ``stats`` and the ``bench`` verbs accept ``--json``
-for machine-readable output; ``gateway --metrics-json PATH`` dumps the
-full metrics registry snapshot.  The CLI is deliberately thin: every
-command is a few calls into the library, doubling as usage
+Machine-readable output is uniform: every command that can emit JSON
+takes ``--json`` and routes through one :func:`emit` helper (sorted
+keys, two-space indent), so the same state always renders the same
+bytes.  Exit codes follow one convention everywhere: **0** success,
+**1** a check or invariant failed (divergence, oracle violation,
+refused operation), **2** usage or I/O error.  The CLI is deliberately
+thin: every command is a few calls into the library, doubling as usage
 documentation.
 """
 
@@ -46,6 +54,28 @@ from repro.gpt.gpt import GlobalPartitionTable
 from repro.model.scaling import peak_scaling_factor, scaling_curve
 from repro.obs import MetricsRegistry
 from repro.utils.env import environment_fingerprint
+
+#: Exit codes, one convention for every command.
+EXIT_OK = 0
+EXIT_CHECK_FAILED = 1
+EXIT_USAGE = 2
+
+
+def emit(doc: object, as_json: bool) -> bool:
+    """The one JSON emitter every ``--json`` flag routes through.
+
+    Prints ``doc`` as canonical JSON (sorted keys, two-space indent)
+    and returns True when ``as_json`` is set; returns False without
+    printing otherwise, so callers fall through to their text
+    rendering::
+
+        if not emit(report, args.json):
+            print(f"nodes: {report['nodes']}")
+    """
+    if as_json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return True
+    return False
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -94,20 +124,19 @@ def _cmd_info(args: argparse.Namespace) -> int:
     with open(args.snapshot, "rb") as handle:
         setsep = serialize.load(handle)
     capacity = setsep.num_blocks * 1024
-    if args.json:
-        print(json.dumps({
-            "config": setsep.params.name,
-            "value_bits": setsep.params.value_bits,
-            "blocks": setsep.num_blocks,
-            "groups": setsep.num_groups,
-            "buckets": setsep.num_buckets,
-            "size_bytes": setsep.size_bytes(),
-            "fallback_entries": len(setsep.fallback),
-            "capacity_keys": capacity,
-            "bits_per_key_at_capacity": setsep.size_bits() / capacity,
-            "environment": environment_fingerprint(),
-        }, indent=2, sort_keys=True))
-        return 0
+    if emit({
+        "config": setsep.params.name,
+        "value_bits": setsep.params.value_bits,
+        "blocks": setsep.num_blocks,
+        "groups": setsep.num_groups,
+        "buckets": setsep.num_buckets,
+        "size_bytes": setsep.size_bytes(),
+        "fallback_entries": len(setsep.fallback),
+        "capacity_keys": capacity,
+        "bits_per_key_at_capacity": setsep.size_bits() / capacity,
+        "environment": environment_fingerprint(),
+    }, args.json):
+        return EXIT_OK
     print(f"config       : {setsep.params.name}, "
           f"{setsep.params.value_bits}-bit values")
     print(f"blocks       : {setsep.num_blocks} "
@@ -130,13 +159,13 @@ def _cmd_scale(args: argparse.Namespace) -> int:
             )
         ]
         peak_n, ratio = peak_scaling_factor(args.max_nodes, args.entry_bits)
-        print(json.dumps({
+        emit({
             "memory_mib": args.memory_mib,
             "entry_bits": args.entry_bits,
             "curve": rows,
             "peak_advantage": {"nodes": peak_n, "ratio": ratio},
-        }, indent=2, sort_keys=True))
-        return 0
+        }, True)
+        return EXIT_OK
     print(f"Total FIB entries, {args.memory_mib} MiB/node, "
           f"{args.entry_bits}-bit entries")
     print(f"{'nodes':>6} {'full dup':>12} {'hash part':>12} {'ScaleBricks':>12}")
@@ -223,9 +252,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         packets_per_burst=args.packets,
     )
     report = runner.run()
-    if args.json:
-        print(report.to_json(indent=2))
-    else:
+    if not emit(report.to_dict(), args.json):
         print(f"architecture : {report.architecture} "
               f"({report.num_nodes} nodes)")
         print(f"episodes     : {len(report.episodes)} "
@@ -239,7 +266,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                       f"step {violation['step']}: {violation['invariant']} "
                       f"key={violation['key']}: {violation['detail']}")
         print("verdict      : " + ("OK" if report.ok else "VIOLATED"))
-    return 0 if report.ok else 1
+    return EXIT_OK if report.ok else EXIT_CHECK_FAILED
 
 
 def _cmd_bench_run(args: argparse.Namespace) -> int:
@@ -262,9 +289,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         print("bench run: no benchmarks matched", file=sys.stderr)
         return 2
     path = perflab.write_artifact(artifact, args.out)
-    if args.json:
-        print(artifact.to_json(), end="")
-    else:
+    if not emit(artifact.to_dict(), args.json):
         timed = [r for r in artifact.results if r.best is not None]
         print(f"suite {args.suite} (scale {artifact.scale}): "
               f"{len(artifact.results)} benchmarks, {len(timed)} timed")
@@ -298,13 +323,11 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     except (perflab.ArtifactError, ValueError) as exc:
         print(f"bench compare: {exc}", file=sys.stderr)
         return 2
-    if args.json:
-        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
-    else:
+    if not emit(report.to_dict(), args.json):
         print(report.table())
     if report.failures and not args.warn_only:
-        return 1
-    return 0
+        return EXIT_CHECK_FAILED
+    return EXIT_OK
 
 
 def _cmd_bench_list(args: argparse.Namespace) -> int:
@@ -316,12 +339,11 @@ def _cmd_bench_list(args: argparse.Namespace) -> int:
         print(f"bench list: {exc}", file=sys.stderr)
         return 2
     specs = perflab.specs_for_suite(args.suite)
-    if args.json:
-        print(json.dumps(
-            {"suite": args.suite, "benchmarks": [s.to_row() for s in specs]},
-            indent=2, sort_keys=True,
-        ))
-        return 0
+    if emit(
+        {"suite": args.suite, "benchmarks": [s.to_row() for s in specs]},
+        args.json,
+    ):
+        return EXIT_OK
     print(f"{'name':<44} {'figure':<14} {'suites':<12} module")
     for spec in specs:
         print(f"{spec.name:<44} {spec.figure:<14} "
@@ -332,11 +354,9 @@ def _cmd_bench_list(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     _architecture, gateway, _stats = _run_gateway_trial(args)
-    if args.json:
-        print(gateway.registry.to_json(indent=2))
-    else:
+    if not emit(gateway.registry.snapshot(), args.json):
         _print_metrics_text(gateway.registry)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -360,11 +380,7 @@ def _parse_addresses(spec: str) -> List[tuple]:
 
 
 def _finish_runtime_report(report: dict, as_json: bool) -> int:
-    from repro.runtime.launcher import report_json
-
-    if as_json:
-        print(report_json(report))
-    else:
+    if not emit(report, as_json):
         differential = report["differential"]
         print(f"nodes={report['nodes']} seed={report['seed']}")
         print(
@@ -384,10 +400,16 @@ def _finish_runtime_report(report: dict, as_json: bool) -> int:
                 f"{liveness['detection_polls']} polls, recovered "
                 f"{liveness['recovered_flows']} flows"
             )
+        if liveness.get("fenced_node") is not None:
+            print(
+                f"fenced node {liveness['fenced_node']} "
+                f"(was {liveness.get('state_before_fence', '?')}): "
+                f"recovered {liveness['recovered_flows']} flows"
+            )
         if "leaked_processes" in report:
             print(f"leaked_processes={report['leaked_processes']}")
         print("ok" if report["ok"] else "DIVERGED")
-    return 0 if report["ok"] else 1
+    return EXIT_OK if report["ok"] else EXIT_CHECK_FAILED
 
 
 def _cmd_controller(args: argparse.Namespace) -> int:
@@ -417,12 +439,116 @@ def _cmd_runtime_demo(args: argparse.Namespace) -> int:
         packets=args.packets,
         updates=args.updates,
         kill_node=args.kill_node,
+        fence_node=args.fence_node,
         miss_threshold=args.miss_threshold,
         heartbeat_interval=args.heartbeat_interval,
     )
     if report["leaked_processes"]:
         report["ok"] = False
     return _finish_runtime_report(report, args.json)
+
+
+def _cmd_serve_api(args: argparse.Namespace) -> int:
+    from repro.ops import ClusterOps, OpsApiServer
+
+    ops = ClusterOps.launch(
+        num_nodes=args.nodes,
+        seed=args.seed,
+        flows=args.flows,
+        miss_threshold=args.miss_threshold,
+        fence_after=args.fence_after,
+        ping_timeout=args.ping_timeout,
+    )
+    server = OpsApiServer(
+        ops, host=args.host, port=args.port, stop_on_shutdown=True
+    )
+    print(
+        f"operator API listening on {server.host}:{server.port} "
+        f"({args.nodes} nodes, seed {args.seed})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.httpd.server_close()
+        ops.close()
+    return EXIT_OK
+
+
+def _render_ctl_text(doc: object) -> None:
+    """Flat text rendering for ``repro ctl`` (non ``--json``)."""
+    if isinstance(doc, list):
+        for item in doc:
+            if isinstance(item, dict):
+                print(" ".join(
+                    f"{key}={item[key]}" for key in sorted(item)
+                ))
+            else:
+                print(item)
+        return
+    if isinstance(doc, dict):
+        for key in sorted(doc):
+            value = doc[key]
+            if isinstance(value, (dict, list)):
+                value = json.dumps(value, sort_keys=True)
+            print(f"{key:<20} {value}")
+        return
+    print(doc)
+
+
+def _cmd_ctl(args: argparse.Namespace) -> int:
+    from repro.ops import OpsApiError, OpsClient
+
+    client = OpsClient(args.host, args.port, timeout=args.timeout)
+    verb = args.ctl_verb
+    try:
+        if verb == "cluster":
+            doc = client.cluster()
+        elif verb == "nodes":
+            doc = client.nodes()
+        elif verb == "node":
+            doc = client.node(args.node)
+        elif verb == "flow":
+            doc = client.flow(args.teid)
+        elif verb == "metrics":
+            page = client.metrics()
+            print(page, end="" if page.endswith("\n") else "\n")
+            return EXIT_OK
+        elif verb == "audit":
+            doc = client.audit()
+        elif verb in (
+            "drain", "join", "kill", "fence", "suspend", "resume", "repair",
+        ):
+            doc = getattr(client, verb)(args.node)
+        elif verb == "updates":
+            doc = client.updates(
+                connects=args.connects,
+                rehomes=args.rehomes,
+                disconnects=args.disconnects,
+            )
+        elif verb == "traffic":
+            doc = client.traffic(packets=args.packets)
+        elif verb == "poll":
+            doc = client.poll(rounds=args.rounds)
+        elif verb == "shutdown":
+            doc = client.shutdown()
+        else:  # pragma: no cover - argparse enforces choices
+            print(f"ctl: unknown verb {verb}", file=sys.stderr)
+            return EXIT_USAGE
+    except OpsApiError as exc:
+        print(f"ctl {verb}: {exc.message}", file=sys.stderr)
+        return EXIT_CHECK_FAILED
+    except OSError as exc:
+        print(
+            f"ctl {verb}: cannot reach {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if not emit(doc, args.json):
+        _render_ctl_text(doc)
+    return EXIT_OK
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -618,8 +744,82 @@ def make_parser() -> argparse.ArgumentParser:
     demo.add_argument("--nodes", type=int, default=4)
     demo.add_argument("--kill-node", type=int, default=None,
                       help="SIGKILL this daemon mid-run (§7 failure drill)")
+    demo.add_argument("--fence-node", type=int, default=None,
+                      help="SIGSTOP this daemon mid-run, then fence it "
+                           "once SUSPECT (grey-failure drill)")
     _add_workload_arguments(demo)
     demo.set_defaults(func=_cmd_runtime_demo)
+
+    serve_api = sub.add_parser(
+        "serve-api",
+        help="launch a managed cluster behind the operator REST API",
+    )
+    serve_api.add_argument("--host", default="127.0.0.1")
+    serve_api.add_argument("--port", type=int, default=8787,
+                           help="API port (0 picks an ephemeral port)")
+    serve_api.add_argument("--nodes", type=int, default=4)
+    serve_api.add_argument("--seed", type=int, default=7)
+    serve_api.add_argument("--flows", type=int, default=2000,
+                           help="initial bearer population")
+    serve_api.add_argument("--miss-threshold", type=int, default=3)
+    serve_api.add_argument(
+        "--fence-after", type=int, default=None,
+        help="auto-fence policy: force-kill a SUSPECT node after this "
+             "many consecutive heartbeat misses (default: off)",
+    )
+    serve_api.add_argument("--ping-timeout", type=float, default=0.5,
+                           help="heartbeat probe timeout in seconds")
+    serve_api.set_defaults(func=_cmd_serve_api)
+
+    ctl = sub.add_parser(
+        "ctl", help="drive a running operator API (see serve-api)"
+    )
+    ctl.add_argument("--host", default="127.0.0.1")
+    ctl.add_argument("--port", type=int, default=8787)
+    ctl.add_argument("--timeout", type=float, default=60.0)
+    ctl.set_defaults(func=_cmd_ctl)
+    ctl_sub = ctl.add_subparsers(dest="ctl_verb", required=True)
+
+    def add_ctl_verb(name: str, help_text: str, **extra) -> None:
+        verb = ctl_sub.add_parser(name, help=help_text)
+        if extra.pop("node", False):
+            verb.add_argument("node", type=int, help="node id")
+        if extra.pop("teid", False):
+            verb.add_argument("teid", type=int, help="tunnel endpoint id")
+        for flag, (kind, default, help_line) in extra.items():
+            verb.add_argument(f"--{flag}", type=kind, default=default,
+                              help=help_line)
+        verb.add_argument("--json", action="store_true",
+                          help="emit the response as canonical JSON")
+
+    add_ctl_verb("cluster", "membership, epoch, liveness, recent ops")
+    add_ctl_verb("nodes", "every node's liveness summary")
+    add_ctl_verb("node", "one node: liveness + daemon STATUS", node=True)
+    add_ctl_verb("flow", "look a bearer up by TEID", teid=True)
+    add_ctl_verb("metrics", "Prometheus text exposition (raw)")
+    add_ctl_verb("audit", "charging/CRC differential audit")
+    add_ctl_verb("drain", "gracefully remove a node", node=True)
+    add_ctl_verb("join", "grow onto a fresh daemon (id = next)", node=True)
+    add_ctl_verb("kill", "SIGKILL a daemon (no repair)", node=True)
+    add_ctl_verb("fence", "force-kill a SUSPECT node + repair", node=True)
+    add_ctl_verb("suspend", "SIGSTOP a daemon (grey failure)", node=True)
+    add_ctl_verb("resume", "SIGCONT a suspended daemon", node=True)
+    add_ctl_verb("repair", "§7 repair for a DEAD node", node=True)
+    add_ctl_verb(
+        "updates", "push a seeded §4.5 churn batch",
+        connects=(int, 0, "bearers to connect"),
+        rehomes=(int, 0, "bearers to re-home"),
+        disconnects=(int, 0, "bearers to disconnect"),
+    )
+    add_ctl_verb(
+        "traffic", "run a differential traffic batch",
+        packets=(int, 200, "frames to route"),
+    )
+    add_ctl_verb(
+        "poll", "heartbeat round(s) + auto-fence sweep",
+        rounds=(int, 1, "heartbeat rounds"),
+    )
+    add_ctl_verb("shutdown", "stop the cluster and the API daemon")
 
     reproduce = sub.add_parser(
         "reproduce",

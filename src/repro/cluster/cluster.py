@@ -9,7 +9,6 @@ unknown keys to an arbitrary node whose exact FIB then drops them.
 
 from __future__ import annotations
 
-import warnings
 from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -653,17 +652,6 @@ class Cluster:
             node.counters.reset()
         self.fabric.reset_stats()
         self.registry.reset()
-
-    def reset_counters(self) -> None:
-        """Deprecated alias of :meth:`reset_stats`."""
-        warnings.warn(
-            "Cluster.reset_counters() is deprecated; use "
-            "Cluster.reset_stats() (which also resets the metrics "
-            "registry) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.reset_stats()
 
     def __repr__(self) -> str:
         return (

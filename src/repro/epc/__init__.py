@@ -18,7 +18,7 @@ from repro.epc.packets import (
 from repro.epc.tunnels import GtpTunnelEndpoint, TeidAllocator
 from repro.epc.controller import EpcController, FlowRecord, AssignmentPolicy
 from repro.epc.dpe import DataPlaneEngine, ChargingRecord, BearerState
-from repro.epc.gateway import EpcGateway, GatewayStats
+from repro.epc.gateway import ChargingLedger, EpcGateway
 from repro.epc.traffic import FlowGenerator, Rfc2544Bench, TrafficStats
 from repro.epc.workload import BearerWorkload, BearerEvent, EventKind
 
@@ -36,7 +36,7 @@ __all__ = [
     "FlowRecord",
     "AssignmentPolicy",
     "EpcGateway",
-    "GatewayStats",
+    "ChargingLedger",
     "DataPlaneEngine",
     "ChargingRecord",
     "BearerState",

@@ -14,7 +14,6 @@ so the PFE swap is exercised end to end at byte level.
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -30,41 +29,22 @@ from repro.epc.packets import FlowTuple, extract_flow, parse_frame
 from repro.epc.tunnels import GtpTunnelEndpoint
 from repro.obs.metrics import LATENCY_BUCKETS_US, MetricsRegistry
 
-#: Legacy ``GatewayStats`` field -> registry counter name.
-_STAT_COUNTERS: Dict[str, str] = {
-    "downstream_in": "gateway.downstream.packets_in",
-    "downstream_tunnelled": "gateway.downstream.tunnelled",
-    "upstream_in": "gateway.upstream.packets_in",
-    "upstream_forwarded": "gateway.upstream.forwarded",
-    "dropped_unknown_flow": "gateway.drops.unknown_flow",
-    "dropped_bad_tunnel": "gateway.drops.bad_tunnel",
-    "dropped_acl": "gateway.drops.acl",
-    "dropped_malformed": "gateway.drops.malformed",
-}
+class ChargingLedger:
+    """Per-bearer byte accounting (the gateway's ``stats`` attribute).
 
-
-class GatewayStats:
-    """Deprecated facade over the gateway's metrics registry.
-
-    The packet/byte/drop counts that used to live here as ad-hoc
-    dataclass fields are now plain registry counters (see
-    :data:`_STAT_COUNTERS` for the mapping).  This class keeps the old
-    attribute names readable — and writable — during the transition, at
-    the price of a :class:`DeprecationWarning` per access; new code
-    should read ``gateway.registry`` directly.
-
-    ``bytes_charged`` (per-TEID byte accounting) remains a real dict;
-    the registry tracks the cluster-wide total as
-    ``gateway.bytes_charged``.
+    ``bytes_charged`` maps TEID to total bytes — real state the audits
+    compare, not a metrics view; the registry tracks only the
+    cluster-wide total as ``gateway.bytes_charged``.  Packet and drop
+    counts live exclusively in the gateway's metrics registry
+    (``gateway.downstream.packets_in``, ``gateway.drops.acl``, ...).
     """
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
-        state = self.__dict__
-        state["_registry"] = (
+        self._registry = (
             registry if registry is not None else MetricsRegistry()
         )
-        state["bytes_charged"] = {}
-        state["_c_bytes"] = state["_registry"].counter(
+        self.bytes_charged: Dict[int, int] = {}
+        self._c_bytes = self._registry.counter(
             "gateway.bytes_charged", "bytes charged across all bearers"
         )
 
@@ -87,43 +67,11 @@ class GatewayStats:
             )
         self._c_bytes.inc(int(sums.sum()))
 
-    def __getattr__(self, name: str) -> int:
-        counter_name = _STAT_COUNTERS.get(name)
-        if counter_name is None:
-            raise AttributeError(
-                f"{type(self).__name__!s} has no attribute {name!r}"
-            )
-        warnings.warn(
-            f"GatewayStats.{name} is deprecated; read the "
-            f"{counter_name!r} counter from the gateway's metrics "
-            "registry instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return int(self._registry.counter(counter_name).value)
-
-    def __setattr__(self, name: str, value: object) -> None:
-        counter_name = _STAT_COUNTERS.get(name)
-        if counter_name is None:
-            self.__dict__[name] = value
-            return
-        warnings.warn(
-            f"writing GatewayStats.{name} is deprecated; increment the "
-            f"{counter_name!r} counter on the gateway's metrics registry "
-            "instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        counter = self._registry.counter(counter_name)
-        counter.reset()
-        counter.inc(int(value))  # type: ignore[arg-type]
-
     def __repr__(self) -> str:
-        counts = {
-            field: self._registry.counter(name).value
-            for field, name in _STAT_COUNTERS.items()
-        }
-        return f"GatewayStats({counts})"
+        return (
+            f"ChargingLedger(bearers={len(self.bytes_charged)}, "
+            f"total={self._c_bytes.value})"
+        )
 
 
 class AggregateDpeView:
@@ -180,8 +128,8 @@ class EpcGateway:
             applied by the DPE (None disables policing).
         registry: metrics registry for packet/byte/drop counters and
             per-stage latency spans.  Unlike the pure lookup hot paths,
-            the gateway defaults to a *live* private registry — its
-            legacy :class:`GatewayStats` facade must keep counting — and
+            the gateway defaults to a *live* private registry — the
+            :class:`ChargingLedger` totals must keep counting — and
             shares it with the cluster and update engine it builds; pass
             :data:`repro.obs.NULL_REGISTRY` to disable instrumentation.
 
@@ -206,24 +154,22 @@ class EpcGateway:
         self.gateway_ip = gateway_ip
         self.controller = EpcController(num_nodes, policy)
         self.registry = registry if registry is not None else MetricsRegistry()
-        self.stats = GatewayStats(self.registry)
+        self.stats = ChargingLedger(self.registry)
         r = self.registry
-        self._c_down_in = r.counter(_STAT_COUNTERS["downstream_in"])
-        self._c_down_tunnelled = r.counter(
-            _STAT_COUNTERS["downstream_tunnelled"]
-        )
+        self._c_down_in = r.counter("gateway.downstream.packets_in")
+        self._c_down_tunnelled = r.counter("gateway.downstream.tunnelled")
         self._c_down_bytes = r.counter(
             "gateway.downstream.bytes", "L3 bytes accepted downstream"
         )
-        self._c_up_in = r.counter(_STAT_COUNTERS["upstream_in"])
-        self._c_up_forwarded = r.counter(_STAT_COUNTERS["upstream_forwarded"])
+        self._c_up_in = r.counter("gateway.upstream.packets_in")
+        self._c_up_forwarded = r.counter("gateway.upstream.forwarded")
         self._c_up_bytes = r.counter(
             "gateway.upstream.bytes", "inner L3 bytes forwarded upstream"
         )
-        self._c_drop_unknown = r.counter(_STAT_COUNTERS["dropped_unknown_flow"])
-        self._c_drop_tunnel = r.counter(_STAT_COUNTERS["dropped_bad_tunnel"])
-        self._c_drop_acl = r.counter(_STAT_COUNTERS["dropped_acl"])
-        self._c_drop_malformed = r.counter(_STAT_COUNTERS["dropped_malformed"])
+        self._c_drop_unknown = r.counter("gateway.drops.unknown_flow")
+        self._c_drop_tunnel = r.counter("gateway.drops.bad_tunnel")
+        self._c_drop_acl = r.counter("gateway.drops.acl")
+        self._c_drop_malformed = r.counter("gateway.drops.malformed")
         self._c_drop_policed = r.counter(
             "gateway.drops.policed", "packets rejected by a bearer policer"
         )
@@ -749,17 +695,6 @@ class EpcGateway:
     def memory_report(self) -> List[Dict[str, int]]:
         """Per-node forwarding-state footprint."""
         return self._require_cluster().memory_report()
-
-    @property
-    def policed_drops(self) -> int:
-        """Deprecated: read the ``gateway.drops.policed`` counter instead."""
-        warnings.warn(
-            "EpcGateway.policed_drops is deprecated; read the "
-            "'gateway.drops.policed' counter from gateway.registry instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return int(self._c_drop_policed.value)
 
     def __repr__(self) -> str:
         return (

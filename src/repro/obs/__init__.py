@@ -14,9 +14,12 @@ opts in::
     print(registry.to_json(indent=2))
 
 ``repro stats`` and ``repro gateway --metrics-json`` expose the same
-snapshot from the command line.
+snapshot from the command line; :func:`prometheus_text` renders one or
+more registries in the Prometheus text exposition format (served by the
+operator API's ``GET /v1/metrics``).
 """
 
+from repro.obs.exposition import CONTENT_TYPE, metric_name, prometheus_text
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     LATENCY_BUCKETS_US,
@@ -42,4 +45,7 @@ __all__ = [
     "resolve_registry",
     "DEFAULT_BUCKETS",
     "LATENCY_BUCKETS_US",
+    "CONTENT_TYPE",
+    "metric_name",
+    "prometheus_text",
 ]

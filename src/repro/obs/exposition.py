@@ -1,0 +1,168 @@
+"""Prometheus text exposition of :class:`~repro.obs.metrics.MetricsRegistry`.
+
+The operator control plane (:mod:`repro.ops`) serves ``GET /v1/metrics``
+in the Prometheus text format (version 0.0.4) so any off-the-shelf
+scraper can watch a running cluster.  The mapping is mechanical:
+
+* dotted instrument names become underscore-separated metric names under
+  a ``repro_`` prefix (``gateway.drops.acl`` →
+  ``repro_gateway_drops_acl_total``);
+* counters get the conventional ``_total`` suffix, gauges keep their
+  name, histograms expand into cumulative ``_bucket{le="..."}`` series
+  plus ``_sum`` and ``_count``;
+* instrument descriptions become ``# HELP`` lines.
+
+Several registries can be exposed as one page (the controller's and the
+shadow gateway's, say): counters and gauges with the same name are
+summed, histograms with identical bucket bounds are merged bucket-wise.
+Output is fully sorted, so the same registry state always renders the
+same bytes — the golden tests rely on that.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+#: The content type Prometheus scrapers expect.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_FIRST = re.compile(r"^[^a-zA-Z_:]")
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """A valid Prometheus metric name for a dotted instrument name."""
+    flat = _INVALID_CHARS.sub("_", name.replace(".", "_"))
+    if prefix:
+        flat = f"{prefix}_{flat}"
+    if _INVALID_FIRST.match(flat):
+        flat = f"_{flat}"
+    return flat
+
+
+def _fmt(value: Union[int, float]) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return {float("inf"): "+Inf", float("-inf"): "-Inf"}.get(
+                value, "NaN"
+            )
+        if value.is_integer():
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _merge_counters(
+    registries: Sequence[MetricsRegistry],
+) -> Dict[str, Tuple[int, str]]:
+    merged: Dict[str, Tuple[int, str]] = {}
+    for registry in registries:
+        for name, counter in registry._counters.items():
+            total, description = merged.get(name, (0, ""))
+            merged[name] = (
+                total + counter.value,
+                description or counter.description,
+            )
+    return merged
+
+
+def _merge_gauges(
+    registries: Sequence[MetricsRegistry],
+) -> Dict[str, Tuple[float, str]]:
+    merged: Dict[str, Tuple[float, str]] = {}
+    for registry in registries:
+        for name, gauge in registry._gauges.items():
+            total, description = merged.get(name, (0, ""))
+            merged[name] = (
+                total + gauge.value,
+                description or gauge.description,
+            )
+    return merged
+
+
+def _merge_histograms(
+    registries: Sequence[MetricsRegistry],
+) -> Dict[str, Tuple[Tuple[float, ...], List[int], float, int, str]]:
+    merged: Dict[
+        str, Tuple[Tuple[float, ...], List[int], float, int, str]
+    ] = {}
+    for registry in registries:
+        for name, histogram in registry._histograms.items():
+            bounds = histogram._bounds
+            counts = [int(c) for c in histogram._counts]
+            found = merged.get(name)
+            if found is None:
+                merged[name] = (
+                    bounds, counts, histogram.sum, histogram.count,
+                    histogram.description,
+                )
+                continue
+            old_bounds, old_counts, old_sum, old_count, description = found
+            if old_bounds != bounds:
+                # Incompatible shapes: keep the first registration.
+                continue
+            merged[name] = (
+                bounds,
+                [a + b for a, b in zip(old_counts, counts)],
+                old_sum + histogram.sum,
+                old_count + histogram.count,
+                description or histogram.description,
+            )
+    return merged
+
+
+def prometheus_text(
+    registries: Union[MetricsRegistry, Iterable[MetricsRegistry]],
+    prefix: str = "repro",
+) -> str:
+    """Render one or more registries as a Prometheus exposition page."""
+    if isinstance(registries, MetricsRegistry):
+        registries = [registries]
+    registries = list(registries)
+    lines: List[str] = []
+
+    counters = _merge_counters(registries)
+    for name in sorted(counters):
+        value, description = counters[name]
+        flat = metric_name(name, prefix) + "_total"
+        if description:
+            lines.append(f"# HELP {flat} {_escape_help(description)}")
+        lines.append(f"# TYPE {flat} counter")
+        lines.append(f"{flat} {_fmt(value)}")
+
+    gauges = _merge_gauges(registries)
+    for name in sorted(gauges):
+        value, description = gauges[name]
+        flat = metric_name(name, prefix)
+        if description:
+            lines.append(f"# HELP {flat} {_escape_help(description)}")
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(f"{flat} {_fmt(value)}")
+
+    histograms = _merge_histograms(registries)
+    for name in sorted(histograms):
+        bounds, counts, total, count, description = histograms[name]
+        flat = metric_name(name, prefix)
+        if description:
+            lines.append(f"# HELP {flat} {_escape_help(description)}")
+        lines.append(f"# TYPE {flat} histogram")
+        cumulative = 0
+        for bound, bucket in zip(bounds, counts):
+            cumulative += bucket
+            lines.append(
+                f'{flat}_bucket{{le="{_fmt(float(bound))}"}} {cumulative}'
+            )
+        cumulative += counts[len(bounds)]
+        lines.append(f'{flat}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{flat}_sum {_fmt(float(total))}")
+        lines.append(f"{flat}_count {count}")
+
+    return "\n".join(lines) + "\n" if lines else ""

@@ -31,8 +31,20 @@ both worlds route, charge and encode byte-identically.
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.cluster.failover import FailoverManager
 from repro.cluster import membership
@@ -82,6 +94,74 @@ _UPDATE_FIELDS = (
 )
 
 
+@dataclass(frozen=True)
+class OpResult:
+    """The uniform return of every controller verb.
+
+    Every management operation — drain, join, kill, fence, repair —
+    answers the same three questions (was it accepted, which
+    configuration epoch did it produce, how many flows moved) plus a
+    verb-specific ``detail`` mapping.  The shape is JSON-ready
+    (:meth:`to_dict`), which is what the operator API serves.
+    """
+
+    verb: str
+    node: Optional[int]
+    accepted: bool
+    epoch: int
+    affected_flows: int = 0
+    detail: Mapping[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (detail keys flattened last)."""
+        return {
+            "verb": self.verb,
+            "node": self.node,
+            "accepted": self.accepted,
+            "epoch": self.epoch,
+            "affected_flows": self.affected_flows,
+            "detail": dict(self.detail),
+        }
+
+
+class CommandQueue:
+    """Serialises controller commands and remembers what ran.
+
+    The socket protocol is strictly request/response per connection, so
+    two threads (the API daemon is threaded) driving the same controller
+    would interleave frames and corrupt the stream.  Every mutating verb
+    runs under one re-entrant lock — commands are effectively a queue of
+    one — and the completed ones land in a bounded history that the
+    introspection endpoints serve.
+    """
+
+    def __init__(self, history: int = 64) -> None:
+        self._lock = threading.RLock()
+        self._seq = 0
+        self._history: Deque[Dict[str, object]] = deque(maxlen=history)
+
+    def run(self, verb: str, fn: Callable[[], OpResult]) -> OpResult:
+        """Execute one command exclusively; record its outcome."""
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            result = fn()
+            self._history.append({"seq": seq, **result.to_dict()})
+            return result
+
+    def __enter__(self) -> "CommandQueue":
+        self._lock.acquire()
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self._lock.release()
+
+    def recent(self) -> List[Dict[str, object]]:
+        """The completed commands, oldest first."""
+        with self._lock:
+            return list(self._history)
+
+
 class RuntimeController:
     """Drives a cluster of :class:`~repro.runtime.daemon.NodeDaemon`."""
 
@@ -91,6 +171,7 @@ class RuntimeController:
         registry: Optional[MetricsRegistry] = None,
         miss_threshold: int = 3,
         ping_timeout: float = 2.0,
+        fence_after: Optional[int] = None,
     ) -> None:
         self.addresses: List[Tuple[str, int]] = [
             (str(h), int(p)) for h, p in addresses
@@ -99,10 +180,20 @@ class RuntimeController:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.monitor = HeartbeatMonitor(
             self.num_nodes, miss_threshold=miss_threshold,
-            registry=self.registry,
+            registry=self.registry, fence_after=fence_after,
         )
         self.ping_timeout = ping_timeout
         self.down: set = set()
+        #: Configuration epoch: bumps on bootstrap and on every
+        #: membership change (drain/join/repair).  Daemons built from
+        #: different epochs must never be compared.
+        self.epoch = 0
+        #: Force-kill callback for :meth:`kill_node` / :meth:`fence_node`
+        #: (typically :meth:`repro.runtime.launcher.LocalRuntime.kill`).
+        #: ``None`` when the controller does not own the processes.
+        self.killer: Optional[Callable[[int], None]] = None
+        #: Serialises every mutating verb (the API daemon is threaded).
+        self.commands = CommandQueue()
         self._socks: Dict[int, FramedSocket] = {}
         self._ref_setsep: Optional[SetSep] = None
         self._ping_seq = 0
@@ -219,6 +310,7 @@ class RuntimeController:
             )
             protocol.expect(rsp_type, RSP_OK, rsp)
             self._c_snapshot_bytes.inc(len(snapshot))
+        self.epoch += 1
         return {
             "nodes": self.num_nodes,
             "snapshot_bytes": len(snapshot),
@@ -259,20 +351,22 @@ class RuntimeController:
         batches: Dict[int, List[UpdateOp]] = {}
         for op in ops:
             batches.setdefault(self.owner_of_key(op.key), []).append(op)
-        totals = {field: 0 for field in _UPDATE_FIELDS}
-        for owner in sorted(batches):
-            rsp_type, rsp = self._request(
-                owner, MSG_UPDATE, protocol.encode_updates(batches[owner])
-            )
-            acc = protocol.decode_json(
-                protocol.expect(rsp_type, RSP_UPDATE, rsp)
-            )
-            for field in _UPDATE_FIELDS:
-                totals[field] += int(acc.get(field, 0))
-        for field in _UPDATE_FIELDS:
-            if totals[field]:
-                self.registry.counter(f"runtime.update.{field}").inc(
-                    totals[field]
+        totals = {name: 0 for name in _UPDATE_FIELDS}
+        with self.commands:  # interleaved batches would corrupt streams
+            for owner in sorted(batches):
+                rsp_type, rsp = self._request(
+                    owner, MSG_UPDATE,
+                    protocol.encode_updates(batches[owner]),
+                )
+                acc = protocol.decode_json(
+                    protocol.expect(rsp_type, RSP_UPDATE, rsp)
+                )
+                for name in _UPDATE_FIELDS:
+                    totals[name] += int(acc.get(name, 0))
+        for name in _UPDATE_FIELDS:
+            if totals[name]:
+                self.registry.counter(f"runtime.update.{name}").inc(
+                    totals[name]
                 )
         return totals
 
@@ -295,6 +389,16 @@ class RuntimeController:
         by_ingress: Dict[int, List[int]] = {}
         for i, node in enumerate(ingress):
             by_ingress.setdefault(int(node), []).append(i)
+        with self.commands:
+            self._route_batches(frames, by_ingress, outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def _route_batches(
+        self,
+        frames: Sequence[bytes],
+        by_ingress: Dict[int, List[int]],
+        outcomes: List[Optional[RouteOutcome]],
+    ) -> None:
         for node in sorted(by_ingress):
             idx = by_ingress[node]
             if node in self.down:
@@ -311,7 +415,6 @@ class RuntimeController:
                 continue
             for i, outcome in zip(idx, protocol.decode_outcomes(body)):
                 outcomes[i] = outcome
-        return outcomes  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Liveness
@@ -319,6 +422,10 @@ class RuntimeController:
 
     def poll_liveness(self) -> List[int]:
         """One heartbeat round; returns nodes newly declared DEAD."""
+        with self.commands:
+            return self._poll_once()
+
+    def _poll_once(self) -> List[int]:
         newly_dead: List[int] = []
         for node_id in self.monitor.tracked():
             if node_id in self.down:
@@ -369,15 +476,22 @@ class RuntimeController:
 
     def handle_node_failure(
         self, failed: int, gateway: EpcGateway
-    ) -> Dict[str, int]:
+    ) -> OpResult:
         """Repair after a daemon died: adopt its slice, re-home its flows.
 
         Mirrors every move into the shadow ``gateway`` through
         :class:`FailoverManager.recover_flows`, so wire and shadow stay
         comparable after the repair.
         """
+        return self.commands.run(
+            "repair", lambda: self._repair(failed, gateway)
+        )
+
+    def _repair(self, failed: int, gateway: EpcGateway) -> OpResult:
         cluster = gateway.cluster
         assert cluster is not None, "gateway not started"
+        if failed in self.down:
+            raise ValueError(f"node {failed} was already repaired")
         self.down.add(failed)
         stale = self._socks.pop(failed, None)
         if stale is not None:
@@ -428,12 +542,101 @@ class RuntimeController:
                                 record.base_station_ip))
         moved = failover.recover_flows(failed, reassign)
         wire_totals = self.push_updates(ops)
-        return {
-            "failed_node": failed,
-            "adopted_rib_entries": len(orphaned),
-            "recovered_flows": moved,
-            "wire_updates": wire_totals["updates"],
-        }
+        self.epoch += 1
+        return OpResult(
+            verb="repair",
+            node=failed,
+            accepted=True,
+            epoch=self.epoch,
+            affected_flows=moved,
+            detail={
+                "adopted_rib_entries": len(orphaned),
+                "wire_updates": wire_totals["updates"],
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Force-kill and fencing (operator verbs)
+    # ------------------------------------------------------------------
+
+    def _kill_process(self, node_id: int) -> None:
+        if self.killer is None:
+            raise RuntimeError(
+                "controller has no killer callback; it does not own the "
+                "daemon processes"
+            )
+        if not 0 <= node_id < self.num_nodes:
+            raise ValueError(f"node {node_id} does not exist")
+        if node_id in self.down:
+            raise ValueError(f"node {node_id} is already down")
+        self.killer(node_id)
+        stale = self._socks.pop(node_id, None)
+        if stale is not None:
+            stale.close()
+
+    def kill_node(self, node_id: int) -> OpResult:
+        """SIGKILL a daemon — the §7 failure drill, no repair attached.
+
+        The node is *not* declared dead here: the heartbeat monitor must
+        notice on its own (that detection latency is the drill's point).
+        Follow up with :meth:`handle_node_failure` once it does, or use
+        :meth:`fence_node` for the kill-and-repair-now path.
+        """
+
+        def _kill() -> OpResult:
+            self._kill_process(node_id)
+            return OpResult(
+                verb="kill",
+                node=node_id,
+                accepted=True,
+                epoch=self.epoch,
+                detail={"state": self.monitor.state(node_id).value},
+            )
+
+        return self.commands.run("kill", _kill)
+
+    def fence_node(self, node_id: int, gateway: EpcGateway) -> OpResult:
+        """Force-kill a SUSPECT daemon and repair immediately (§7).
+
+        Fencing is the operator's (or the auto-fence policy's) answer to
+        a node stuck between ALIVE and DEAD: SIGKILL it so it can never
+        serve a stale replica again, declare it DEAD without waiting out
+        the remaining heartbeat misses, broadcast the new membership and
+        run the full failure repair.  Fencing an ALIVE node is refused —
+        that would be an outage, not a repair.
+        """
+
+        def _fence() -> OpResult:
+            if node_id not in self.monitor.tracked():
+                raise ValueError(f"node {node_id} does not exist")
+            state = self.monitor.state(node_id)
+            if state is NodeState.ALIVE:
+                raise ValueError(
+                    f"node {node_id} is alive; fencing needs a SUSPECT "
+                    "node (kill or drain instead)"
+                )
+            if node_id in self.down:
+                raise ValueError(f"node {node_id} was already repaired")
+            if state is not NodeState.DEAD:
+                self._kill_process(node_id)
+            self.monitor.force_dead(node_id)
+            self.registry.counter(
+                "runtime.fences", "nodes force-killed by fencing"
+            ).inc()
+            repair = self._repair(node_id, gateway)
+            return OpResult(
+                verb="fence",
+                node=node_id,
+                accepted=True,
+                epoch=self.epoch,
+                affected_flows=repair.affected_flows,
+                detail={
+                    "state_before": state.value,
+                    **dict(repair.detail),
+                },
+            )
+
+        return self.commands.run("fence", _fence)
 
     # ------------------------------------------------------------------
     # Membership: graceful drain and join (§6.3 over sockets)
@@ -463,16 +666,36 @@ class RuntimeController:
             gateway.dpes.append(DataPlaneEngine())
         return report
 
-    def drain_node(self, gateway: EpcGateway) -> Dict[str, int]:
+    def drain_node(
+        self, gateway: EpcGateway, node_id: Optional[int] = None
+    ) -> OpResult:
         """Gracefully remove the highest-numbered daemon.
 
         Make-before-break: the leaver's flows are re-homed through the
         live update path (old GPT keeps serving), then every survivor
         swaps to the resized state, and only then does the leaver stop.
+
+        ``node_id`` defaults to the highest-numbered node; naming any
+        other node is refused (membership shrinks from the top — the
+        ``block % N`` ownership rule renumbers everything otherwise).
         """
+        return self.commands.run(
+            "drain", lambda: self._drain(gateway, node_id)
+        )
+
+    def _drain(
+        self, gateway: EpcGateway, node_id: Optional[int]
+    ) -> OpResult:
         leaving = self.num_nodes - 1
+        if node_id is not None and node_id != leaving:
+            raise ValueError(
+                f"only the highest-numbered node ({leaving}) can drain; "
+                f"node {node_id} would renumber the cluster"
+            )
         if leaving in self.down:
             raise ValueError("cannot drain a dead node; use failure repair")
+        if self.num_nodes <= 1:
+            raise ValueError("cannot drain the last node")
         cluster = gateway.cluster
         assert cluster is not None
         survivors = [
@@ -507,17 +730,30 @@ class RuntimeController:
             sock.close()
         self.monitor.untrack(leaving)
         self.addresses = self.addresses[:self.num_nodes]
-        return {
-            "drained_node": leaving,
-            "rehomed_flows": len(victims),
-            "new_nodes": self.num_nodes,
-            "gpt_rebuilt_wider": int(report.gpt_rebuilt_wider),
-        }
+        self.epoch += 1
+        return OpResult(
+            verb="drain",
+            node=leaving,
+            accepted=True,
+            epoch=self.epoch,
+            affected_flows=len(victims),
+            detail={
+                "new_nodes": self.num_nodes,
+                "gpt_rebuilt_wider": int(report.gpt_rebuilt_wider),
+            },
+        )
 
     def join_node(
         self, gateway: EpcGateway, address: Tuple[str, int]
-    ) -> Dict[str, int]:
+    ) -> OpResult:
         """Grow the cluster by one freshly spawned daemon."""
+        return self.commands.run(
+            "join", lambda: self._join(gateway, address)
+        )
+
+    def _join(
+        self, gateway: EpcGateway, address: Tuple[str, int]
+    ) -> OpResult:
         new_id = self.num_nodes
         self.addresses.append((str(address[0]), int(address[1])))
         self.num_nodes += 1
@@ -532,11 +768,17 @@ class RuntimeController:
         protocol.expect(rsp_type, RSP_OK, rsp)
         self._swap_all(gateway)
         self.monitor.track(new_id)
-        return {
-            "joined_node": new_id,
-            "new_nodes": self.num_nodes,
-            "gpt_rebuilt_wider": int(report.gpt_rebuilt_wider),
-        }
+        self.epoch += 1
+        return OpResult(
+            verb="join",
+            node=new_id,
+            accepted=True,
+            epoch=self.epoch,
+            detail={
+                "new_nodes": self.num_nodes,
+                "gpt_rebuilt_wider": int(report.gpt_rebuilt_wider),
+            },
+        )
 
     # ------------------------------------------------------------------
     # Introspection / fault control
@@ -545,14 +787,52 @@ class RuntimeController:
     def status_all(self) -> Dict[int, dict]:
         """STATUS report from every live daemon."""
         out: Dict[int, dict] = {}
-        for node_id in range(self.num_nodes):
-            if node_id in self.down:
-                continue
-            rsp_type, rsp = self._request(node_id, MSG_STATUS)
-            out[node_id] = protocol.decode_json(
-                protocol.expect(rsp_type, RSP_STATUS, rsp)
-            )
+        with self.commands:
+            for node_id in range(self.num_nodes):
+                if node_id in self.down:
+                    continue
+                rsp_type, rsp = self._request(node_id, MSG_STATUS)
+                out[node_id] = protocol.decode_json(
+                    protocol.expect(rsp_type, RSP_STATUS, rsp)
+                )
         return out
+
+    def status_node(self, node_id: int) -> dict:
+        """STATUS report from one live daemon."""
+        if not 0 <= node_id < self.num_nodes:
+            raise ValueError(f"node {node_id} does not exist")
+        if node_id in self.down:
+            raise ValueError(f"node {node_id} is down")
+        with self.commands:
+            rsp_type, rsp = self._request(node_id, MSG_STATUS)
+        return protocol.decode_json(
+            protocol.expect(rsp_type, RSP_STATUS, rsp)
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        """Wire-free introspection: membership, epoch, liveness, ops.
+
+        Everything here comes from controller-local state, so the call
+        is safe at any time — even while a mutation is in flight on
+        another thread (the reader sees before-or-after, never torn
+        state, because nothing blocks).
+        """
+        states = {
+            node_id: self.monitor.state(node_id).value
+            for node_id in self.monitor.tracked()
+        }
+        return {
+            "nodes": self.num_nodes,
+            "epoch": self.epoch,
+            "down": sorted(self.down),
+            "addresses": [list(addr) for addr in self.addresses],
+            "states": states,
+            "suspects": self.monitor.suspect_nodes(),
+            "fence_candidates": self.monitor.fence_candidates(),
+            "miss_threshold": self.monitor.miss_threshold,
+            "fence_after": self.monitor.fence_after,
+            "recent_ops": self.commands.recent(),
+        }
 
     def arm_faults(self, node_id: int, budgets: dict) -> None:
         """Arm a daemon's transport fault budgets (``MSG_FAULT``)."""

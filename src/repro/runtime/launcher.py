@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
+import signal
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -103,6 +105,23 @@ class LocalRuntime:
         process = self.processes[node_id]
         process.kill()
         process.join(timeout=10.0)
+
+    def suspend(self, node_id: int) -> None:
+        """SIGSTOP a daemon: alive but unresponsive — a SUSPECT maker.
+
+        The process keeps its sockets open but answers nothing, which is
+        exactly the grey failure fencing exists for.  Pair with
+        :meth:`resume` or :meth:`kill`.
+        """
+        process = self.processes[node_id]
+        assert process.pid is not None
+        os.kill(process.pid, signal.SIGSTOP)
+
+    def resume(self, node_id: int) -> None:
+        """SIGCONT a suspended daemon (the grey failure clears)."""
+        process = self.processes[node_id]
+        assert process.pid is not None
+        os.kill(process.pid, signal.SIGCONT)
 
     def stop(self) -> None:
         """Terminate every child still running and reap it."""
@@ -234,15 +253,19 @@ def run_workload(
     updates: int = 1000,
     kill_node: Optional[int] = None,
     killer: Optional[Callable[[int], None]] = None,
+    fence_node: Optional[int] = None,
+    suspender: Optional[Callable[[int], None]] = None,
     miss_threshold: int = 3,
     heartbeat_interval: float = 0.05,
+    ping_timeout: float = 2.0,
 ) -> Dict[str, object]:
     """Drive the full differential workload against a live cluster.
 
     Phases: bootstrap from a seeded shadow gateway, routed traffic
     (half the packets), one liveness sweep, a seeded §4.5 update storm
-    (connect/rehome/disconnect mix), an optional SIGKILL failure drill
-    with §7 repair, the remaining traffic, then the global audit.
+    (connect/rehome/disconnect mix), an optional failure drill (SIGKILL
+    with §7 repair, or a SIGSTOP-then-fence grey-failure drill), the
+    remaining traffic, then the global audit.
 
     Args:
         addresses: daemon addresses, index = node id.
@@ -253,18 +276,36 @@ def run_workload(
         updates: RIB operations in the update storm.
         kill_node: daemon to SIGKILL between the phases (None: no drill).
         killer: callback actually delivering the kill (from
-            :meth:`LocalRuntime.kill`); required when ``kill_node`` set.
+            :meth:`LocalRuntime.kill`); required when ``kill_node`` or
+            ``fence_node`` is set.
+        fence_node: daemon to SIGSTOP between the phases, then fence
+            (force-kill + immediate repair) once SUSPECT.  Mutually
+            exclusive with ``kill_node``.
+        suspender: callback delivering the SIGSTOP (from
+            :meth:`LocalRuntime.suspend`); required with ``fence_node``.
         miss_threshold: consecutive heartbeat misses declaring death.
         heartbeat_interval: nominal probe period, recorded in the report
             (pacing is poll-driven, so this does not gate determinism).
+        ping_timeout: heartbeat probe timeout in seconds (a suspended
+            daemon costs one timeout per poll, so fence drills want this
+            small).
     """
     if len(addresses) != num_nodes:
         raise ValueError("addresses and num_nodes disagree")
+    if kill_node is not None and fence_node is not None:
+        raise ValueError("kill_node and fence_node are mutually exclusive")
     if kill_node is not None:
         if killer is None:
             raise ValueError("kill_node requires a killer callback")
         if not 0 <= kill_node < num_nodes:
             raise ValueError("kill_node out of range")
+    if fence_node is not None:
+        if killer is None or suspender is None:
+            raise ValueError(
+                "fence_node requires killer and suspender callbacks"
+            )
+        if not 0 <= fence_node < num_nodes:
+            raise ValueError("fence_node out of range")
 
     # The shadow: an in-process gateway with its own registry, living the
     # exact same life as the socket cluster.
@@ -279,8 +320,9 @@ def run_workload(
     gateway.start()
 
     controller = RuntimeController(
-        addresses, miss_threshold=miss_threshold
+        addresses, miss_threshold=miss_threshold, ping_timeout=ping_timeout
     )
+    controller.killer = killer
     controller.connect()
     bootstrap = controller.bootstrap_from_gateway(gateway)
 
@@ -301,10 +343,11 @@ def run_workload(
 
         # Charges the failure drill will destroy: the drill's victim
         # keeps its phase-1 charging counters only in its own memory.
+        victim = kill_node if kill_node is not None else fence_node
         lost_charges: Dict[int, int] = {}
-        if kill_node is not None:
+        if victim is not None:
             for result, out in shadow:
-                if out is not None and result.handled_by == kill_node:
+                if out is not None and result.handled_by == victim:
                     teid = int(result.value)
                     lost_charges[teid] = (
                         lost_charges.get(teid, 0) + len(out) - OUTER_SIZE
@@ -368,18 +411,36 @@ def run_workload(
             "miss_threshold": miss_threshold,
             "pre_kill_dead": pre_kill_dead,
             "killed_node": kill_node,
+            "fenced_node": fence_node,
             "detection_polls": None,
             "recovered_flows": 0,
         }
         if kill_node is not None:
-            assert killer is not None
-            killer(kill_node)
+            controller.kill_node(kill_node)
             liveness["detection_polls"] = controller.await_detection(
                 kill_node
             )
             repair = controller.handle_node_failure(kill_node, gateway)
-            liveness["recovered_flows"] = repair["recovered_flows"]
-            liveness["adopted_rib_entries"] = repair["adopted_rib_entries"]
+            liveness["recovered_flows"] = repair.affected_flows
+            liveness["adopted_rib_entries"] = (
+                repair.detail["adopted_rib_entries"]
+            )
+        elif fence_node is not None:
+            # Grey failure: the daemon freezes (SIGSTOP) but its sockets
+            # stay open, so it never goes DEAD on its own — exactly the
+            # limbo fencing exists for.  One poll records the miss
+            # (ALIVE → SUSPECT), then the fence force-kills and repairs
+            # without waiting out the remaining miss_threshold.
+            assert suspender is not None
+            suspender(fence_node)
+            controller.poll_liveness()
+            liveness["detection_polls"] = 1
+            fence = controller.fence_node(fence_node, gateway)
+            liveness["recovered_flows"] = fence.affected_flows
+            liveness["adopted_rib_entries"] = (
+                fence.detail["adopted_rib_entries"]
+            )
+            liveness["state_before_fence"] = fence.detail["state_before"]
 
         # -- traffic, phase 2 (post-update, maybe post-failure) --------
         # A few never-connected flows ride along: the GPT still maps them
@@ -455,6 +516,7 @@ def run_demo(
     packets: int = 4000,
     updates: int = 1000,
     kill_node: Optional[int] = None,
+    fence_node: Optional[int] = None,
     miss_threshold: int = 3,
     heartbeat_interval: float = 0.05,
 ) -> Dict[str, object]:
@@ -470,8 +532,11 @@ def run_demo(
             updates=updates,
             kill_node=kill_node,
             killer=runtime.kill,
+            fence_node=fence_node,
+            suspender=runtime.suspend,
             miss_threshold=miss_threshold,
             heartbeat_interval=heartbeat_interval,
+            ping_timeout=0.5 if fence_node is not None else 2.0,
         )
         runtime.stop()
         report["leaked_processes"] = len(runtime.leaked())

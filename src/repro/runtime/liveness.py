@@ -35,6 +35,13 @@ class HeartbeatMonitor:
         num_nodes: daemons to track (ids ``0..num_nodes-1``).
         miss_threshold: consecutive misses that declare a node DEAD.
         registry: metrics registry for heartbeat RTTs and miss counts.
+        fence_after: auto-fence policy knob — consecutive misses at
+            which a still-SUSPECT node becomes a *fence candidate*
+            (:meth:`fence_candidates`).  ``None`` (the default) disables
+            the policy; the operator control plane reads the candidate
+            list after each poll and force-kills the stragglers instead
+            of waiting the full ``miss_threshold`` for a natural DEAD
+            declaration.
     """
 
     def __init__(
@@ -42,10 +49,16 @@ class HeartbeatMonitor:
         num_nodes: int,
         miss_threshold: int = 3,
         registry: Optional[MetricsRegistry] = None,
+        fence_after: Optional[int] = None,
     ) -> None:
         if miss_threshold < 1:
             raise ValueError("miss_threshold must be at least 1")
+        if fence_after is not None and not (
+            1 <= fence_after <= miss_threshold
+        ):
+            raise ValueError("fence_after must be in [1, miss_threshold]")
         self.miss_threshold = miss_threshold
+        self.fence_after = fence_after
         self.registry = registry if registry is not None else MetricsRegistry()
         self._misses: Dict[int, int] = {n: 0 for n in range(num_nodes)}
         self._dead: Dict[int, bool] = {n: False for n in range(num_nodes)}
@@ -88,6 +101,17 @@ class HeartbeatMonitor:
             return NodeState.DEAD
         return NodeState.SUSPECT
 
+    def force_dead(self, node_id: int) -> None:
+        """Declare a node DEAD immediately (fencing, §7 force-kill).
+
+        Idempotent: fencing an already-DEAD node changes nothing and
+        does not double-count the death.
+        """
+        if not self._dead.get(node_id, False):
+            self._dead[node_id] = True
+            self._misses[node_id] = 0
+            self._c_deaths.inc()
+
     def reset(self, node_id: int) -> None:
         """Forget a node's death (it was re-bootstrapped)."""
         self._misses[node_id] = 0
@@ -108,6 +132,27 @@ class HeartbeatMonitor:
     def dead_nodes(self) -> List[int]:
         """Every node currently declared DEAD, ascending."""
         return sorted(n for n, dead in self._dead.items() if dead)
+
+    def suspect_nodes(self) -> List[int]:
+        """Every node currently SUSPECT (missed, not yet dead)."""
+        return sorted(
+            n for n, misses in self._misses.items()
+            if misses and not self._dead[n]
+        )
+
+    def fence_candidates(self) -> List[int]:
+        """SUSPECT nodes at or past the auto-fence threshold.
+
+        Empty unless ``fence_after`` was configured.  Candidates stay
+        listed until they recover, are fenced (:meth:`force_dead`) or
+        die naturally.
+        """
+        if self.fence_after is None:
+            return []
+        return sorted(
+            n for n, misses in self._misses.items()
+            if misses >= self.fence_after and not self._dead[n]
+        )
 
     def tracked(self) -> List[int]:
         """Every node under observation, ascending."""

@@ -141,7 +141,7 @@ class TestCounters:
     def test_counters_track_traffic(self, population):
         cluster = build_cluster(Architecture.SCALEBRICKS, population)
         keys, _, _ = population
-        cluster.reset_counters()
+        cluster.reset_stats()
         cluster.route_batch(keys[:100], ingress=[0] * 100)
         assert cluster.nodes[0].counters.external_rx == 100
         assert cluster.nodes[0].counters.gpt_lookups == 100
@@ -150,7 +150,7 @@ class TestCounters:
 
     def test_fabric_stats_accumulate(self, population):
         cluster = build_cluster(Architecture.SCALEBRICKS, population)
-        cluster.reset_counters()
+        cluster.reset_stats()
         keys, handlers, _ = population
         remote = [int(k) for k, h in zip(keys, handlers) if h != 0][:50]
         for key in remote:
@@ -203,7 +203,7 @@ class TestObservability:
         cluster.route(int(keys[0]))
         assert cluster.registry.snapshot()["counters"] == {}
 
-    def test_reset_counters_shim_warns_and_resets(self, population):
+    def test_reset_stats_clears_registry_and_nodes(self, population):
         from repro.obs import MetricsRegistry
 
         registry = MetricsRegistry()
@@ -212,8 +212,7 @@ class TestObservability:
         )
         keys, _, _ = population
         cluster.route(int(keys[0]), ingress=0)
-        with pytest.warns(DeprecationWarning):
-            cluster.reset_counters()
+        cluster.reset_stats()
         assert registry.counter("cluster.scalebricks.routed").value == 0
         assert cluster.nodes[0].counters.external_rx == 0
 

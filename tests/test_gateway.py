@@ -50,10 +50,11 @@ class TestDownstream:
         gateway, gen, flows = started_gateway
         stranger = gen.flows(1)[0]
         assert stranger.key() not in gateway.controller.flows
-        before = gateway.stats.dropped_unknown_flow
+        unknown = gateway.registry.counter("gateway.drops.unknown_flow")
+        before = unknown.value
         result, tunnelled = gateway.process_downstream(frame_for(stranger))
         assert result.dropped and tunnelled is None
-        assert gateway.stats.dropped_unknown_flow == before + 1
+        assert unknown.value == before + 1
 
     def test_acl_blocks_sources(self, started_gateway):
         gateway, _, flows = started_gateway
@@ -79,7 +80,9 @@ class TestUpstream:
         _, tunnelled = gateway.process_downstream(frame_for(flows[4]))
         forwarded = gateway.process_upstream(tunnelled)
         assert forwarded is not None
-        assert gateway.stats.upstream_forwarded >= 1
+        assert gateway.registry.counter(
+            "gateway.upstream.forwarded"
+        ).value >= 1
 
     def test_bad_teid_dropped(self, started_gateway):
         gateway, _, flows = started_gateway
@@ -91,9 +94,10 @@ class TestUpstream:
             src=1, dst=2, protocol=PROTO_UDP, total_length=28
         ).pack() + b"\x00" * 8
         bogus = endpoint.encapsulate(0x7FFFFFFF, inner)
-        before = gateway.stats.dropped_bad_tunnel
+        bad_tunnel = gateway.registry.counter("gateway.drops.bad_tunnel")
+        before = bad_tunnel.value
         assert gateway.process_upstream(bogus) is None
-        assert gateway.stats.dropped_bad_tunnel == before + 1
+        assert bad_tunnel.value == before + 1
 
     def test_garbage_dropped(self, started_gateway):
         gateway, _, _ = started_gateway
@@ -183,29 +187,23 @@ class TestObservability:
         assert counters["setsep.group_rebuilds"] >= 5
         assert counters["rib.inserts"] >= 5
 
-    def test_stats_facade_warns_but_agrees(self):
+    def test_packet_counters_live_in_registry(self):
         gen = FlowGenerator(seed=23)
         gateway = EpcGateway(Architecture.SCALEBRICKS, 4, GW_IP)
         flows = gen.populate(gateway, 100)
         gateway.start()
         gateway.process_downstream(frame_for(flows[0]))
-        with pytest.warns(DeprecationWarning):
-            assert gateway.stats.downstream_in == 1
-        with pytest.warns(DeprecationWarning):
-            assert gateway.stats.downstream_tunnelled == 1
-        # Legacy writes keep working (tests used to zero fields directly).
-        with pytest.warns(DeprecationWarning):
-            gateway.stats.downstream_in = 0
-        assert gateway.registry.counter(
-            "gateway.downstream.packets_in"
-        ).value == 0
-        # bytes_charged stays a real per-TEID dict.
+        counters = gateway.registry.snapshot()["counters"]
+        assert counters["gateway.downstream.packets_in"] == 1
+        assert counters["gateway.downstream.tunnelled"] == 1
+        # bytes_charged stays a real per-TEID dict on the ledger.
         assert sum(gateway.stats.bytes_charged.values()) > 0
 
-    def test_policed_drops_property_warns(self):
+    def test_ledger_has_no_counter_attributes(self):
         gateway = EpcGateway(Architecture.SCALEBRICKS, 2, GW_IP)
-        with pytest.warns(DeprecationWarning):
-            assert gateway.policed_drops == 0
+        with pytest.raises(AttributeError):
+            gateway.stats.downstream_in
+        assert not hasattr(gateway, "policed_drops")
 
 
 class TestBatchSurface:

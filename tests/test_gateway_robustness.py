@@ -24,13 +24,14 @@ class TestMalformedDownstream:
     def test_random_bytes_dropped(self, hardened_gateway):
         gateway, _, _ = hardened_gateway
         rng = np.random.default_rng(1)
-        before = gateway.stats.dropped_malformed
+        malformed = gateway.registry.counter("gateway.drops.malformed")
+        before = malformed.value
         for _ in range(50):
             junk = bytes(rng.integers(0, 256, size=rng.integers(0, 80)))
             result, tunnelled = gateway.process_downstream(junk)
             assert tunnelled is None
             assert result.dropped
-        assert gateway.stats.dropped_malformed == before + 50
+        assert malformed.value == before + 50
 
     def test_truncated_valid_frame_dropped(self, hardened_gateway):
         gateway, gen, flows = hardened_gateway
@@ -87,9 +88,10 @@ class TestMalformedUpstream:
         _, tunnelled = gateway.process_downstream(frame)
         corrupted = bytearray(tunnelled)
         corrupted[40] ^= 0xFF  # inside the inner IPv4 header
-        before = gateway.stats.dropped_malformed
+        malformed = gateway.registry.counter("gateway.drops.malformed")
+        before = malformed.value
         assert gateway.process_upstream(bytes(corrupted)) is None
-        assert gateway.stats.dropped_malformed == before + 1
+        assert malformed.value == before + 1
 
     def test_forwarding_still_works_after_fuzzing(self, hardened_gateway):
         gateway, gen, flows = hardened_gateway

@@ -1,0 +1,327 @@
+"""Tests for the operator control plane (:mod:`repro.ops`).
+
+Three layers, cheapest first:
+
+* the Prometheus exposition renderer (pure function, golden output);
+* the heartbeat monitor's auto-fence policy knob (no processes);
+* the HTTP API daemon over a real multi-process cluster — endpoint
+  round-trips, the typed 404/409 error surface, concurrent mutation
+  serialisation, and the full grey-failure fence drill driven
+  exclusively through :class:`~repro.ops.client.OpsClient`.
+"""
+
+import threading
+
+import pytest
+
+from repro.chaos import run_fence_drill
+from repro.obs import MetricsRegistry
+from repro.obs.exposition import CONTENT_TYPE, metric_name, prometheus_text
+from repro.ops import OpsApiError, OpsApiServer, OpsClient
+from repro.ops.manager import ClusterOps
+from repro.runtime.liveness import HeartbeatMonitor, NodeState
+
+# ----------------------------------------------------------------------
+# Prometheus exposition (pure)
+# ----------------------------------------------------------------------
+
+
+class TestExposition:
+    def test_metric_name_mapping(self):
+        assert metric_name("gateway.drops.acl") == "repro_gateway_drops_acl"
+        assert metric_name("a-b.c d") == "repro_a_b_c_d"
+        assert metric_name("runtime.fences", prefix="") == "runtime_fences"
+
+    def test_golden_page(self):
+        registry = MetricsRegistry()
+        registry.counter("ops.requests", "requests served").inc(3)
+        registry.gauge("ops.nodes", "live nodes").set(4)
+        hist = registry.histogram(
+            "ops.latency_us", buckets=(1.0, 10.0), description="latency"
+        )
+        hist.observe(0.5)
+        hist.observe(5.0)
+        hist.observe(50.0)
+        expected = "\n".join([
+            "# HELP repro_ops_requests_total requests served",
+            "# TYPE repro_ops_requests_total counter",
+            "repro_ops_requests_total 3",
+            "# HELP repro_ops_nodes live nodes",
+            "# TYPE repro_ops_nodes gauge",
+            "repro_ops_nodes 4",
+            "# HELP repro_ops_latency_us latency",
+            "# TYPE repro_ops_latency_us histogram",
+            'repro_ops_latency_us_bucket{le="1"} 1',
+            'repro_ops_latency_us_bucket{le="10"} 2',
+            'repro_ops_latency_us_bucket{le="+Inf"} 3',
+            "repro_ops_latency_us_sum 55.5",
+            "repro_ops_latency_us_count 3",
+        ]) + "\n"
+        assert prometheus_text(registry) == expected
+        # Deterministic: rendering twice gives identical bytes.
+        assert prometheus_text(registry) == expected
+
+    def test_multi_registry_merge_sums_counters(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("shared.hits", "hits").inc(2)
+        b.counter("shared.hits").inc(5)
+        b.counter("only.b", "solo").inc(1)
+        page = prometheus_text([a, b])
+        assert "repro_shared_hits_total 7" in page
+        assert "repro_only_b_total 1" in page
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+
+# ----------------------------------------------------------------------
+# Auto-fence policy knob (no processes)
+# ----------------------------------------------------------------------
+
+
+class TestFencePolicy:
+    def test_fence_after_validation(self):
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(2, miss_threshold=3, fence_after=0)
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(2, miss_threshold=3, fence_after=4)
+
+    def test_candidates_appear_at_threshold(self):
+        monitor = HeartbeatMonitor(3, miss_threshold=3, fence_after=2)
+        assert monitor.fence_candidates() == []
+        monitor.record_miss(1)
+        assert monitor.fence_candidates() == []
+        monitor.record_miss(1)
+        assert monitor.fence_candidates() == [1]
+        assert monitor.state(1) is NodeState.SUSPECT
+
+    def test_recovery_clears_candidacy(self):
+        monitor = HeartbeatMonitor(2, miss_threshold=3, fence_after=1)
+        monitor.record_miss(0)
+        assert monitor.fence_candidates() == [0]
+        monitor.record_success(0, 0.001)
+        assert monitor.fence_candidates() == []
+        assert monitor.state(0) is NodeState.ALIVE
+
+    def test_force_dead_is_idempotent(self):
+        monitor = HeartbeatMonitor(2, miss_threshold=3, fence_after=1)
+        monitor.record_miss(0)
+        monitor.force_dead(0)
+        assert monitor.state(0) is NodeState.DEAD
+        assert monitor.fence_candidates() == []
+        deaths = monitor.registry.counter("runtime.heartbeat.deaths").value
+        monitor.force_dead(0)
+        assert (
+            monitor.registry.counter("runtime.heartbeat.deaths").value
+            == deaths
+        )
+
+    def test_disabled_policy_never_nominates(self):
+        monitor = HeartbeatMonitor(2, miss_threshold=3)
+        monitor.record_miss(0)
+        monitor.record_miss(0)
+        assert monitor.fence_candidates() == []
+
+
+# ----------------------------------------------------------------------
+# Live HTTP API over a real multi-process cluster
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="class")
+def api():
+    """A 3-daemon cluster behind the HTTP API, shared by one class."""
+    ops = ClusterOps.launch(
+        num_nodes=3, seed=11, flows=300, fence_after=1, ping_timeout=0.5
+    )
+    server = OpsApiServer(ops).start_background()
+    client = OpsClient(server.host, server.port)
+    try:
+        yield client
+    finally:
+        try:
+            client.shutdown()
+        except OSError:
+            pass
+        server.shutdown()
+
+
+@pytest.mark.usefixtures("api")
+class TestOpsApiLive:
+    def test_cluster_document(self, api):
+        doc = api.cluster()
+        assert doc["nodes"] == 3
+        assert doc["seed"] == 11
+        assert doc["architecture"] == "scalebricks"
+        assert doc["live_flows"] == 300
+        assert doc["down"] == []
+
+    def test_nodes_listing_and_single_node(self, api):
+        listing = api.nodes()
+        assert [n["node"] for n in listing] == [0, 1, 2]
+        assert all(n["state"] == "alive" for n in listing)
+        doc = api.node(0)
+        assert doc["node"] == 0
+        assert doc["status"] is not None
+        assert doc["status"]["node_id"] == 0
+        assert doc["status"]["fib_entries"] > 0
+
+    def test_flow_lookup_and_404(self, api):
+        doc = api.cluster()
+        assert doc["live_flows"] > 0
+        # TEIDs are dense from 1; flow 1 exists after populate().
+        flow = api.flow(1)
+        assert flow["teid"] == 1
+        assert 0 <= flow["handling_node"] < 3
+        with pytest.raises(OpsApiError) as err:
+            api.flow(10_000_000)
+        assert err.value.status == 404
+
+    def test_unknown_node_is_404(self, api):
+        with pytest.raises(OpsApiError) as err:
+            api.node(99)
+        assert err.value.status == 404
+        with pytest.raises(OpsApiError) as err:
+            api.kill(99)
+        assert err.value.status == 404
+
+    def test_unknown_endpoint_and_verb_are_404(self, api):
+        with pytest.raises(OpsApiError) as err:
+            api._get("/v1/nope")
+        assert err.value.status == 404
+        with pytest.raises(OpsApiError) as err:
+            api._post("/v1/nodes/0/explode")
+        assert err.value.status == 404
+
+    def test_fence_alive_node_is_409(self, api):
+        with pytest.raises(OpsApiError) as err:
+            api.fence(0)
+        assert err.value.status == 409
+
+    def test_join_with_wrong_id_is_409(self, api):
+        with pytest.raises(OpsApiError) as err:
+            api.join(99)
+        assert err.value.status == 409
+
+    def test_repair_of_live_node_is_409(self, api):
+        with pytest.raises(OpsApiError) as err:
+            api.repair(0)
+        assert err.value.status == 409
+
+    def test_bad_request_is_400(self, api):
+        with pytest.raises(OpsApiError) as err:
+            api.traffic(0)
+        assert err.value.status == 400
+        with pytest.raises(OpsApiError) as err:
+            api.poll(0)
+        assert err.value.status == 400
+
+    def test_metrics_exposition(self, api):
+        page = api.metrics()
+        assert page.startswith("# ") or page.startswith("repro_")
+        assert "repro_" in page
+        # Controller and shadow registries are merged into one page.
+        assert "repro_runtime_heartbeat_misses_total" in page
+        assert "repro_gateway_downstream_packets_in_total" in page
+
+    def test_metrics_content_type(self, api):
+        import http.client
+
+        conn = http.client.HTTPConnection(api.host, api.port, timeout=30)
+        try:
+            conn.request("GET", "/v1/metrics")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type") == CONTENT_TYPE
+            response.read()
+        finally:
+            conn.close()
+
+    def test_traffic_differential_is_clean(self, api):
+        summary = api.traffic(120)
+        assert summary["frames"] == 120
+        assert summary["divergences"] == 0
+        assert summary["byte_identical"] is True
+
+    def test_updates_batch(self, api):
+        before = api.cluster()["live_flows"]
+        totals = api.updates(connects=10, rehomes=20, disconnects=5)
+        assert totals["connects"] == 10
+        assert totals["live_flows"] == before + 10 - totals["disconnects"]
+
+    def test_concurrent_mutations_serialize(self, api):
+        errors = []
+        results = []
+
+        def worker(kind):
+            try:
+                if kind == "traffic":
+                    results.append(api.traffic(40))
+                elif kind == "poll":
+                    results.append(api.poll(1))
+                else:
+                    results.append(api.updates(connects=2))
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(kind,))
+            for kind in ["traffic", "poll", "updates"] * 3
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        assert len(results) == 9
+        # Traffic rounds are serialised by the manager lock: every
+        # round number is distinct.
+        rounds = [r["round"] for r in results if "round" in r]
+        assert len(rounds) == len(set(rounds))
+        for summary in results:
+            if "divergences" in summary:
+                assert summary["divergences"] == 0
+
+    def test_drain_then_join_bumps_epoch(self, api):
+        before = api.cluster()["epoch"]
+        drained = api.drain(2)
+        assert drained["verb"] == "drain"
+        assert drained["accepted"] is True
+        assert drained["node"] == 2
+        assert api.cluster()["nodes"] == 2
+        joined = api.join(2)
+        assert joined["verb"] == "join"
+        assert joined["detail"]["new_nodes"] == 3
+        assert api.cluster()["epoch"] == before + 2
+        # The differential stays clean across the membership change.
+        summary = api.traffic(80)
+        assert summary["divergences"] == 0
+        audit = api.audit()
+        assert audit["charging_identical"] is True
+        assert audit["gpt_replicas_identical"] is True
+
+
+def test_shutdown_reports_leaks_and_is_idempotent():
+    ops = ClusterOps.launch(num_nodes=2, seed=3, flows=100)
+    server = OpsApiServer(ops).start_background()
+    client = OpsClient(server.host, server.port)
+    try:
+        first = client.shutdown()
+        assert first["closed"] is True
+        assert first["leaked_processes"] == 0
+        second = client.shutdown()
+        assert second["leaked_processes"] == 0
+    finally:
+        server.shutdown()
+
+
+def test_fence_drill_end_to_end():
+    report = run_fence_drill(
+        num_nodes=3, seed=5, flows=200, packets=200, churn=40
+    )
+    assert report["fenced"] is True
+    assert report["poll"]["fenced"] == [1]
+    assert report["audit"]["charging_identical"] is True
+    assert report["audit"]["gpt_replicas_identical"] is True
+    assert report["leaked_processes"] == 0
+    assert report["ok"] is True

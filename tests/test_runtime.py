@@ -335,9 +335,10 @@ class TestMembership:
             controller.bootstrap_from_gateway(gateway)
 
             drained = controller.drain_node(gateway)
-            assert drained["drained_node"] == 3
-            assert drained["new_nodes"] == 3
-            assert drained["rehomed_flows"] > 0
+            assert drained.verb == "drain" and drained.accepted
+            assert drained.node == 3
+            assert drained.detail["new_nodes"] == 3
+            assert drained.affected_flows > 0
             assert sorted(controller.status_all()) == [0, 1, 2]
             assert _fingerprints_match(controller, gateway)
             # The leaver's flows survive the drain: every RIB entry
@@ -348,8 +349,10 @@ class TestMembership:
 
             address = runtime.add_node()
             joined = controller.join_node(gateway, address)
-            assert joined["joined_node"] == 3
-            assert joined["new_nodes"] == 4
+            assert joined.verb == "join" and joined.accepted
+            assert joined.node == 3
+            assert joined.detail["new_nodes"] == 4
+            assert joined.epoch > drained.epoch
             assert sorted(controller.status_all()) == [0, 1, 2, 3]
             assert _fingerprints_match(controller, gateway)
 
