@@ -25,8 +25,9 @@ driver lives in :mod:`repro.sim.soak`; the CLI front end is
 ``repro chaos``.
 """
 
-from repro.chaos.drills import run_fence_drill
+from repro.chaos.drills import run_failover_drill, run_fence_drill
 from repro.chaos.faults import (
+    CONTROLLER_FAULT_KINDS,
     DEFAULT_FAULT_KINDS,
     FaultEvent,
     FaultInjector,
@@ -48,6 +49,7 @@ from repro.chaos.transport import (
 )
 
 __all__ = [
+    "CONTROLLER_FAULT_KINDS",
     "DEFAULT_FAULT_KINDS",
     "FaultEvent",
     "FaultInjector",
@@ -62,5 +64,6 @@ __all__ = [
     "DROP",
     "DUPLICATE",
     "TransportFaultBudgets",
+    "run_failover_drill",
     "run_fence_drill",
 ]

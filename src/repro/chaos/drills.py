@@ -7,6 +7,12 @@ the same surface a human operator (or the CI smoke job) has — if a
 drill passes, the API alone was sufficient to detect, fence and repair
 a grey failure without breaking the differential.
 
+:func:`run_failover_drill` is the control-plane §7 scenario: a
+replicated (3-controller) cluster loses its leader mid-operation; the
+drill proves the lease fails over, mutations on the old endpoint
+redirect (307) to the new leader, the committed op log is readable from
+every replica, and the data-plane differential never diverges.
+
 :func:`run_fence_drill` is the §7 grey-failure scenario:
 
 1. launch an API-managed cluster with the auto-fence policy armed
@@ -108,5 +114,120 @@ def run_fence_drill(
         shutdown = client.shutdown()
         report["leaked_processes"] = shutdown["leaked_processes"]
         server.shutdown()
+    report["ok"] = bool(report.get("ok") and report["leaked_processes"] == 0)
+    return report
+
+
+def run_failover_drill(
+    num_nodes: int = 4,
+    seed: int = 7,
+    flows: int = 800,
+    packets: int = 800,
+    churn: int = 120,
+    replicas: int = 3,
+) -> Dict[str, object]:
+    """The control-plane failover drill, driven through the operator API.
+
+    1. launch a replicated cluster (``replicas`` controller replicas,
+       one API server bound per replica),
+    2. differential traffic + §4.5 churn through the leader's endpoint,
+    3. depose the leader (``POST /v1/replication/fail-leader``),
+    4. issue churn against the *old leader's* endpoint and require the
+       307 leader redirect to land it on the successor,
+    5. more traffic, the global audit, and the replication invariants:
+       exactly one leader, a higher term, and every committed op
+       readable from every replica's endpoint.
+    """
+    # Imported here, not at module top: repro.ops pulls in the runtime,
+    # which pulls this package back in (daemon-side transport faults).
+    from repro.ops.api import OpsApiServer
+    from repro.ops.client import OpsApiError, OpsClient
+    from repro.ops.manager import ClusterOps
+
+    if replicas < 3:
+        raise ValueError("a failover drill needs at least 3 replicas")
+    ops = ClusterOps.launch(
+        num_nodes=num_nodes, seed=seed, flows=flows, replicas=replicas,
+    )
+    servers = [
+        OpsApiServer(ops, replica=r).start_background()
+        for r in range(replicas)
+    ]
+    clients = [OpsClient(s.host, s.port) for s in servers]
+    report: Dict[str, object] = {
+        "drill": "failover",
+        "nodes": num_nodes,
+        "seed": seed,
+        "replicas": replicas,
+    }
+    try:
+        assert ops.replication is not None
+        old_leader = ops.replication.group.leader()
+        assert old_leader is not None
+        leader_client = clients[old_leader]
+        first = packets // 2
+        report["phase1"] = leader_client.traffic(first)
+        report["churn1"] = leader_client.updates(
+            connects=churn // 4, rehomes=churn // 2,
+            disconnects=churn // 4,
+        )
+        report["failover"] = leader_client.fail_leader()
+        new_leader = report["failover"]["new_leader"]
+        report["term_advanced"] = bool(
+            report["failover"]["new_term"] > report["failover"]["old_term"]
+        )
+        # The old leader's endpoint must now answer mutations with a
+        # 307 naming the successor...
+        raw = OpsClient(
+            servers[old_leader].host, servers[old_leader].port,
+            follow_redirects=False,
+        )
+        try:
+            raw.updates(connects=1)
+            report["redirected"] = False
+        except OpsApiError as exc:
+            report["redirected"] = bool(
+                exc.status == 307 and exc.location is not None
+                and f":{servers[new_leader].port}" in exc.location
+            )
+        # ...and a redirect-following client lands the same mutation.
+        report["churn2"] = clients[old_leader].updates(
+            connects=churn // 8, rehomes=churn // 8,
+        )
+        report["churn2_redirects"] = clients[old_leader].last_redirects
+        report["phase2"] = clients[new_leader].traffic(packets - first)
+        report["audit"] = clients[new_leader].audit()
+        status = clients[new_leader].replication()
+        report["replication"] = {
+            "leader": status["leader"],
+            "term": status["term"],
+        }
+        leaders = [
+            m["node"] for m in status["members"] if m["role"] == "leader"
+        ]
+        committed_views = [c.committed_ops() for c in clients]
+        verbs = [[o["verb"] for o in view] for view in committed_views]
+        report["single_leader"] = leaders == [status["leader"]]
+        report["ops_visible_everywhere"] = bool(
+            all(v == verbs[0] for v in verbs[1:]) and len(verbs[0]) >= 4
+        )
+        report["ok"] = bool(
+            report["term_advanced"]
+            and report["redirected"]
+            and report["churn2_redirects"] >= 1
+            and report["single_leader"]
+            and report["ops_visible_everywhere"]
+            and report["phase1"]["divergences"] == 0
+            and report["phase2"]["divergences"] == 0
+            and report["phase1"]["byte_identical"]
+            and report["phase2"]["byte_identical"]
+            and report["audit"]["charging_identical"]
+            and report["audit"]["gpt_replicas_identical"]
+        )
+    finally:
+        shutdown = clients[0].shutdown()
+        report["leaked_processes"] = shutdown["leaked_processes"]
+        for server in servers:
+            server.shutdown()
     report["ok"] = bool(report.get("ok") and report["leaked_processes"] == 0)
     return report

@@ -21,11 +21,17 @@ Commands:
   already-running daemons, ``runtime-demo`` spawns a local cluster,
   runs the workload (optionally SIGKILLing or fencing a daemon
   mid-run) and prints the differential report (exit 1 on any
-  divergence).
+  divergence).  With ``--replicas N`` the controller itself is
+  replicated: N controller processes elect a leaseholder, the drill
+  SIGKILLs the leader ``--kill-leader`` times mid-storm, and the
+  report additionally gates on re-election and zero lost committed
+  verbs.
 * ``serve-api`` / ``ctl`` — the operator control plane
   (:mod:`repro.ops`): ``serve-api`` launches a managed cluster behind
-  the REST API daemon, ``ctl`` is the HTTP client driving it (drain,
-  join, kill, fence, traffic, audit, metrics, ...).
+  the REST API daemon (``--replicas N`` replicates the control plane;
+  followers answer mutations with a 307 to the leader), ``ctl`` is
+  the HTTP client driving it (drain, join, kill, fence, traffic,
+  audit, metrics, status, fail-leader, ...).
 
 Machine-readable output is uniform: every command that can emit JSON
 takes ``--json`` and routes through one :func:`emit` helper (sorted
@@ -430,6 +436,8 @@ def _cmd_controller(args: argparse.Namespace) -> int:
 
 
 def _cmd_runtime_demo(args: argparse.Namespace) -> int:
+    if args.replicas:
+        return _cmd_replicated_demo(args)
     from repro.runtime.launcher import run_demo
 
     report = run_demo(
@@ -448,6 +456,49 @@ def _cmd_runtime_demo(args: argparse.Namespace) -> int:
     return _finish_runtime_report(report, args.json)
 
 
+def _cmd_replicated_demo(args: argparse.Namespace) -> int:
+    """``runtime-demo --replicas N``: the leader-SIGKILL failover drill."""
+    from repro.runtime.replicated import run_replicated_workload
+
+    report = run_replicated_workload(
+        num_nodes=args.nodes,
+        replicas=args.replicas,
+        seed=args.seed,
+        flows=args.flows,
+        packets=args.packets,
+        updates=args.updates,
+        kill_leader=args.kill_leader,
+    )
+    if not emit(report, args.json):
+        deterministic = report["deterministic"]
+        incidental = report["incidental"]
+        traffic = deterministic["traffic"]
+        print(
+            f"nodes={report['config']['nodes']} "
+            f"replicas={report['config']['replicas']} "
+            f"seed={report['config']['seed']}"
+        )
+        print(
+            f"frames={traffic['frames']} delivered={traffic['delivered']} "
+            f"divergences={traffic['divergences']} "
+            f"byte_identical={traffic['byte_identical']}"
+        )
+        print(
+            f"leader kills={len(incidental['killed_replicas'])} "
+            f"(replicas {incidental['killed_replicas']}), terms "
+            f"{incidental['terms']}, failover sweeps "
+            f"{incidental['failover_sweeps']}"
+        )
+        print(
+            f"lost_committed_verbs={deterministic['lost_committed_verbs']} "
+            f"logs_identical={deterministic['replica_logs_identical']} "
+            f"shadows_identical={deterministic['replica_shadows_identical']}"
+        )
+        print(f"leaked_processes={report['leaked_processes']}")
+        print("ok" if report["ok"] else "DIVERGED")
+    return EXIT_OK if report["ok"] else EXIT_CHECK_FAILED
+
+
 def _cmd_serve_api(args: argparse.Namespace) -> int:
     from repro.ops import ClusterOps, OpsApiServer
 
@@ -458,21 +509,39 @@ def _cmd_serve_api(args: argparse.Namespace) -> int:
         miss_threshold=args.miss_threshold,
         fence_after=args.fence_after,
         ping_timeout=args.ping_timeout,
+        replicas=args.replicas,
     )
+    replica = 0 if args.replicas else None
     server = OpsApiServer(
-        ops, host=args.host, port=args.port, stop_on_shutdown=True
+        ops, host=args.host, port=args.port, stop_on_shutdown=True,
+        replica=replica,
     )
+    # In replicated mode every other replica gets its own API endpoint
+    # (ephemeral port) so ``repro ctl`` works against any of them — a
+    # follower answers mutations with a 307 to the leader.
+    followers = [
+        OpsApiServer(ops, host=args.host, replica=r).start_background()
+        for r in range(1, args.replicas)
+    ]
     print(
         f"operator API listening on {server.host}:{server.port} "
         f"({args.nodes} nodes, seed {args.seed})",
         flush=True,
     )
+    for follower in followers:
+        print(
+            f"replica {follower.replica} API on "
+            f"{follower.host}:{follower.port}",
+            flush=True,
+        )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.httpd.server_close()
+        for follower in followers:
+            follower.shutdown()
         ops.close()
     return EXIT_OK
 
@@ -532,6 +601,12 @@ def _cmd_ctl(args: argparse.Namespace) -> int:
             doc = client.traffic(packets=args.packets)
         elif verb == "poll":
             doc = client.poll(rounds=args.rounds)
+        elif verb == "status":
+            doc = client.replication()
+        elif verb == "committed":
+            doc = client.committed_ops()
+        elif verb == "fail-leader":
+            doc = client.fail_leader()
         elif verb == "shutdown":
             doc = client.shutdown()
         else:  # pragma: no cover - argparse enforces choices
@@ -747,6 +822,13 @@ def make_parser() -> argparse.ArgumentParser:
     demo.add_argument("--fence-node", type=int, default=None,
                       help="SIGSTOP this daemon mid-run, then fence it "
                            "once SUSPECT (grey-failure drill)")
+    demo.add_argument("--replicas", type=int, default=0,
+                      help="run N replicated controller processes with "
+                           "lease-based leader election (0 = single "
+                           "controller)")
+    demo.add_argument("--kill-leader", type=int, default=2,
+                      help="times to SIGKILL the current leader during "
+                           "the update storm (replicated mode only)")
     _add_workload_arguments(demo)
     demo.set_defaults(func=_cmd_runtime_demo)
 
@@ -769,6 +851,11 @@ def make_parser() -> argparse.ArgumentParser:
     )
     serve_api.add_argument("--ping-timeout", type=float, default=0.5,
                            help="heartbeat probe timeout in seconds")
+    serve_api.add_argument(
+        "--replicas", type=int, default=0,
+        help="replicate the control plane across N controller replicas; "
+             "replica 0 serves on --port, the rest on ephemeral ports",
+    )
     serve_api.set_defaults(func=_cmd_serve_api)
 
     ctl = sub.add_parser(
@@ -819,6 +906,10 @@ def make_parser() -> argparse.ArgumentParser:
         "poll", "heartbeat round(s) + auto-fence sweep",
         rounds=(int, 1, "heartbeat rounds"),
     )
+    add_ctl_verb("status", "replication status: leader, term, replicas")
+    add_ctl_verb("committed", "this replica's committed op log")
+    add_ctl_verb("fail-leader",
+                 "depose the controller leader (failover drill)")
     add_ctl_verb("shutdown", "stop the cluster and the API daemon")
 
     reproduce = sub.add_parser(

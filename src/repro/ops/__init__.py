@@ -22,8 +22,10 @@ from repro.ops.manager import (
     BadRequestError,
     ClusterOps,
     ConflictError,
+    LeaderRedirectError,
     NotFoundError,
     OpsError,
+    OpsReplication,
 )
 
 __all__ = [
@@ -34,6 +36,8 @@ __all__ = [
     "BadRequestError",
     "ClusterOps",
     "ConflictError",
+    "LeaderRedirectError",
     "NotFoundError",
     "OpsError",
+    "OpsReplication",
 ]

@@ -19,7 +19,13 @@ Modules:
   injection, liveness, failure repair, drain/join;
 * :mod:`~repro.runtime.liveness` — the heartbeat state machine;
 * :mod:`~repro.runtime.launcher` — process spawning and the seeded
-  differential workload behind ``repro runtime-demo``.
+  differential workload behind ``repro runtime-demo``;
+* :mod:`~repro.runtime.replication` — the replicated-log state machine
+  with lease-based leader election (injected clocks, seeded timeouts)
+  plus the in-memory :class:`ReplicaGroup` simulator;
+* :mod:`~repro.runtime.replicated` — controller replicas as real
+  processes and the leader-SIGKILL failover drill behind
+  ``repro runtime-demo --replicas``.
 
 ``docs/runtime.md`` documents the wire protocol byte by byte.
 """
@@ -45,6 +51,23 @@ from repro.runtime.protocol import (
     RouteOutcome,
     UpdateOp,
 )
+from repro.runtime.replicated import (
+    ReplicaClient,
+    ReplicaServer,
+    ReplicaSet,
+    run_replicated_workload,
+)
+from repro.runtime.replication import (
+    LeadershipGuard,
+    ManualClock,
+    NotLeaderError,
+    Replica,
+    ReplicaGroup,
+    ReplicaGuard,
+    Role,
+    StaleTermError,
+    StaticGuard,
+)
 
 __all__ = [
     "RuntimeController",
@@ -64,4 +87,17 @@ __all__ = [
     "ProtocolError",
     "RouteOutcome",
     "UpdateOp",
+    "ReplicaClient",
+    "ReplicaServer",
+    "ReplicaSet",
+    "run_replicated_workload",
+    "LeadershipGuard",
+    "ManualClock",
+    "NotLeaderError",
+    "Replica",
+    "ReplicaGroup",
+    "ReplicaGuard",
+    "Role",
+    "StaleTermError",
+    "StaticGuard",
 ]

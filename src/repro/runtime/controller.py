@@ -64,6 +64,7 @@ from repro.runtime.framing import (
 from repro.runtime.liveness import HeartbeatMonitor, NodeState
 from repro.runtime.protocol import (
     MSG_ADOPT,
+    MSG_CLAIM,
     MSG_DOWN,
     MSG_FAULT,
     MSG_FLUSH,
@@ -79,12 +80,18 @@ from repro.runtime.protocol import (
     OP_INSERT,
     RSP_OK,
     RSP_PONG,
+    RSP_REDIRECT,
     RSP_ROUTE,
     RSP_STATUS,
     RSP_UPDATE,
     RouteOutcome,
     STATUS_NODE_DOWN,
     UpdateOp,
+)
+from repro.runtime.replication import (
+    LeadershipGuard,
+    StaleTermError,
+    StaticGuard,
 )
 
 #: RSP_UPDATE accounting fields the controller aggregates.
@@ -172,6 +179,7 @@ class RuntimeController:
         miss_threshold: int = 3,
         ping_timeout: float = 2.0,
         fence_after: Optional[int] = None,
+        guard: Optional[LeadershipGuard] = None,
     ) -> None:
         self.addresses: List[Tuple[str, int]] = [
             (str(h), int(p)) for h, p in addresses
@@ -192,6 +200,15 @@ class RuntimeController:
         #: (typically :meth:`repro.runtime.launcher.LocalRuntime.kill`).
         #: ``None`` when the controller does not own the processes.
         self.killer: Optional[Callable[[int], None]] = None
+        #: Leadership admission for leader-only actions (heartbeat
+        #: sweeps, fencing).  A single controller gets the permissive
+        #: :class:`StaticGuard`; replicated deployments install a
+        #: :class:`~repro.runtime.replication.ReplicaGuard` so a deposed
+        #: leader's in-flight actions fail on the term re-check.
+        self.guard: LeadershipGuard = guard if guard is not None else StaticGuard()
+        #: ``(term, leader_id)`` this controller claims on every daemon
+        #: link (``MSG_CLAIM``); ``None`` in single-controller mode.
+        self.claim: Optional[Tuple[int, int]] = None
         #: Serialises every mutating verb (the API daemon is threaded).
         self.commands = CommandQueue()
         self._socks: Dict[int, FramedSocket] = {}
@@ -218,23 +235,69 @@ class RuntimeController:
         if sock is None:
             host, port = self.addresses[node_id]
             sock = FramedSocket.connect(host, port)
+            if self.claim is not None:
+                # Fresh dials re-claim leadership before anything else:
+                # the daemon fences mutating requests per connection.
+                term, leader = self.claim
+                rsp_type, rsp = sock.request(
+                    MSG_CLAIM,
+                    protocol.encode_json({"term": term, "leader": leader}),
+                )
+                if rsp_type == RSP_REDIRECT:
+                    doc = protocol.decode_json(rsp)
+                    sock.close()
+                    raise StaleTermError(
+                        f"daemon {node_id} rejects claim for term {term}; "
+                        f"current leader is {doc.get('leader')} "
+                        f"(term {doc.get('term')})"
+                    )
+                protocol.expect(rsp_type, RSP_OK, rsp)
             self._socks[node_id] = sock
         return sock
+
+    def claim_leadership(self, term: int, leader_id: int) -> None:
+        """Claim every daemon control link for ``(term, leader_id)``.
+
+        Daemons remember the highest claimed term and answer mutating
+        requests on stale-term connections with ``RSP_REDIRECT`` — the
+        redirect message node daemons use to follow the leader across
+        failovers.  Raises :class:`StaleTermError` if any daemon has
+        already been claimed by a newer term.
+        """
+        self.claim = (int(term), int(leader_id))
+        payload = protocol.encode_json(
+            {"term": int(term), "leader": int(leader_id)}
+        )
+        for node_id in sorted(self._socks):
+            rsp_type, rsp = self._request(node_id, MSG_CLAIM, payload)
+            protocol.expect(rsp_type, RSP_OK, rsp)
 
     def _request(
         self, node_id: int, msg_type: int, payload: bytes = b""
     ) -> Tuple[int, bytes]:
-        """One request/response; counts traffic, drops dead links."""
+        """One request/response; counts traffic, drops dead links.
+
+        A ``RSP_REDIRECT`` answer (this controller's claimed term went
+        stale while the request was in flight) surfaces as
+        :class:`StaleTermError` — the caller was deposed.
+        """
         sock = self._sock(node_id)
         name = MSG_NAMES[msg_type]
         self.registry.counter(f"runtime.tx.{name}").inc()
         self._c_tx_bytes.inc(len(payload) + 5)
         try:
-            return sock.request(msg_type, payload)
+            rsp_type, rsp = sock.request(msg_type, payload)
         except (FramingError, OSError):
             self._socks.pop(node_id, None)
             sock.close()
             raise
+        if rsp_type == RSP_REDIRECT:
+            doc = protocol.decode_json(rsp)
+            raise StaleTermError(
+                f"daemon {node_id} redirected {name!r} to leader "
+                f"{doc.get('leader')} (term {doc.get('term')})"
+            )
+        return rsp_type, rsp
 
     def close(self) -> None:
         """Drop every controller-side connection (daemons keep running)."""
@@ -316,6 +379,17 @@ class RuntimeController:
             "snapshot_bytes": len(snapshot),
             "total_shipped_bytes": len(snapshot) * self.num_nodes,
         }
+
+    def adopt_reference(self, setsep: SetSep, epoch: int) -> None:
+        """Install the GPT reference and epoch without re-shipping state.
+
+        A newly elected replicated controller attaches to daemons that
+        already hold state shipped by a previous leader; re-running the
+        bootstrap would wipe them.  It only needs the shadow-derived
+        reference (for :meth:`owner_of_key`) and the current epoch.
+        """
+        self._ref_setsep = setsep
+        self.epoch = int(epoch)
 
     # ------------------------------------------------------------------
     # Ownership
@@ -421,7 +495,13 @@ class RuntimeController:
     # ------------------------------------------------------------------
 
     def poll_liveness(self) -> List[int]:
-        """One heartbeat round; returns nodes newly declared DEAD."""
+        """One heartbeat round; returns nodes newly declared DEAD.
+
+        Leader-only: with replicated controllers, only the leaseholder
+        may sweep (a follower recording misses would race the leader's
+        fencing decisions); :class:`StaleTermError` otherwise.
+        """
+        self.guard.acquire("poll_liveness")
         with self.commands:
             return self._poll_once()
 
@@ -607,6 +687,8 @@ class RuntimeController:
         """
 
         def _fence() -> OpResult:
+            # Leader-only: capture the term the fence runs under...
+            term = self.guard.acquire("fence")
             if node_id not in self.monitor.tracked():
                 raise ValueError(f"node {node_id} does not exist")
             state = self.monitor.state(node_id)
@@ -617,6 +699,10 @@ class RuntimeController:
                 )
             if node_id in self.down:
                 raise ValueError(f"node {node_id} was already repaired")
+            # ...and re-check it immediately before the irreversible
+            # SIGKILL: an in-flight fence of a deposed leader must be
+            # rejected by term, not land on the victim.
+            self.guard.validate(term, "fence")
             if state is not NodeState.DEAD:
                 self._kill_process(node_id)
             self.monitor.force_dead(node_id)

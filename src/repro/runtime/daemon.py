@@ -44,16 +44,23 @@ from repro.obs.metrics import MetricsRegistry
 from repro.runtime import protocol
 from repro.runtime.framing import FramedSocket, FramingError, pack_frame_list, unpack_frame_list
 from repro.runtime.protocol import (
+    MSG_ADOPT,
+    MSG_CLAIM,
     MSG_DELTA,
+    MSG_DOWN,
     MSG_FIB,
     MSG_FORWARD,
     MSG_NAMES,
+    MSG_SNAPSHOT,
+    MSG_SWAP,
+    MSG_UPDATE,
     OP_INSERT,
     OP_REMOVE,
     RSP_ERR,
     RSP_FORWARD,
     RSP_OK,
     RSP_PONG,
+    RSP_REDIRECT,
     RSP_ROUTE,
     RSP_STATUS,
     RSP_UPDATE,
@@ -102,6 +109,15 @@ class NodeDaemon:
         self._delayed_forwards: List[Tuple[int, bytes]] = []
         self._peer_socks: Dict[int, FramedSocket] = {}
         self._running = False
+        # Leader fencing (replicated controllers).  A controller claims
+        # leadership per connection (MSG_CLAIM); once any claim has been
+        # seen, state-mutating requests on a connection whose claimed
+        # term is below the highest one get RSP_REDIRECT instead of
+        # execution, so a deposed leader cannot mutate this node.  A
+        # legacy single controller never claims and is never redirected.
+        self.claimed_term = 0
+        self.claimed_leader: Optional[int] = None
+        self._conn_terms: Dict[int, int] = {}
         self._c_snapshot_bytes = self.registry.counter(
             "runtime.snapshot_bytes", "SSEP snapshot bytes received"
         )
@@ -156,14 +172,18 @@ class NodeDaemon:
                         sel.unregister(framed.sock)
                         framed.close()
                         conns.remove(framed)
+                        self._conn_terms.pop(id(framed), None)
                         continue
-                    rsp_type, rsp_payload = self._dispatch(msg_type, payload)
+                    rsp_type, rsp_payload = self._dispatch(
+                        msg_type, payload, conn=framed
+                    )
                     try:
                         framed.send(rsp_type, rsp_payload)
                     except OSError:
                         sel.unregister(framed.sock)
                         framed.close()
                         conns.remove(framed)
+                        self._conn_terms.pop(id(framed), None)
                     if not self._running:
                         break
         finally:
@@ -175,13 +195,32 @@ class NodeDaemon:
                 sock.close()
             self._peer_socks.clear()
 
-    def _dispatch(self, msg_type: int, payload: bytes) -> Tuple[int, bytes]:
+    #: Requests that mutate node state and therefore honour leader
+    #: claims: a connection with a stale claimed term is redirected.
+    _FENCED_TYPES = frozenset(
+        (MSG_SNAPSHOT, MSG_SWAP, MSG_UPDATE, MSG_ADOPT, MSG_DOWN)
+    )
+
+    def _dispatch(
+        self, msg_type: int, payload: bytes, conn=None
+    ) -> Tuple[int, bytes]:
         name = MSG_NAMES.get(msg_type)
         if name is None:
             return RSP_ERR, protocol.encode_json(
                 {"error": f"unknown message type {msg_type:#x}"}
             )
         self.registry.counter(f"runtime.rx.{name}").inc()
+        if msg_type == MSG_CLAIM:
+            return self._on_claim(payload, conn)
+        if (
+            msg_type in self._FENCED_TYPES
+            and self.claimed_term > 0
+            and self._conn_terms.get(id(conn), 0) < self.claimed_term
+        ):
+            self.registry.counter("runtime.claims.redirected").inc()
+            return RSP_REDIRECT, protocol.encode_json(
+                {"leader": self.claimed_leader, "term": self.claimed_term}
+            )
         handler = getattr(self, f"_on_{name}", None)
         if handler is None:
             return RSP_ERR, protocol.encode_json(
@@ -193,6 +232,23 @@ class NodeDaemon:
             return RSP_ERR, protocol.encode_json(
                 {"error": f"{type(exc).__name__}: {exc}"}
             )
+
+    def _on_claim(self, payload: bytes, conn=None) -> Tuple[int, bytes]:
+        """A controller claims leadership of this daemon's control link."""
+        doc = protocol.decode_json(payload)
+        term = int(doc["term"])
+        leader = int(doc["leader"])
+        if term < self.claimed_term:
+            return RSP_REDIRECT, protocol.encode_json(
+                {"leader": self.claimed_leader, "term": self.claimed_term}
+            )
+        self.claimed_term = term
+        self.claimed_leader = leader
+        if conn is not None:
+            self._conn_terms[id(conn)] = term
+        return RSP_OK, protocol.encode_json(
+            {"accepted": True, "term": term, "leader": leader}
+        )
 
     # ------------------------------------------------------------------
     # Peer links
@@ -317,6 +373,8 @@ class NodeDaemon:
             "counters": self.registry.counters(),
             "gpt_crc": gpt_crc,
             "gpt_bytes": gpt_bytes,
+            "claimed_term": self.claimed_term,
+            "claimed_leader": self.claimed_leader,
             "faults_applied": self.faults.applied,
             "delayed_deltas": len(self._delayed_deltas),
             "delayed_forwards": len(self._delayed_forwards),

@@ -236,10 +236,29 @@ def _audit_state(
         shadow_crc = serialize.fingerprint(cluster.nodes[node_id].gpt.setsep)
         if int(status["gpt_crc"]) != shadow_crc:
             replica_crcs_equal = False
+    # Bounded mismatch breakdown: zeros on a clean run, and enough to
+    # localise a divergence (over = wire charged more than the shadow,
+    # e.g. a frame routed twice; under = wire missed a charge).
+    over = sorted(
+        t for t in wire_charges
+        if wire_charges[t] > shadow_charges.get(t, 0)
+    )
+    under = sorted(
+        t for t in shadow_charges
+        if shadow_charges[t] > wire_charges.get(t, 0)
+    )
     return {
         "statuses": statuses,
         "charging_identical": wire_charges == shadow_charges,
         "charged_teids": len(wire_charges),
+        "charge_mismatches": {
+            "over": len(over),
+            "under": len(under),
+            "sample": [
+                [t, wire_charges.get(t, 0), shadow_charges.get(t, 0)]
+                for t in (over + under)[:5]
+            ],
+        },
         "gpt_replicas_identical": replica_crcs_equal,
     }
 

@@ -38,12 +38,23 @@ MSG_FLUSH = 0x0D      # controller -> daemon: deliver delayed deltas
 MSG_DOWN = 0x0E       # controller -> daemon: the current dead-node set
 MSG_SHUTDOWN = 0x0F   # controller -> daemon: reply then exit
 
+# Controller replication (repro.runtime.replication over the wire).
+MSG_VOTE = 0x10       # replica -> replica: RequestVote (JSON)
+MSG_APPEND = 0x11     # leader -> replica: AppendEntries/heartbeat (JSON)
+MSG_SUBMIT = 0x12     # client -> replica: replicate a controller verb
+MSG_QUERY = 0x13      # client -> replica: replication status / audit
+MSG_CLAIM = 0x14      # leader -> daemon: claim leadership for this link
+
 RSP_OK = 0x80         # generic acknowledgement (optional JSON detail)
 RSP_UPDATE = 0x84     # MSG_UPDATE accounting (JSON)
 RSP_ROUTE = 0x87      # per-frame routing outcomes
 RSP_FORWARD = 0x88    # per-frame outcomes for a forwarded sub-batch
 RSP_PONG = 0x89       # liveness echo
 RSP_STATUS = 0x8A     # STATUS report (JSON)
+RSP_VOTE = 0x90       # RequestVote reply (JSON)
+RSP_APPEND = 0x91     # AppendEntries reply (JSON)
+RSP_RESULT = 0x92     # MSG_SUBMIT / MSG_QUERY result (JSON)
+RSP_REDIRECT = 0x93   # not the leader: {"leader": id|null, "term": n}
 RSP_ERR = 0xFF        # handler raised; payload is JSON {"error": ...}
 
 #: Human names, used in metric names and fault budgets.
@@ -63,12 +74,21 @@ MSG_NAMES: Dict[int, str] = {
     MSG_FLUSH: "flush",
     MSG_DOWN: "down",
     MSG_SHUTDOWN: "shutdown",
+    MSG_VOTE: "vote",
+    MSG_APPEND: "append",
+    MSG_SUBMIT: "submit",
+    MSG_QUERY: "query",
+    MSG_CLAIM: "claim",
     RSP_OK: "ok",
     RSP_UPDATE: "update_rsp",
     RSP_ROUTE: "route_rsp",
     RSP_FORWARD: "forward_rsp",
     RSP_PONG: "pong",
     RSP_STATUS: "status_rsp",
+    RSP_VOTE: "vote_rsp",
+    RSP_APPEND: "append_rsp",
+    RSP_RESULT: "result",
+    RSP_REDIRECT: "redirect",
     RSP_ERR: "err",
 }
 

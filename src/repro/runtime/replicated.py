@@ -1,0 +1,1331 @@
+"""Replicated controller processes over TCP + the failover drill.
+
+This is the wire tier of :mod:`repro.runtime.replication`: R real
+controller replica *processes* (default 3) that elect a leaseholder
+over ``MSG_VOTE``/``MSG_APPEND`` frames and replicate the drill's
+controller verbs through the shared log before anything touches a node
+daemon.  The replicated state machine is deliberately cheap to ship:
+
+* every log entry is a tiny **seeded command** (``bootstrap``, a
+  ``storm`` round, a ``traffic`` round) — each replica derives the
+  actual RIB operations and frames deterministically from its own
+  shadow (same seed, same log order ⇒ byte-identical shadows on all
+  replicas, and a restarted replica rebuilds by replaying the log);
+* only the **leader** executes a committed command against the daemons
+  (its :class:`~repro.runtime.controller.RuntimeController` claims the
+  term on every link via ``MSG_CLAIM``, so a deposed leader's requests
+  bounce with ``RSP_REDIRECT``);
+* the leader advertises how far wire execution got (``executed`` in
+  its appends); a new leader re-executes the committed suffix beyond
+  that hint.  Storm re-execution is idempotent on the daemons
+  (absolute inserts; removes of unknown keys are skipped; deltas are
+  rebuilt from the authoritative slice), which is why the harness
+  kills leaders only between storm rounds — never mid-traffic, whose
+  charging is not idempotent.
+
+:func:`run_replicated_workload` is the §7 control-plane drill: spawn N
+daemons and R replicas, replicate a bootstrap + update storm +
+differential traffic, SIGKILL the current leader at deterministic
+storm rounds (respawning it as a quiescent observer), and report a
+``deterministic`` section (differential counts, committed verbs —
+byte-comparable per seed) plus an ``incidental`` section (who led,
+how many discovery sweeps failover took — bounded, not byte-stable,
+because real-clock elections pick timing-dependent winners).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import time
+import zlib
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.architectures import Architecture
+from repro.core import serialize
+from repro.epc.gateway import EpcGateway
+from repro.epc.packets import parse_ip
+from repro.epc.traffic import FlowGenerator
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime import protocol
+from repro.runtime.controller import RuntimeController
+from repro.runtime.framing import FramedSocket, FramingError
+from repro.runtime.launcher import (
+    DEMO_GATEWAY_IP,
+    LocalRuntime,
+    _compare_frames,
+    _shadow_route,
+)
+from repro.runtime.protocol import (
+    MSG_APPEND,
+    MSG_QUERY,
+    MSG_SHUTDOWN,
+    MSG_SUBMIT,
+    MSG_VOTE,
+    OP_INSERT,
+    OP_REMOVE,
+    RSP_APPEND,
+    RSP_ERR,
+    RSP_OK,
+    RSP_REDIRECT,
+    RSP_RESULT,
+    RSP_VOTE,
+    UpdateOp,
+)
+from repro.runtime.replication import (
+    APPEND,
+    APPEND_REPLY,
+    VOTE,
+    VOTE_REPLY,
+    LeadershipGuard,
+    Message,
+    Replica,
+    Role,
+    StaleTermError,
+)
+
+#: Real-clock election parameters for replica processes.  Deliberately
+#: loose — these are sized for a *contended single-core* box (CI
+#: runners), where 3 replicas + N daemons + the client time-share one
+#: or two CPUs and every measured standalone cost inflates 3-8x:
+#:
+#: * a follower freezes for one generator step of shadow application
+#:   (worst single step is the monolithic GPT build inside bootstrap,
+#:   ~0.5s standalone, ~2-3s contended), so the leader's lease must
+#:   ride out an ack gap of that order;
+#: * the leader goes quiet for one wire chunk plus a peer-timeout
+#:   flush (~1-3s contended), so the follower election floor must
+#:   exceed that silence, or healthy leaders get deposed mid-entry and
+#:   the cluster churns terms forever without executing anything;
+#: * vote-request delivery itself takes seconds when the receiver is
+#:   mid-slice, so the election timeout *spread* (tmax - tmin) must
+#:   dwarf that latency — with a narrow spread two candidates fire in
+#:   lockstep, each voting for itself before the other's request
+#:   lands, and split-vote rounds repeat indefinitely.
+#:
+#: Failover therefore costs seconds — the drill budget, not the
+#: common case.  Only actual leader death should trigger an election.
+ELECTION_TIMEOUT = (8.0, 16.0)
+HEARTBEAT_INTERVAL = 0.3
+LEASE_DURATION = 7.5
+#: Observer grace a respawned replica sits out before voting again.
+OBSERVER_GRACE = ELECTION_TIMEOUT[1] + LEASE_DURATION + 0.05
+#: A fresh replica's *first* election fires after
+#: ``FIRST_ELECTION_STAGGER * (replica_id + 1)`` instead of a full
+#: randomized timeout: a cold cluster elects replica 0 in under a
+#: second rather than idling out ELECTION_TIMEOUT seconds.
+FIRST_ELECTION_STAGGER = 0.4
+#: Leader-side wire execution is chunked so heartbeats keep flowing
+#: while a large storm/traffic entry is applied to the daemons
+#: (measured ~1.2 ms per update op on the wire standalone; a chunk is
+#: ~0.3s standalone, ~1-2s contended — still under the election floor).
+WIRE_CHUNK = 256
+#: The leader waits this long for a peer's append/vote reply before
+#: declaring it unreachable.  Must exceed a follower's worst apply
+#: slice (~APPLY_BUDGET, inflated by contention) or busy-but-alive
+#: followers never get their acks counted and the lease collapses.
+PEER_TIMEOUT = 1.5
+#: Shadow application is *interruptible*: entries apply through a
+#: generator that yields every few sub-steps, and a replica spends at
+#: most this many seconds of shadow work per event-loop pass — so even
+#: a multi-second entry (or a respawned observer's whole-log replay)
+#: never blocks votes, appends, or client requests for long.
+APPLY_BUDGET = 0.1
+#: Sub-step sizes between generator yields (well under 0.1s of work
+#: each at the CI-scale population, standalone — contention stretches
+#: a slice to roughly PEER_TIMEOUT, which is exactly the budget).
+APPLY_STEP_OPS = 50
+APPLY_STEP_FRAMES = 250
+APPLY_STEP_FLOWS = 500
+#: Entry-size targets for the workload driver.  Entries are kept large
+#: to amortise per-commit round trips — interruptible application (not
+#: entry size) is what keeps replicas responsive.
+TRAFFIC_SLICE = 5000
+STORM_SLICE = 4000
+
+
+class MonotonicClock:
+    """The real-process clock injected into a :class:`Replica`."""
+
+    @staticmethod
+    def now() -> float:
+        return time.monotonic()
+
+
+class _CoreGuard(LeadershipGuard):
+    """Guard a wire controller with its own replica core's lease."""
+
+    def __init__(self, core: Replica) -> None:
+        self.core = core
+
+    def acquire(self, action: str) -> int:
+        if self.core.role is not Role.LEADER:
+            raise StaleTermError(
+                f"{action}: replica {self.core.node_id} is not the leader"
+            )
+        return self.core.term
+
+    def validate(self, term: int, action: str) -> None:
+        if self.core.role is not Role.LEADER or self.core.term != term:
+            raise StaleTermError(
+                f"{action}: replica {self.core.node_id} lost term {term}"
+            )
+
+
+class ShadowMachine:
+    """One replica's deterministic shadow of the whole cluster.
+
+    Applies committed log entries — seeded commands — to a private
+    :class:`EpcGateway`; identical logs produce byte-identical shadows
+    on every replica.  The derived wire work (RIB ops, frames, expected
+    outcomes) is cached per log index so the leader (or a successor
+    re-executing the committed suffix) ships exactly what the shadow
+    decided.
+    """
+
+    def __init__(self, num_nodes: int, seed: int) -> None:
+        self.num_nodes = num_nodes
+        self.seed = seed
+        self.gateway = EpcGateway(
+            Architecture.SCALEBRICKS,
+            num_nodes,
+            parse_ip(DEMO_GATEWAY_IP),
+            registry=MetricsRegistry(),
+        )
+        self.generator = FlowGenerator(seed)
+        self.live_flows: List[object] = []
+        self.update_rng = np.random.default_rng(seed * 65537 + 13)
+        self.bootstrap_index = 0
+        self.counters = {
+            "connects": 0, "rehomes": 0, "disconnects": 0,
+            "storm_ops": 0, "storm_rounds": 0, "traffic_frames": 0,
+        }
+        #: log index -> ("bootstrap",) | ("storm", ops) |
+        #: ("traffic", frames, ingress, shadow outcomes)
+        self.derived: Dict[int, tuple] = {}
+        self._last_summary: dict = {}
+
+    def apply(self, entry) -> dict:
+        """Apply one committed entry fully; returns the summary."""
+        for _ in self.apply_steps(entry):
+            pass
+        return self._last_summary
+
+    def apply_steps(self, entry):
+        """Incremental application: a generator that yields between
+        bounded sub-steps.  A single large entry costs real CPU to
+        replay; yielding lets the replica's event loop answer votes,
+        appends and client requests mid-entry.  Interruption points
+        never change the outcome — the mutation sequence is identical
+        to a monolithic apply.
+        """
+        self._last_summary = {}
+        if entry.verb in ("noop", "sentinel"):
+            return
+        handler = getattr(self, f"_apply_{entry.verb}", None)
+        if handler is None:
+            raise ValueError(f"unknown replicated verb {entry.verb!r}")
+        yield from handler(entry.index, entry.payload)
+
+    def _apply_bootstrap(self, index: int, payload: dict):
+        flows = int(payload["flows"])
+        # Inlined FlowGenerator.populate with yield points: the same
+        # flow batch and connect order, but a follower replaying an 8k
+        # population is never frozen for the whole loop at once.  (The
+        # GPT build in gateway.start() stays one step — PEER_TIMEOUT
+        # and the lease are sized to ride it out.)
+        population = self.generator.flows(flows)
+        for i, flow in enumerate(population):
+            if i and i % APPLY_STEP_FLOWS == 0:
+                yield
+            self.gateway.connect(
+                flow,
+                self.generator.base_station_for(flow),
+                self.generator.region_for(flow),
+            )
+        self.live_flows = population
+        self.gateway.start()
+        self.bootstrap_index = index
+        self.derived[index] = ("bootstrap",)
+        self._last_summary = {"live_flows": len(self.live_flows)}
+        yield
+
+    def _apply_storm(self, index: int, payload: dict):
+        """One §4.5 churn round: the connect/rehome/disconnect mix."""
+        count = int(payload["count"])
+        gateway = self.gateway
+        ops: List[UpdateOp] = []
+        connects = rehomes = disconnects = 0
+        for op_no in range(count):
+            if op_no and op_no % APPLY_STEP_OPS == 0:
+                yield
+            action = int(self.update_rng.integers(100))
+            if action < 30 or len(self.live_flows) <= 2:
+                flow = self.generator.flows(1)[0]
+                record = gateway.connect(
+                    flow,
+                    self.generator.base_station_for(flow),
+                    self.generator.region_for(flow),
+                )
+                ops.append(UpdateOp(
+                    OP_INSERT, record.key, record.handling_node,
+                    record.teid, record.base_station_ip,
+                ))
+                self.live_flows.append(flow)
+                connects += 1
+            elif action < 85:
+                flow = self.live_flows[
+                    int(self.update_rng.integers(len(self.live_flows)))
+                ]
+                target = int(self.update_rng.integers(self.num_nodes))
+                record = gateway.controller.record_for_key(flow.key())
+                assert record is not None
+                if record.handling_node == target:
+                    continue
+                moved = gateway.rehome_flow(flow, target)
+                ops.append(UpdateOp(
+                    OP_INSERT, moved.key, target, moved.teid,
+                    moved.base_station_ip,
+                ))
+                rehomes += 1
+            else:
+                pos = int(self.update_rng.integers(len(self.live_flows)))
+                flow = self.live_flows.pop(pos)
+                assert gateway.disconnect(flow)
+                ops.append(UpdateOp(OP_REMOVE, flow.key()))
+                disconnects += 1
+        self.derived[index] = ("storm", ops)
+        self.counters["connects"] += connects
+        self.counters["rehomes"] += rehomes
+        self.counters["disconnects"] += disconnects
+        self.counters["storm_ops"] += len(ops)
+        self.counters["storm_rounds"] += 1
+        self._last_summary = {
+            "ops": len(ops), "connects": connects,
+            "rehomes": rehomes, "disconnects": disconnects,
+        }
+
+    def _apply_traffic(self, index: int, payload: dict):
+        """One differential traffic round, shadow-routed here."""
+        round_no = int(payload["round"])
+        packets = int(payload["packets"])
+        extra = int(payload.get("extra", 0))
+        frames = self.generator.packet_stream(self.live_flows, packets)
+        if extra:
+            # Never-connected flows: the GPT still maps them somewhere
+            # (one-sided error, §3.3) and the exact FIB refuses them.
+            frames.extend(self.generator.packet_stream(
+                self.generator.flows(extra), min(64, packets)
+            ))
+        ingress_rng = np.random.default_rng(
+            self.seed * 65537 + 11 + round_no
+        )
+        ingress = [
+            int(n) for n in ingress_rng.integers(
+                self.num_nodes, size=len(frames)
+            )
+        ]
+        shadow: List[object] = []
+        for lo in range(0, len(frames), APPLY_STEP_FRAMES):
+            shadow.extend(_shadow_route(
+                self.gateway,
+                frames[lo:lo + APPLY_STEP_FRAMES],
+                ingress[lo:lo + APPLY_STEP_FRAMES],
+            ))
+            yield
+        self.derived[index] = ("traffic", frames, ingress, shadow)
+        self.counters["traffic_frames"] += len(frames)
+        self._last_summary = {"frames": len(frames)}
+
+    def fingerprints(self) -> List[int]:
+        """Per-node GPT replica CRCs of this shadow's cluster."""
+        cluster = self.gateway.cluster
+        if cluster is None:
+            return []
+        return [
+            serialize.fingerprint(node.gpt.setsep) for node in cluster.nodes
+        ]
+
+    def charges_crc(self) -> int:
+        """CRC of the shadow's global charging dict (order-canonical)."""
+        charged = sorted(
+            (int(t), int(v))
+            for t, v in self.gateway.stats.bytes_charged.items()
+            if int(v)
+        )
+        return zlib.crc32(repr(charged).encode("ascii"))
+
+    def summary(self) -> dict:
+        return {
+            "live_flows": len(self.live_flows),
+            "counters": dict(self.counters),
+            "gpt_fingerprints": self.fingerprints(),
+            "charges_crc": self.charges_crc(),
+            "bootstrap_index": self.bootstrap_index,
+        }
+
+    def reference_setsep(self):
+        cluster = self.gateway.cluster
+        assert cluster is not None, "shadow not bootstrapped"
+        return serialize.loads(serialize.dumps(cluster.nodes[0].gpt.setsep))
+
+
+class ReplicaServer:
+    """One controller replica as a socket-served process.
+
+    Single-threaded selectors loop, like the node daemon: peer
+    replication RPCs (``MSG_VOTE``/``MSG_APPEND``) and client requests
+    (``MSG_SUBMIT``/``MSG_QUERY``) arrive on the listener; between
+    requests the loop ticks the core (elections, heartbeats, lease
+    checks) and applies newly committed entries to the shadow — and,
+    on the leader, to the daemons.
+    """
+
+    def __init__(
+        self,
+        replica_id: int,
+        replica_addresses: Sequence[Tuple[str, int]],
+        daemon_addresses: Sequence[Tuple[str, int]],
+        num_nodes: int,
+        seed: int,
+        observer_grace: float = 0.0,
+        election_timeout: Tuple[float, float] = ELECTION_TIMEOUT,
+        heartbeat_interval: float = HEARTBEAT_INTERVAL,
+        lease_duration: float = LEASE_DURATION,
+    ) -> None:
+        self.replica_id = replica_id
+        self.replica_addresses = [
+            (str(h), int(p)) for h, p in replica_addresses
+        ]
+        self.daemon_addresses = [
+            (str(h), int(p)) for h, p in daemon_addresses
+        ]
+        self.host, self.port = self.replica_addresses[replica_id]
+        self.core = Replica(
+            replica_id,
+            [i for i in range(len(self.replica_addresses))
+             if i != replica_id],
+            MonotonicClock(),
+            seed=seed,
+            election_timeout=election_timeout,
+            heartbeat_interval=heartbeat_interval,
+            lease_duration=lease_duration,
+            observer_grace=observer_grace,
+            first_election_delay=(
+                FIRST_ELECTION_STAGGER * (replica_id + 1)
+            ),
+        )
+        self.shadow = ShadowMachine(num_nodes, seed)
+        self._peer_socks: Dict[int, FramedSocket] = {}
+        self._ctl: Optional[RuntimeController] = None
+        self._ctl_term = -1
+        self._executed = 0
+        self._applied_index = 0
+        self._pending_applies: deque = deque()
+        self._apply_entry = None
+        self._apply_gen = None
+        self._results: Dict[int, dict] = {}
+        self._running = False
+        trace = os.environ.get("REPRO_REPLICA_TRACE")
+        self._trace_file = (
+            open(f"{trace}.r{replica_id}", "a", buffering=1)
+            if trace else None
+        )
+        self._trace_role: Tuple[Role, int] = (self.core.role, self.core.term)
+
+    def _trace(self, event: str) -> None:
+        if self._trace_file is not None:
+            self._trace_file.write(f"{time.monotonic():9.3f} {event}\n")
+
+    def _trace_transitions(self) -> None:
+        if self._trace_file is None:
+            return
+        now = (self.core.role, self.core.term)
+        if now != self._trace_role:
+            self._trace(
+                f"role {self._trace_role[0].name}/t{self._trace_role[1]}"
+                f" -> {now[0].name}/t{now[1]}"
+                f" leader={self.core.leader_id}"
+                f" commit={self.core.commit_index}"
+                f" applied={self._applied_index} exec={self._executed}"
+            )
+            self._trace_role = now
+
+    # -- peer links -----------------------------------------------------
+
+    def _peer_request(
+        self, peer: int, msg_type: int, payload: bytes
+    ) -> Tuple[int, bytes]:
+        sock = self._peer_socks.get(peer)
+        if sock is None:
+            host, port = self.replica_addresses[peer]
+            sock = FramedSocket.connect(host, port)
+            sock.settimeout(PEER_TIMEOUT)
+            self._peer_socks[peer] = sock
+        try:
+            return sock.request(msg_type, payload)
+        except (FramingError, OSError):
+            self._peer_socks.pop(peer, None)
+            sock.close()
+            raise
+
+    def _flush(self, messages: Sequence[Message]) -> None:
+        """Ship outbound core messages; feed replies back into the core."""
+        queue = deque(messages)
+        while queue:
+            message = queue.popleft()
+            msg_type = MSG_VOTE if message.kind == VOTE else MSG_APPEND
+            try:
+                rsp_type, rsp = self._peer_request(
+                    message.dest, msg_type,
+                    protocol.encode_json(message.payload),
+                )
+            except (FramingError, OSError):
+                continue  # unreachable peer: the protocol retries
+            if rsp_type == RSP_VOTE:
+                queue.extend(self.core.handle(
+                    VOTE_REPLY, protocol.decode_json(rsp)
+                ))
+            elif rsp_type == RSP_APPEND:
+                queue.extend(self.core.handle(
+                    APPEND_REPLY, protocol.decode_json(rsp)
+                ))
+
+    # -- commit application --------------------------------------------
+
+    def _drive(self) -> None:
+        # The core defers campaigning while this replica still owes the
+        # shadow committed entries: a backlogged winner could not
+        # execute anything for a long time, and mid-drain campaigns are
+        # what livelocked elections under CPU contention.
+        self.core.apply_backlog = (
+            self._apply_gen is not None
+            or bool(self._pending_applies)
+            or self.core.commit_index > self._applied_index
+        )
+        self._flush(self.core.tick())
+        self._trace_transitions()
+        self._apply_committed()
+
+    def _apply_committed(self) -> None:
+        # Shadow application costs real CPU (it replays every routed
+        # frame and churn op).  Applying an unbounded backlog — or even
+        # one large entry — in a single call would block this
+        # single-threaded loop long enough to miss votes and appends,
+        # so application is driven through the shadow's resumable
+        # generator under a time budget; _applied_index gates wire
+        # execution so a leader never executes an entry its shadow has
+        # not derived yet.
+        self._pending_applies.extend(self.core.take_applies())
+        deadline = time.monotonic() + APPLY_BUDGET
+        while True:
+            if self._apply_gen is None:
+                if not self._pending_applies:
+                    break
+                self._apply_entry = self._pending_applies.popleft()
+                self._apply_gen = self.shadow.apply_steps(self._apply_entry)
+            try:
+                next(self._apply_gen)
+            except StopIteration:
+                self._applied_index = self._apply_entry.index
+                self._trace(
+                    f"applied #{self._apply_entry.index}"
+                    f" {self._apply_entry.verb}"
+                )
+                self._apply_gen = None
+                self._apply_entry = None
+            if time.monotonic() >= deadline:
+                break
+        if self.core.role is Role.LEADER:
+            try:
+                self._wire_execute()
+            except StaleTermError:
+                # A successor claimed a newer term on the daemons while
+                # we were mid-batch; stop executing — the new leader
+                # owns the remaining suffix.
+                pass
+        elif self._ctl is not None:
+            self._ctl.close()
+            self._ctl = None
+            self._ctl_term = -1
+
+    def _controller(self) -> RuntimeController:
+        term = self.core.term
+        if self._ctl is not None:
+            if self._ctl_term != term:
+                self._ctl.claim_leadership(term, self.replica_id)
+                self._ctl_term = term
+            return self._ctl
+        ctl = RuntimeController(
+            self.daemon_addresses, guard=_CoreGuard(self.core)
+        )
+        ctl.claim = (term, self.replica_id)
+        ctl.connect()
+        already = max(self._executed, self.core.executed_hint)
+        if self.shadow.bootstrap_index and (
+            already >= self.shadow.bootstrap_index
+        ):
+            # The daemons were bootstrapped by a previous leader; adopt
+            # the shadow-derived reference instead of re-shipping.
+            ctl.adopt_reference(self.shadow.reference_setsep(), epoch=1)
+        self._ctl = ctl
+        self._ctl_term = term
+        return ctl
+
+    def _heartbeat_between_chunks(self) -> None:
+        """Keep the lease alive while a large wire batch is in flight.
+
+        Wire execution is synchronous RPC against the daemons; without
+        interleaved heartbeats a big traffic entry would starve the
+        followers long enough for them to elect a successor — and a
+        successor re-executing a half-applied traffic entry double
+        charges bearers.  Abort the batch if leadership was lost anyway.
+        """
+        self._flush(self.core.tick())
+        if self.core.role is not Role.LEADER:
+            raise StaleTermError("leadership lost during wire execution")
+
+    def _wire_execute(self) -> None:
+        """Execute the committed-but-unexecuted suffix on the daemons."""
+        start = max(self._executed, self.core.executed_hint)
+        # Never run ahead of the local shadow: derived payloads for an
+        # unapplied entry do not exist yet and would be silently treated
+        # as noops.
+        end = min(self.core.commit_index, self._applied_index)
+        if start >= end:
+            return
+        ctl = self._controller()
+        for index in range(start + 1, end + 1):
+            derived = self.shadow.derived.get(index)
+            if derived is None:  # noop entries have no wire effect
+                self._executed = index
+                self.core.note_executed(index)
+                continue
+            kind = derived[0]
+            self._trace(f"wire #{index} {kind} start")
+            if kind == "bootstrap":
+                bootstrap = ctl.bootstrap_from_gateway(self.shadow.gateway)
+                result = {"verb": "bootstrap", **bootstrap}
+            elif kind == "storm":
+                totals: Dict[str, int] = {}
+                for lo in range(0, len(derived[1]), WIRE_CHUNK):
+                    chunk = ctl.push_updates(
+                        derived[1][lo:lo + WIRE_CHUNK]
+                    )
+                    for name, count in chunk.items():
+                        totals[name] = totals.get(name, 0) + count
+                    self._heartbeat_between_chunks()
+                result = {"verb": "storm", "wire": totals,
+                          "ops": len(derived[1])}
+            else:
+                _, frames, ingress, shadow_outcomes = derived
+                wire = []
+                for lo in range(0, len(frames), WIRE_CHUNK):
+                    wire.extend(ctl.route_frames(
+                        frames[lo:lo + WIRE_CHUNK],
+                        ingress[lo:lo + WIRE_CHUNK],
+                    ))
+                    self._heartbeat_between_chunks()
+                result = {
+                    "verb": "traffic",
+                    **_compare_frames(shadow_outcomes, wire),
+                }
+            self._results[index] = result
+            self._executed = index
+            self._trace(f"wire #{index} {kind} done")
+            self.core.note_executed(index)
+            # Ship the executed hint right away: if a successor were
+            # elected between this entry's wire effects and the next
+            # scheduled heartbeat, it would re-execute the entry — and
+            # traffic entries double-charge bearers when replayed.
+            self._flush(self.core.advertise_executed())
+
+    # -- serving --------------------------------------------------------
+
+    def serve_forever(self, ready=None) -> None:
+        import selectors
+
+        lsock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        lsock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        lsock.bind((self.host, self.port))
+        lsock.listen(64)
+        self.port = lsock.getsockname()[1]
+        if ready is not None:
+            ready(self.port)
+        sel = selectors.DefaultSelector()
+        sel.register(lsock, selectors.EVENT_READ, None)
+        conns: List[FramedSocket] = []
+        self._running = True
+        try:
+            while self._running:
+                for key, _events in sel.select(timeout=0.02):
+                    if key.data is None:
+                        conn, _addr = lsock.accept()
+                        framed = FramedSocket(conn)
+                        sel.register(conn, selectors.EVENT_READ, framed)
+                        conns.append(framed)
+                        continue
+                    framed = key.data
+                    try:
+                        msg_type, payload = framed.recv()
+                    except (FramingError, OSError):
+                        sel.unregister(framed.sock)
+                        framed.close()
+                        conns.remove(framed)
+                        continue
+                    rsp_type, rsp_payload = self._dispatch(msg_type, payload)
+                    try:
+                        framed.send(rsp_type, rsp_payload)
+                    except OSError:
+                        sel.unregister(framed.sock)
+                        framed.close()
+                        conns.remove(framed)
+                    if not self._running:
+                        break
+                self._drive()
+        finally:
+            for framed in conns:
+                framed.close()
+            sel.close()
+            lsock.close()
+            for sock in self._peer_socks.values():
+                sock.close()
+            self._peer_socks.clear()
+            if self._ctl is not None:
+                self._ctl.close()
+
+    def _dispatch(self, msg_type: int, payload: bytes) -> Tuple[int, bytes]:
+        try:
+            if msg_type == MSG_VOTE:
+                doc = protocol.decode_json(payload)
+                replies = self.core.handle(VOTE, doc)
+                self._trace(
+                    f"vote req from r{doc.get('candidate')}"
+                    f" t{doc.get('term')}"
+                    f" -> granted={replies[0].payload.get('granted')}"
+                )
+                return RSP_VOTE, protocol.encode_json(replies[0].payload)
+            if msg_type == MSG_APPEND:
+                replies = self.core.handle(
+                    APPEND, protocol.decode_json(payload)
+                )
+                # The ack must reach the leader *before* we apply heavy
+                # committed entries to the shadow — the serve loop
+                # drives application right after the reply is sent.
+                # Applying first would stall the leader's lease.
+                return RSP_APPEND, protocol.encode_json(replies[0].payload)
+            if msg_type == MSG_SUBMIT:
+                return self._on_submit(protocol.decode_json(payload))
+            if msg_type == MSG_QUERY:
+                return self._on_query(protocol.decode_json(payload))
+            if msg_type == MSG_SHUTDOWN:
+                self._running = False
+                return RSP_OK, protocol.encode_json(
+                    {"replica": self.replica_id}
+                )
+            return RSP_ERR, protocol.encode_json(
+                {"error": f"replica cannot serve type {msg_type:#x}"}
+            )
+        except Exception as exc:  # noqa: BLE001 - a replica never dies
+            return RSP_ERR, protocol.encode_json(
+                {"error": f"{type(exc).__name__}: {exc}"}
+            )
+
+    def _redirect(self) -> Tuple[int, bytes]:
+        leader = self.core.leader_id
+        return RSP_REDIRECT, protocol.encode_json({
+            "leader": None if leader == self.replica_id else leader,
+            "term": self.core.term,
+        })
+
+    def _on_submit(self, doc: dict) -> Tuple[int, bytes]:
+        if self.core.role is not Role.LEADER:
+            self._trace(
+                f"submit {doc.get('cid')} redirect"
+                f" leader={self.core.leader_id}"
+            )
+            return self._redirect()
+        cid = str(doc["cid"])
+        self._trace(f"submit {cid} accepted")
+        index, outbound = self.core.submit(
+            cid, str(doc["verb"]), dict(doc.get("payload", {}))
+        )
+        self._flush(outbound)
+        # Generous: before this submit's index is executed the leader
+        # may have to shadow-apply a backlog and re-execute a whole
+        # storm entry on the wire — while a respawned observer replays
+        # the entire log on the same contended CPU.  Minutes at the
+        # CI-scale population, not a protocol failure.
+        deadline = time.monotonic() + 300.0
+        while (
+            self.core.commit_index < index or self._executed < index
+        ):
+            if self.core.role is not Role.LEADER:
+                return self._redirect()
+            if time.monotonic() > deadline:
+                return RSP_ERR, protocol.encode_json(
+                    {"error": f"commit timeout for {cid!r}"}
+                )
+            self._drive()
+            time.sleep(0.005)
+        return RSP_RESULT, protocol.encode_json({
+            "index": index,
+            "term": self.core.entry(index).term,
+            "cid": cid,
+            "result": self._results.get(index, {"replayed": True}),
+        })
+
+    def _on_query(self, doc: dict) -> Tuple[int, bytes]:
+        what = str(doc.get("what", "status"))
+        if what == "status":
+            status = self.core.status()
+            status["shadow"] = self.shadow.summary()
+            status["committed_cids"] = self.core.committed_cids()
+            status["executed"] = self._executed
+            status["applied"] = self._applied_index
+            return RSP_RESULT, protocol.encode_json(status)
+        if what == "audit":
+            if self.core.role is not Role.LEADER:
+                return self._redirect()
+            from repro.runtime.launcher import _audit_state
+
+            audit = _audit_state(self._controller(), self.shadow.gateway)
+            audit.pop("statuses")
+            return RSP_RESULT, protocol.encode_json(audit)
+        return RSP_ERR, protocol.encode_json(
+            {"error": f"unknown query {what!r}"}
+        )
+
+
+def _replica_entry(config: dict, conn) -> None:
+    """Child-process body: serve one replica, announce the bound port."""
+
+    def ready(port: int) -> None:
+        conn.send(port)
+        conn.close()
+
+    ReplicaServer(**config).serve_forever(ready=ready)
+
+
+def _free_ports(count: int, host: str = "127.0.0.1") -> List[int]:
+    """Reserve ephemeral ports (bound briefly, then released).
+
+    Replicas must know each other's addresses before any of them binds,
+    and a respawned replica must come back on its old port — so ports
+    are pre-allocated here rather than bound-then-announced.
+    """
+    socks = []
+    for _ in range(count):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, 0))
+        socks.append(sock)
+    ports = [sock.getsockname()[1] for sock in socks]
+    for sock in socks:
+        sock.close()
+    return ports
+
+
+class ReplicaSet:
+    """R controller replica child processes on loopback."""
+
+    def __init__(
+        self,
+        daemon_addresses: Sequence[Tuple[str, int]],
+        num_nodes: int,
+        seed: int,
+        replicas: int = 3,
+        host: str = "127.0.0.1",
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("need at least one replica")
+        self.num = replicas
+        self.host = host
+        self.seed = seed
+        self.num_nodes = num_nodes
+        self.daemon_addresses = list(daemon_addresses)
+        self.addresses: List[Tuple[str, int]] = [
+            (host, port) for port in _free_ports(replicas, host)
+        ]
+        self.processes: List[Optional[multiprocessing.Process]] = (
+            [None] * replicas
+        )
+        self.respawns = 0
+
+    def start(self) -> "ReplicaSet":
+        for replica_id in range(self.num):
+            self._spawn(replica_id, observer_grace=0.0)
+        return self
+
+    def _spawn(self, replica_id: int, observer_grace: float) -> None:
+        parent, child = multiprocessing.Pipe(duplex=False)
+        config = {
+            "replica_id": replica_id,
+            "replica_addresses": [list(a) for a in self.addresses],
+            "daemon_addresses": [list(a) for a in self.daemon_addresses],
+            "num_nodes": self.num_nodes,
+            "seed": self.seed,
+            "observer_grace": observer_grace,
+        }
+        process = multiprocessing.Process(
+            target=_replica_entry, args=(config, child), daemon=True
+        )
+        process.start()
+        child.close()
+        if not parent.poll(60.0):
+            process.kill()
+            raise RuntimeError("replica did not announce its port in time")
+        parent.recv()
+        parent.close()
+        self.processes[replica_id] = process
+
+    def kill(self, replica_id: int) -> None:
+        """SIGKILL a replica — the control-plane §7 drill."""
+        process = self.processes[replica_id]
+        assert process is not None
+        process.kill()
+        process.join(timeout=10.0)
+
+    def respawn(self, replica_id: int) -> None:
+        """Restart a killed replica as a quiescent observer.
+
+        Its volatile log is gone; it rejoins with an observer grace
+        longer than any election timeout plus lease, then catches up
+        from the leader's append backoff.
+        """
+        self._spawn(replica_id, observer_grace=OBSERVER_GRACE)
+        self.respawns += 1
+
+    def stop(self) -> None:
+        for process in self.processes:
+            if process is not None and process.is_alive():
+                process.terminate()
+        for process in self.processes:
+            if process is not None:
+                process.join(timeout=10.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=10.0)
+
+    def leaked(self) -> List[int]:
+        return [
+            replica_id
+            for replica_id, process in enumerate(self.processes)
+            if process is not None and process.is_alive()
+        ]
+
+    def __enter__(self) -> "ReplicaSet":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+class ReplicaClient:
+    """Leader discovery + exactly-once submission for the harness.
+
+    Finds the leader by probing replicas (followers answer with the
+    redirect message), retries a submission under the same ``cid``
+    across failovers (the log dedups), and counts discovery sweeps —
+    the drill's bounded failover metric.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[Tuple[str, int]],
+        poll_interval: float = 0.1,
+        sweep_budget: int = 800,
+    ) -> None:
+        self.addresses = [(str(h), int(p)) for h, p in addresses]
+        self.poll_interval = poll_interval
+        self.sweep_budget = sweep_budget
+        self.leader_guess = 0
+        self._socks: Dict[int, FramedSocket] = {}
+        trace = os.environ.get("REPRO_REPLICA_TRACE")
+        self._trace_file = (
+            open(f"{trace}.client", "a", buffering=1) if trace else None
+        )
+
+    def _trace(self, event: str) -> None:
+        if self._trace_file is not None:
+            self._trace_file.write(f"{time.monotonic():9.3f} {event}\n")
+
+    def close(self) -> None:
+        for sock in self._socks.values():
+            sock.close()
+        self._socks.clear()
+
+    def _request(
+        self, replica_id: int, msg_type: int, payload: bytes
+    ) -> Tuple[int, bytes]:
+        sock = self._socks.get(replica_id)
+        if sock is None:
+            host, port = self.addresses[replica_id]
+            sock = FramedSocket.connect(host, port)
+            # Must outlive a replica's worst _on_submit wait, or the
+            # client abandons a leader that is still executing.
+            sock.settimeout(360.0)
+            self._socks[replica_id] = sock
+        try:
+            return sock.request(msg_type, payload)
+        except (FramingError, OSError):
+            self._socks.pop(replica_id, None)
+            sock.close()
+            raise
+
+    def _leader_call(
+        self, msg_type: int, payload: bytes
+    ) -> Tuple[dict, int]:
+        """Deliver to the current leader; returns ``(result, sweeps)``."""
+        sweeps = 0
+        while sweeps < self.sweep_budget:
+            sweeps += 1
+            order = [self.leader_guess] + [
+                i for i in range(len(self.addresses))
+                if i != self.leader_guess
+            ]
+            for replica_id in order:
+                try:
+                    rsp_type, rsp = self._request(
+                        replica_id, msg_type, payload
+                    )
+                except (FramingError, OSError) as exc:
+                    self._trace(
+                        f"sweep {sweeps} r{replica_id}"
+                        f" {type(exc).__name__}: {exc}"
+                    )
+                    continue  # dead or restarting replica
+                if rsp_type == RSP_RESULT:
+                    self.leader_guess = replica_id
+                    return protocol.decode_json(rsp), sweeps
+                if rsp_type == RSP_REDIRECT:
+                    doc = protocol.decode_json(rsp)
+                    leader = doc.get("leader")
+                    self._trace(
+                        f"sweep {sweeps} r{replica_id} redirect"
+                        f" leader={leader} term={doc.get('term')}"
+                    )
+                    if leader is not None:
+                        self.leader_guess = int(leader)
+                        break  # retry the hinted leader right away
+                    continue
+                if rsp_type == RSP_ERR:
+                    raise RuntimeError(
+                        protocol.decode_json(rsp).get("error", "replica error")
+                    )
+            time.sleep(self.poll_interval)
+        raise TimeoutError(
+            f"no leader served the request within {self.sweep_budget} sweeps"
+        )
+
+    def submit(
+        self, cid: str, verb: str, payload: Optional[dict] = None
+    ) -> Tuple[dict, int]:
+        """Replicate one verb; exactly-once under retry via ``cid``."""
+        body = protocol.encode_json({
+            "cid": cid, "verb": verb, "payload": payload or {},
+        })
+        return self._leader_call(MSG_SUBMIT, body)
+
+    def query_leader(self, what: str) -> Tuple[dict, int]:
+        return self._leader_call(
+            MSG_QUERY, protocol.encode_json({"what": what})
+        )
+
+    def query_replica(self, replica_id: int, what: str = "status") -> dict:
+        rsp_type, rsp = self._request(
+            replica_id, MSG_QUERY, protocol.encode_json({"what": what})
+        )
+        doc = protocol.decode_json(rsp)
+        if rsp_type != RSP_RESULT:
+            raise RuntimeError(f"replica {replica_id} answered {doc}")
+        return doc
+
+    def shutdown_replica(self, replica_id: int) -> None:
+        try:
+            self._request(replica_id, MSG_SHUTDOWN, b"")
+        except (FramingError, OSError):
+            pass
+
+
+def _shutdown_daemons(addresses: Sequence[Tuple[str, int]]) -> List[int]:
+    """Ask every daemon to exit (direct, leader-independent)."""
+    acked: List[int] = []
+    for node_id, (host, port) in enumerate(addresses):
+        try:
+            sock = FramedSocket.connect(host, port)
+        except OSError:
+            continue
+        try:
+            rsp_type, _rsp = sock.request(MSG_SHUTDOWN, b"")
+            if rsp_type == RSP_OK:
+                acked.append(node_id)
+        except (FramingError, OSError):
+            pass
+        finally:
+            sock.close()
+    return acked
+
+
+def run_replicated_workload(
+    num_nodes: int = 4,
+    replicas: int = 3,
+    seed: int = 7,
+    flows: int = 2000,
+    packets: int = 4000,
+    updates: int = 1000,
+    kill_leader: int = 2,
+    storm_rounds: Optional[int] = None,
+) -> Dict[str, object]:
+    """The control-plane failover drill: SIGKILL leaders mid-storm.
+
+    Spawns ``num_nodes`` daemons and ``replicas`` controller replicas,
+    replicates bootstrap + a ``updates``-operation §4.5 storm (split
+    into rounds) + two differential traffic phases, and SIGKILLs the
+    current leader at ``kill_leader`` deterministic round boundaries
+    (respawning it as an observer each time).  Gates: zero divergence,
+    byte-identical frames, identical charging/CRCs, every acked verb
+    committed on every replica, identical shadows across replicas.
+    """
+    if kill_leader < 0:
+        raise ValueError("kill_leader must be non-negative")
+    if replicas < 2 * 1 + 1 and kill_leader:
+        raise ValueError("leader kills need at least 3 replicas")
+    if storm_rounds is None:
+        # ~STORM_SLICE ops per committed entry at scale, at least 12
+        # rounds for small runs so kill points stay well separated.
+        storm_rounds = max(
+            kill_leader + 1,
+            min(updates, max(12, -(-updates // STORM_SLICE))),
+        ) if updates else kill_leader + 1
+    round_sizes = [updates // storm_rounds] * storm_rounds
+    for i in range(updates % storm_rounds):
+        round_sizes[i] += 1
+    kill_rounds = sorted({
+        (i + 1) * storm_rounds // (kill_leader + 1)
+        for i in range(kill_leader)
+    }) if kill_leader else []
+
+    def _phase_slices(total: int) -> List[int]:
+        """Split a traffic phase into <= TRAFFIC_SLICE frame entries."""
+        if total <= 0:
+            return []
+        count = -(-total // TRAFFIC_SLICE)
+        sizes = [total // count] * count
+        for i in range(total % count):
+            sizes[i] += 1
+        return sizes
+
+    first = packets // 2
+    phase_sizes = [_phase_slices(first), _phase_slices(packets - first)]
+
+    report: Dict[str, object] = {
+        "config": {
+            "architecture": "scalebricks",
+            "nodes": num_nodes,
+            "replicas": replicas,
+            "seed": seed,
+            "flows": flows,
+            "packets": packets,
+            "updates": updates,
+            "kill_leader": kill_leader,
+            "storm_rounds": storm_rounds,
+            "traffic_entries": [len(p) for p in phase_sizes],
+        },
+    }
+    incidental: Dict[str, object] = {
+        "kill_rounds": kill_rounds,
+        "killed_replicas": [],
+        "failover_sweeps": [],
+        "leaders": [],
+        "terms": [],
+    }
+    acked_cids: List[str] = []
+    runtime = LocalRuntime(num_nodes)
+    with runtime:
+        replica_set = ReplicaSet(
+            runtime.addresses, num_nodes, seed, replicas=replicas
+        )
+        client = ReplicaClient(replica_set.addresses)
+        try:
+            with replica_set:
+                boot, _ = client.submit(
+                    "boot", "bootstrap", {"flows": flows}
+                )
+                acked_cids.append("boot")
+                incidental["leaders"].append(client.leader_guess)
+                incidental["terms"].append(boot["term"])
+
+                # Traffic phases are sliced into bounded log entries so
+                # no single commit blocks a follower's event loop for
+                # more than ~TRAFFIC_SLICE frame replays.  Each slice
+                # gets a globally unique round number: the per-round
+                # ingress RNG keeps every slice independently seeded.
+                traffic_results: List[dict] = []
+                traffic_replayed = 0
+                traffic_round = 0
+
+                def _run_traffic_phase(phase: int) -> None:
+                    nonlocal traffic_round, traffic_replayed
+                    sizes = phase_sizes[phase - 1]
+                    for i, size in enumerate(sizes, start=1):
+                        traffic_round += 1
+                        last = phase == 2 and i == len(sizes)
+                        cid = f"traffic-{phase}-{i}"
+                        result, _ = client.submit(
+                            cid, "traffic",
+                            {
+                                "round": traffic_round,
+                                "packets": size,
+                                "extra": 8 if last else 0,
+                            },
+                        )
+                        acked_cids.append(cid)
+                        if "frames" in result["result"]:
+                            traffic_results.append(result["result"])
+                        else:
+                            traffic_replayed += 1
+
+                _run_traffic_phase(1)
+
+                storm_wire = {"rounds_executed": 0, "replayed_rounds": 0}
+                for round_no, size in enumerate(round_sizes, start=1):
+                    if round_no in kill_rounds:
+                        victim = client.leader_guess
+                        client._trace(f"kill r{victim} round {round_no}")
+                        replica_set.kill(victim)
+                        incidental["killed_replicas"].append(victim)
+                        replica_set.respawn(victim)
+                    cid = f"storm-{round_no}"
+                    result, sweeps = client.submit(
+                        cid, "storm",
+                        {"round": round_no, "count": size},
+                    )
+                    acked_cids.append(cid)
+                    if round_no in kill_rounds:
+                        incidental["failover_sweeps"].append(sweeps)
+                        incidental["leaders"].append(client.leader_guess)
+                        incidental["terms"].append(result["term"])
+                    if result["result"].get("replayed"):
+                        storm_wire["replayed_rounds"] += 1
+                    else:
+                        storm_wire["rounds_executed"] += 1
+
+                _run_traffic_phase(2)
+
+                audit, _ = client.query_leader("audit")
+
+                # Let the final commit index reach the followers, then
+                # collect every replica's view for the agreement gates.
+                statuses: Dict[int, dict] = {}
+                # The last respawned observer replays the *entire* log
+                # (bootstrap + every storm round + traffic) at contended
+                # CPU speed — at CI scale that is minutes, not seconds.
+                deadline = time.monotonic() + 300.0
+                leader_status, _ = client.query_leader("status")
+                target = leader_status["commit_index"]
+                while time.monotonic() < deadline:
+                    statuses = {
+                        rid: client.query_replica(rid)
+                        for rid in range(replicas)
+                    }
+                    if all(
+                        s["commit_index"] >= target
+                        and s["applied"] >= target
+                        for s in statuses.values()
+                    ):
+                        break
+                    time.sleep(0.25)  # leave the CPU to the stragglers
+                    time.sleep(0.1)
+
+                lost = {
+                    rid: [
+                        cid for cid in acked_cids
+                        if cid not in status["committed_cids"]
+                    ]
+                    for rid, status in statuses.items()
+                }
+                lost_total = sum(len(v) for v in lost.values())
+                shadows = [
+                    statuses[rid]["shadow"] for rid in range(replicas)
+                ]
+                shadows_identical = all(
+                    s["gpt_fingerprints"] == shadows[0]["gpt_fingerprints"]
+                    and s["charges_crc"] == shadows[0]["charges_crc"]
+                    and s["counters"] == shadows[0]["counters"]
+                    for s in shadows[1:]
+                )
+                logs_identical = all(
+                    statuses[rid]["committed_cids"]
+                    == statuses[0]["committed_cids"]
+                    for rid in range(1, replicas)
+                )
+
+                incidental["final_roles"] = {
+                    str(rid): statuses[rid]["role"]
+                    for rid in range(replicas)
+                }
+                incidental["storm_wire"] = storm_wire
+                incidental["traffic_replayed"] = traffic_replayed
+                deterministic = {
+                    "bootstrap": boot["result"],
+                    "traffic": {
+                        "frames": sum(
+                            t["frames"] for t in traffic_results
+                        ),
+                        "delivered": sum(
+                            t["delivered"] for t in traffic_results
+                        ),
+                        "dropped": sum(
+                            t["dropped"] for t in traffic_results
+                        ),
+                        "divergences": sum(
+                            t["divergences"] for t in traffic_results
+                        ),
+                        "byte_identical": bool(all(
+                            t["byte_identical"] for t in traffic_results
+                        )),
+                    },
+                    "storm": shadows[0]["counters"],
+                    "audit": audit,
+                    "committed_verbs": len(acked_cids),
+                    "lost_committed_verbs": lost_total,
+                    "replica_logs_identical": bool(logs_identical),
+                    "replica_shadows_identical": bool(shadows_identical),
+                }
+                deterministic["ok"] = bool(
+                    deterministic["traffic"]["divergences"] == 0
+                    and deterministic["traffic"]["byte_identical"]
+                    and audit["charging_identical"]
+                    and audit["gpt_replicas_identical"]
+                    and lost_total == 0
+                    and logs_identical
+                    and shadows_identical
+                )
+                report["deterministic"] = deterministic
+                report["incidental"] = incidental
+                for rid in range(replicas):
+                    client.shutdown_replica(rid)
+        finally:
+            client.close()
+            _shutdown_daemons(runtime.addresses)
+            replica_set.stop()
+        runtime.stop()
+        report["leaked_processes"] = (
+            len(runtime.leaked()) + len(replica_set.leaked())
+        )
+    re_elected = (
+        len(set(incidental["terms"])) >= min(1, kill_leader) + 1
+        if kill_leader else True
+    )
+    report["re_elected"] = bool(re_elected)
+    report["ok"] = bool(
+        report.get("deterministic", {}).get("ok")
+        and report["leaked_processes"] == 0
+        and re_elected
+    )
+    return report
