@@ -9,6 +9,11 @@ bench verifies on one shared workload (keys -> 4 nodes):
   updated (any key-set change rebuilds);
 * CHD perfect hashing has a compact index but still stores a full value
   table and, unlike SetSep, pays it at perfect-hash occupancy.
+
+The in-repo Othello backend (arXiv:1608.05699, ``repro.othello``) joins
+the shootout as the updatable alternative: more memory than SetSep, but
+incremental O(1)-expected updates — see ``bench_othello.py`` for the
+dedicated head-to-head.
 """
 
 import time
@@ -19,6 +24,8 @@ import pytest
 from repro.baselines import BloomierFilter, BuffaloSeparator
 from repro.baselines.perfecthash import ChdValueTable
 from repro.core import SetSepParams, build
+from repro.othello import OthelloParams
+from repro.othello import build as othello_build
 from repro import perflab
 from benchmarks.conftest import bench_keys, bench_scale, print_header
 
@@ -42,6 +49,13 @@ def test_separator_shootout(benchmark, workload):
         out["SetSep (16+8)"] = (
             setsep.size_bits() / N_KEYS,
             lambda probe: setsep.lookup_batch(probe),
+        )
+        othello, _ = othello_build(
+            keys, nodes, OthelloParams(value_bits=2)
+        )
+        out["Othello"] = (
+            othello.size_bits() / N_KEYS,
+            lambda probe: othello.lookup_batch(probe),
         )
         bloomier = BloomierFilter(keys, nodes, value_bits=2)
         out["Bloomier"] = (
@@ -93,6 +107,8 @@ def test_separator_shootout(benchmark, workload):
     # §8's space claims on this workload.
     assert results["SetSep (16+8)"] < results["BUFFALO (10 b/k)"]
     assert results["SetSep (16+8)"] < results["CHD + values"]
+    # Othello buys updatability with memory, not the other way round.
+    assert results["SetSep (16+8)"] < results["Othello"]
     benchmark.extra_info["bits_per_key"] = {
         k: round(v, 2) for k, v in results.items()
     }
@@ -113,18 +129,20 @@ def perflab_separators(ctx):
 
     def build_all():
         setsep, _ = build(keys, nodes, SetSepParams(value_bits=2))
+        othello, _ = othello_build(keys, nodes, OthelloParams(value_bits=2))
         bloomier = BloomierFilter(keys, nodes, value_bits=2)
         chd = ChdValueTable(keys, nodes, value_bits=2)
         buffalo = BuffaloSeparator(
             NUM_NODES, bits_per_key=10, expected_items=n_keys
         )
         buffalo.insert_batch(keys, nodes)
-        return setsep, bloomier, chd, buffalo
+        return setsep, othello, bloomier, chd, buffalo
 
-    setsep, bloomier, chd, buffalo = ctx.timeit(build_all)
+    setsep, othello, bloomier, chd, buffalo = ctx.timeit(build_all)
     ctx.registry.counter("separators.keys").inc(n_keys)
     ctx.record(
         setsep_bits_per_key=setsep.size_bits() / n_keys,
+        othello_bits_per_key=othello.size_bits() / n_keys,
         bloomier_bits_per_key=bloomier.bits_per_key(),
         chd_bits_per_key=chd.size_bits() / n_keys,
         buffalo_bits_per_key=buffalo.size_bits() / n_keys,

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -54,8 +55,8 @@ import numpy as np
 
 from repro.cluster.architectures import Architecture
 from repro.core import serialize
+from repro.core import separator as separator_registry
 from repro.core.hashfamily import canonical_key
-from repro.core.params import SetSepParams
 from repro.gpt.gpt import GlobalPartitionTable
 from repro.model.scaling import peak_scaling_factor, scaling_curve
 from repro.obs import MetricsRegistry
@@ -103,13 +104,13 @@ def _cmd_build(args: argparse.Namespace) -> int:
     if not keys:
         print("no entries in input", file=sys.stderr)
         return 2
-    params = SetSepParams.for_cluster(args.nodes)
     gpt, stats = GlobalPartitionTable.build(
-        np.asarray(keys, dtype=np.uint64), nodes, args.nodes, params
+        np.asarray(keys, dtype=np.uint64), nodes, args.nodes
     )
     with open(args.output, "wb") as out:
         serialize.dump(gpt.setsep, out)
-    print(f"built GPT: {stats.num_keys:,} keys -> {args.nodes} nodes, "
+    print(f"built GPT ({gpt.backend}): {stats.num_keys:,} keys -> "
+          f"{args.nodes} nodes, "
           f"{gpt.bits_per_key(stats.num_keys):.2f} bits/key, "
           f"fallback {stats.fallback_ratio * 100:.4f}%")
     print(f"snapshot written to {args.output}")
@@ -129,26 +130,30 @@ def _cmd_lookup(args: argparse.Namespace) -> int:
 def _cmd_info(args: argparse.Namespace) -> int:
     with open(args.snapshot, "rb") as handle:
         setsep = serialize.load(handle)
+    backend = separator_registry.backend_of(setsep)
+    fallback = getattr(setsep, "fallback", ())
     capacity = setsep.num_blocks * 1024
     if emit({
+        "backend": backend,
         "config": setsep.params.name,
         "value_bits": setsep.params.value_bits,
         "blocks": setsep.num_blocks,
         "groups": setsep.num_groups,
         "buckets": setsep.num_buckets,
         "size_bytes": setsep.size_bytes(),
-        "fallback_entries": len(setsep.fallback),
+        "fallback_entries": len(fallback),
         "capacity_keys": capacity,
         "bits_per_key_at_capacity": setsep.size_bits() / capacity,
         "environment": environment_fingerprint(),
     }, args.json):
         return EXIT_OK
+    print(f"backend      : {backend}")
     print(f"config       : {setsep.params.name}, "
           f"{setsep.params.value_bits}-bit values")
     print(f"blocks       : {setsep.num_blocks} "
           f"({setsep.num_groups} groups, {setsep.num_buckets} buckets)")
     print(f"size         : {setsep.size_bytes():,} bytes")
-    print(f"fallback     : {len(setsep.fallback)} entries")
+    print(f"fallback     : {len(fallback)} entries")
     print(f"sized for    : ~{capacity:,} keys "
           f"({setsep.size_bits() / capacity:.2f} bits/key at capacity)")
     return 0
@@ -360,7 +365,14 @@ def _cmd_bench_list(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     _architecture, gateway, _stats = _run_gateway_trial(args)
-    if not emit(gateway.registry.snapshot(), args.json):
+    gpt = next(
+        (n.gpt for n in gateway.cluster.nodes if n.gpt is not None), None
+    )
+    doc = gateway.registry.snapshot()
+    doc["gpt_backend"] = gpt.backend if gpt is not None else None
+    if not emit(doc, args.json):
+        if doc["gpt_backend"] is not None:
+            print(f"gpt backend  : {doc['gpt_backend']}")
         _print_metrics_text(gateway.registry)
     return EXIT_OK
 
@@ -626,7 +638,15 @@ def _cmd_ctl(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=list(separator_registry.BACKENDS), default=None,
+        help="GPT separator backend (default: $REPRO_GPT_BACKEND or setsep)",
+    )
+
+
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_backend_argument(parser)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--flows", type=int, default=2000,
                         help="initial bearer population")
@@ -652,6 +672,7 @@ def make_parser() -> argparse.ArgumentParser:
     build.add_argument("input", help="CSV of key,node lines")
     build.add_argument("output", help="snapshot file to write")
     build.add_argument("--nodes", type=int, default=4)
+    _add_backend_argument(build)
     build.set_defaults(func=_cmd_build)
 
     lookup = sub.add_parser("lookup", help="query keys against a snapshot")
@@ -685,6 +706,7 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--packets", type=int, default=1_000)
         p.add_argument("--zipf", type=float, default=0.0)
         p.add_argument("--seed", type=int, default=0)
+        _add_backend_argument(p)
 
     gateway = sub.add_parser("gateway", help="run an EPC simulation")
     add_trial_args(gateway)
@@ -723,6 +745,7 @@ def make_parser() -> argparse.ArgumentParser:
                        help="differential packets per traffic burst")
     chaos.add_argument("--json", action="store_true",
                        help="emit the full soak report as JSON")
+    _add_backend_argument(chaos)
     chaos.set_defaults(func=_cmd_chaos)
 
     bench = sub.add_parser(
@@ -755,6 +778,7 @@ def make_parser() -> argparse.ArgumentParser:
     )
     bench_run.add_argument("--json", action="store_true",
                            help="print the full artifact to stdout")
+    _add_backend_argument(bench_run)
     bench_run.set_defaults(func=_cmd_bench_run)
 
     bench_compare = bench_sub.add_parser(
@@ -856,6 +880,7 @@ def make_parser() -> argparse.ArgumentParser:
         help="replicate the control plane across N controller replicas; "
              "replica 0 serves on --port, the rest on ephemeral ports",
     )
+    _add_backend_argument(serve_api)
     serve_api.set_defaults(func=_cmd_serve_api)
 
     ctl = sub.add_parser(
@@ -933,6 +958,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = make_parser()
     args = parser.parse_args(argv)
+    # One hook covers every verb carrying --backend: the process-wide
+    # default feeds each build path (gateway, launcher, chaos, bench)
+    # without threading a parameter through all of them.  The env var is
+    # set too so spawned helper processes (replicated controllers) agree.
+    if getattr(args, "backend", None) is not None:
+        separator_registry.set_default_backend(args.backend)
+        os.environ[separator_registry.BACKEND_ENV] = args.backend
     return args.func(args)
 
 

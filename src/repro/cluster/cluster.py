@@ -20,7 +20,8 @@ from repro.cluster.fabric import SwitchFabric
 from repro.cluster.node import ClusterNode
 from repro.cluster.rib import RoutingInformationBase
 from repro.core import hashfamily, twolevel
-from repro.core.params import SetSepParams
+from repro.core import separator as separator_registry
+from repro.core.separator import SeparatorParams
 from repro.core.setsep import Key
 from repro.gpt.gpt import GlobalPartitionTable
 from repro.hashtables.cuckoo import CuckooHashTable
@@ -141,7 +142,7 @@ class Cluster:
         nodes: List[ClusterNode],
         fabric: SwitchFabric,
         rib: RoutingInformationBase,
-        gpt_params: Optional[SetSepParams] = None,
+        gpt_params: Optional[SeparatorParams] = None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.architecture = architecture
@@ -196,9 +197,10 @@ class Cluster:
         handling_nodes: Sequence[int],
         values: Sequence[int],
         fib_factory: Optional[FibFactory] = None,
-        gpt_params: Optional[SetSepParams] = None,
+        gpt_params: Optional[SeparatorParams] = None,
         fabric: Optional[SwitchFabric] = None,
         registry: Optional[MetricsRegistry] = None,
+        backend: Optional[str] = None,
     ) -> "Cluster":
         """Stand up a cluster pre-populated with the given flows.
 
@@ -212,10 +214,13 @@ class Cluster:
             values: application value per key (e.g. the downstream TEID).
             fib_factory: ``capacity -> FibTable``; defaults to the extended
                 cuckoo table.
-            gpt_params: SetSep configuration for the GPT (ScaleBricks).
+            gpt_params: separator configuration for the GPT (ScaleBricks);
+                converted if it doesn't match the selected backend.
             fabric: interconnect; defaults to a switch fabric.
             registry: metrics registry shared by the cluster, its GPT
                 replicas and the update engine (default: disabled).
+            backend: separator backend for the GPT; ``None`` uses the
+                process default (:mod:`repro.core.separator`).
         """
         keys_arr = hashfamily.canonical_keys(keys)
         nodes_arr = np.asarray(handling_nodes, dtype=np.int64)
@@ -234,10 +239,18 @@ class Cluster:
         # an authoritative source.
         gpt: Optional[GlobalPartitionTable] = None
         if architecture.uses_gpt:
+            backend = separator_registry.resolve_backend(backend)
             if gpt_params is None:
-                gpt_params = SetSepParams.for_cluster(num_nodes)
+                gpt_params = separator_registry.params_for_cluster(
+                    num_nodes, backend
+                )
+            else:
+                gpt_params = separator_registry.coerce_params(
+                    gpt_params, backend
+                )
             gpt, _ = GlobalPartitionTable.build(
-                keys_arr, nodes_arr.tolist(), num_nodes, gpt_params
+                keys_arr, nodes_arr.tolist(), num_nodes, gpt_params,
+                backend=backend,
             )
             num_blocks = gpt.setsep.num_blocks
         else:

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.cluster.architectures import Architecture
 from repro.cluster.cluster import Cluster, FibFactory
-from repro.core.params import SetSepParams
+from repro.core import separator as separator_registry
 
 
 @dataclass(frozen=True)
@@ -92,8 +92,14 @@ def resize(
 
     old_bits = _value_bits(cluster, old_num_nodes)
     gpt_params = None
+    backend = None
     if cluster.architecture.uses_gpt:
-        gpt_params = SetSepParams.for_cluster(new_num_nodes)
+        # Preserve the running cluster's separator backend across resizes.
+        if cluster.nodes[0].gpt is not None:
+            backend = separator_registry.backend_of(cluster.nodes[0].gpt.setsep)
+        gpt_params = separator_registry.params_for_cluster(
+            new_num_nodes, backend
+        )
 
     new_cluster = Cluster.build(
         cluster.architecture,
@@ -103,6 +109,7 @@ def resize(
         values,
         fib_factory=fib_factory,
         gpt_params=gpt_params,
+        backend=backend,
     )
     report = ResizeReport(
         old_nodes=old_num_nodes,

@@ -27,7 +27,6 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.cluster.architectures import Architecture
 from repro.cluster.cluster import Cluster
 from repro.core import hashfamily
-from repro.core.delta import GroupDelta
 from repro.obs.metrics import MetricsRegistry, resolve_registry
 
 #: Broadcast-delta size buckets (bits).  The paper's §4.5 claim is "tens
@@ -92,7 +91,7 @@ class UpdateEngine:
         #: :data:`DELIVER`, :data:`DROP`, :data:`DUPLICATE` or
         #: :data:`DELAY`.  ``None`` (the default) ships every delta.
         self.delta_interceptor: Optional[DeltaInterceptor] = None
-        self._delayed_deltas: List[Tuple[int, bytes]] = []
+        self._delayed_deltas: List[Tuple[int, type, bytes]] = []
         self.bind_registry(
             registry if registry is not None else cluster.registry
         )
@@ -214,8 +213,19 @@ class UpdateEngine:
         owner = cluster.nodes[owner_id]
         assert owner.gpt is not None
         group = owner.gpt.group_of(ckey)
-        keys, nodes = cluster.rib.group_contents(group, owner.gpt.setsep)
         removed = (removed_key,) if removed_key is not None else ()
+        # Incremental backends (Othello) skip the O(group) contents
+        # enumeration once their owner-side graph is warm: the changed
+        # key alone produces the byte-identical record.
+        needs_full = getattr(owner.gpt.setsep, "needs_full_contents", None)
+        if needs_full is None or needs_full(group):
+            keys, nodes = cluster.rib.group_contents(
+                group, owner.gpt.setsep
+            )
+        elif removed_key is not None:
+            keys, nodes = [], []
+        else:
+            keys, nodes = [ckey], [cluster.rib.get(ckey).node]
         with self.registry.span("rebuild"):
             delta = owner.gpt.rebuild_group(
                 group, keys, nodes, removed_keys=removed
@@ -223,8 +233,12 @@ class UpdateEngine:
         self.stats.groups_rebuilt += 1
         self._broadcast(delta, owner_id)
 
-    def _broadcast(self, delta: GroupDelta, owner_id: int) -> None:
-        """Ship the delta to every other replica (a memory copy each).
+    def _broadcast(self, delta, owner_id: int) -> None:
+        """Ship the record to every other replica (a memory copy each).
+
+        Backend-generic: ``delta`` is a ``GroupDelta`` (SetSep) or an
+        ``OthelloUpdate`` — both self-framing, so peers decode from the
+        wire bytes alone.
 
         An installed :attr:`delta_interceptor` may drop a peer's copy
         (leaving that replica stale until a later rebroadcast), apply it
@@ -233,7 +247,8 @@ class UpdateEngine:
         production cluster actually experiences.
         """
         params = self.cluster.nodes[owner_id].gpt.setsep.params
-        wire = delta.encode(params)
+        record_type = type(delta)
+        wire = delta.wire_bytes(params)
         delta_bits = delta.size_bits(params)
         for node in self.cluster.nodes:
             if node.node_id == owner_id or node.gpt is None:
@@ -246,13 +261,13 @@ class UpdateEngine:
                 self._m_deltas_dropped.inc()
                 continue
             if verdict == DELAY:
-                self._delayed_deltas.append((node.node_id, wire))
+                self._delayed_deltas.append((node.node_id, record_type, wire))
                 self.stats.deltas_delayed += 1
                 self._m_deltas_delayed.inc()
                 continue
-            node.gpt.apply_delta(GroupDelta.decode(wire, params))
+            node.gpt.apply_delta(record_type.from_wire_bytes(wire)[0])
             if verdict == DUPLICATE:
-                node.gpt.apply_delta(GroupDelta.decode(wire, params))
+                node.gpt.apply_delta(record_type.from_wire_bytes(wire)[0])
                 self.stats.deltas_duplicated += 1
                 self._m_deltas_duplicated.inc()
             self.stats.delta_broadcasts += 1
@@ -268,12 +283,11 @@ class UpdateEngine:
         convergence the broadcast protocol relies on.
         """
         pending, self._delayed_deltas = self._delayed_deltas, []
-        for peer_id, wire in pending:
+        for peer_id, record_type, wire in pending:
             node = self.cluster.nodes[peer_id]
             if node.gpt is None:
                 continue
-            params = node.gpt.setsep.params
-            node.gpt.apply_delta(GroupDelta.decode(wire, params))
+            node.gpt.apply_delta(record_type.from_wire_bytes(wire)[0])
             self.stats.delta_broadcasts += 1
             self._m_broadcasts.inc()
         return len(pending)

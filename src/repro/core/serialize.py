@@ -1,9 +1,9 @@
-"""Binary snapshots of SetSep structures.
+"""Binary snapshots of separator structures (SetSep and Othello).
 
-The paper's construction/exchange step (§4.5) ships whole SetSep slices
+The paper's construction/exchange step (§4.5) ships whole separator slices
 between nodes, and a production appliance wants to persist the GPT across
 restarts instead of rebuilding from the RIB.  This module defines a small
-versioned binary format:
+versioned binary format for SetSep:
 
     magic "SSEP" | version u16 | header | arrays
 
@@ -12,6 +12,13 @@ num_blocks u32; fallback count u32.  Arrays follow in fixed order:
 choices (u8), indices (u16), arrays (u32), failed bitmap (packed u8),
 fallback entries (u64 key + u16 value each).  Integrity is guarded by a
 trailing CRC32.
+
+This module is also the front door for every separator backend: dumping
+dispatches on the instance's ``backend`` attribute and loading on the
+snapshot magic, so runtime daemons, the replica-divergence audits, and the
+CLI handle either payload kind ("SSEP" here, "OTHL" in
+:mod:`repro.othello.codec`) without backend knowledge.  Both kinds share
+the trailing-CRC32 convention, which keeps :func:`fingerprint` uniform.
 """
 
 from __future__ import annotations
@@ -36,8 +43,16 @@ class SnapshotError(ValueError):
     """Raised when a snapshot is malformed or fails integrity checks."""
 
 
-def dump_bytes(setsep: SetSep) -> bytes:
-    """Serialise a SetSep to a self-describing byte string."""
+def dump_bytes(setsep) -> bytes:
+    """Serialise a separator to a self-describing byte string.
+
+    Accepts any registered backend; non-SetSep instances are routed to
+    their own codec by the ``backend`` attribute.
+    """
+    if getattr(setsep, "backend", "setsep") == "othello":
+        from repro.othello import codec as othello_codec
+
+        return othello_codec.dump_bytes(setsep)
     params = setsep.params
     fallback_items = sorted(setsep.fallback.items())
     header = _HEADER.pack(
@@ -67,12 +82,20 @@ def dump_bytes(setsep: SetSep) -> bytes:
     return body + struct.pack("<I", zlib.crc32(body))
 
 
-def load_bytes(data: bytes) -> SetSep:
-    """Reconstruct a SetSep from :func:`dump_bytes` output.
+def load_bytes(data: bytes):
+    """Reconstruct a separator from :func:`dump_bytes` output.
+
+    Dispatches on the snapshot magic ("SSEP" -> SetSep, "OTHL" ->
+    Othello), so callers bootstrapping from a byte payload need no
+    out-of-band backend agreement.
 
     Raises:
         SnapshotError: on bad magic, version, truncation or CRC mismatch.
     """
+    from repro.othello import codec as othello_codec
+
+    if data[:4] == othello_codec.MAGIC:
+        return othello_codec.load_bytes(data)
     if len(data) < _HEADER.size + 4:
         raise SnapshotError("snapshot truncated")
     body, crc_raw = data[:-4], data[-4:]
@@ -144,8 +167,10 @@ def load_bytes(data: bytes) -> SetSep:
     )
 
 
-def fingerprint(setsep: SetSep) -> int:
-    """CRC32 identifying a SetSep's exact state (replica comparison).
+def fingerprint(setsep) -> int:
+    """CRC32 identifying a separator's exact state (replica comparison).
+
+    Works for every backend — both payload kinds end in their body CRC.
 
     This is the snapshot's own integrity CRC — crc32 over the snapshot
     *body*.  Never take crc32 of a whole :func:`dumps` string to compare
@@ -156,8 +181,8 @@ def fingerprint(setsep: SetSep) -> int:
     return struct.unpack("<I", dump_bytes(setsep)[-4:])[0]
 
 
-def dumps(setsep: SetSep) -> bytes:
-    """Serialise a SetSep to bytes (wire-caller convenience name).
+def dumps(setsep) -> bytes:
+    """Serialise a separator to bytes (wire-caller convenience name).
 
     Alias of :func:`dump_bytes`, mirroring the ``json``/``pickle``
     naming so callers shipping snapshots over sockets don't reach for
@@ -166,8 +191,8 @@ def dumps(setsep: SetSep) -> bytes:
     return dump_bytes(setsep)
 
 
-def loads(data: bytes) -> SetSep:
-    """Reconstruct a SetSep from :func:`dumps` output.
+def loads(data: bytes):
+    """Reconstruct a separator from :func:`dumps` output.
 
     Alias of :func:`load_bytes`; raises :class:`SnapshotError` on bad
     magic, version, truncation or CRC mismatch.
@@ -175,11 +200,11 @@ def loads(data: bytes) -> SetSep:
     return load_bytes(data)
 
 
-def dump(setsep: SetSep, stream: BinaryIO) -> None:
+def dump(setsep, stream: BinaryIO) -> None:
     """Write a snapshot to a binary stream."""
     stream.write(dump_bytes(setsep))
 
 
-def load(stream: BinaryIO) -> SetSep:
+def load(stream: BinaryIO):
     """Read a snapshot from a binary stream."""
     return load_bytes(stream.read())

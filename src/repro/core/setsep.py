@@ -43,6 +43,9 @@ class SetSep:
     parallel, distributed across RIB nodes) can produce slices independently.
     """
 
+    #: Registry name under :mod:`repro.core.separator`.
+    backend = "setsep"
+
     def __init__(
         self,
         params: SetSepParams,

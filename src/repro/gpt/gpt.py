@@ -2,7 +2,9 @@
 
 The GPT is the fully replicated, extremely compact table every ingress node
 consults to forward a packet straight to its handling node.  It wraps a
-SetSep whose values are node ids, adding:
+separator — SetSep (the paper's choice) or Othello hashing
+(arXiv:1608.05699), selected via :mod:`repro.core.separator` — whose
+values are node ids, adding:
 
 * cluster-aware sizing (``value_bits = ceil(log2 num_nodes)``);
 * an update interface in terms of (key, node) pairs backed by SetSep group
@@ -10,9 +12,12 @@ SetSep whose values are node ids, adding:
   every replica applies the broadcast delta;
 * size accounting used by the FIB-scaling analytics (Fig. 11).
 
-One-sided error is inherited from SetSep: looking up an unknown key returns
-*some* node id.  ScaleBricks relies on the handling node's exact FIB to
-reject such packets, so the GPT never needs to say "not found".
+One-sided error is inherited from the separator: looking up an unknown key
+returns *some* node id.  ScaleBricks relies on the handling node's exact
+FIB to reject such packets, so the GPT never needs to say "not found".
+
+The attribute holding the separator is named ``setsep`` for historical
+reasons (and API stability); it may be any registered backend.
 """
 
 from __future__ import annotations
@@ -21,18 +26,16 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core import builder
+from repro.core import separator as separator_registry
 from repro.core.builder import ConstructionStats
-from repro.core.delta import GroupDelta
-from repro.core.hashfamily import canonical_key, canonical_keys
-from repro.core.params import GROUPS_PER_BLOCK, SetSepParams
-from repro.core.setsep import Key, SetSep
+from repro.core.hashfamily import Key, canonical_keys
+from repro.core.separator import Separator, SeparatorParams
 
 
 class GlobalPartitionTable:
     """Compact key-to-node mapping replicated on every cluster node."""
 
-    def __init__(self, num_nodes: int, setsep: SetSep) -> None:
+    def __init__(self, num_nodes: int, setsep: Separator) -> None:
         if num_nodes < 1:
             raise ValueError("cluster must have at least one node")
         max_value = (1 << setsep.params.value_bits) - 1
@@ -44,23 +47,37 @@ class GlobalPartitionTable:
         self.num_nodes = num_nodes
         self.setsep = setsep
 
+    @property
+    def backend(self) -> str:
+        """Registry name of the separator backend ("setsep", "othello")."""
+        return separator_registry.backend_of(self.setsep)
+
     @classmethod
     def build(
         cls,
         keys: Union[Sequence[Key], np.ndarray],
         nodes: Sequence[int],
         num_nodes: int,
-        params: Optional[SetSepParams] = None,
+        params: Optional[SeparatorParams] = None,
         workers: int = 1,
+        backend: Optional[str] = None,
     ) -> Tuple["GlobalPartitionTable", ConstructionStats]:
-        """Build a GPT mapping each key to its handling node id."""
+        """Build a GPT mapping each key to its handling node id.
+
+        ``backend`` picks the separator implementation (``None`` uses the
+        process default from :mod:`repro.core.separator`).  ``params`` of
+        the other backend's type are converted, preserving ``value_bits``.
+        """
+        backend = separator_registry.resolve_backend(backend)
         if params is None:
-            params = SetSepParams.for_cluster(num_nodes)
+            params = separator_registry.params_for_cluster(num_nodes, backend)
         nodes_arr = np.asarray(nodes, dtype=np.uint32)
         if len(nodes_arr) and int(nodes_arr.max()) >= num_nodes:
             raise ValueError("node id out of range")
-        setsep, stats = builder.build(keys, nodes_arr, params, workers=workers)
-        return cls(num_nodes, setsep), stats
+        sep, stats = separator_registry.build(
+            keys, nodes_arr, params, backend=backend, workers=workers
+        )
+        return cls(num_nodes, sep), stats
 
     # ------------------------------------------------------------------
     # Lookup
@@ -97,16 +114,20 @@ class GlobalPartitionTable:
         keys: Union[Sequence[Key], np.ndarray],
         nodes: Sequence[int],
         removed_keys: Iterable[Key] = (),
-    ) -> GroupDelta:
-        """Recompute one group after a RIB change; returns the delta."""
+    ):
+        """Recompute one group after a RIB change; returns the record.
+
+        The record type matches the backend: a ``GroupDelta`` for SetSep,
+        an ``OthelloUpdate`` for Othello — both self-framing wire peers.
+        """
         return self.setsep.rebuild_group(group_id, keys, nodes, removed_keys)
 
-    def apply_delta(self, delta: GroupDelta) -> None:
-        """Apply a broadcast delta from the owning RIB node."""
+    def apply_delta(self, delta) -> None:
+        """Apply a broadcast update record from the owning RIB node."""
         self.setsep.apply_delta(delta)
 
     def group_of(self, key: Key) -> int:
-        """Global SetSep group id of ``key``."""
+        """Global separator group id of ``key``."""
         return self.setsep.group_of(key)
 
     # ------------------------------------------------------------------
@@ -141,7 +162,8 @@ def rib_view(
     """Group the RIB by SetSep group id (helper for update tests).
 
     Returns ``{group_id: {canonical_key: node}}`` — the per-group contents an
-    owning RIB node needs when recomputing a group.
+    owning RIB node needs when recomputing a group (backend-agnostic via
+    ``groups_of``).
     """
     keys_arr = canonical_keys(keys)
     groups = gpt.setsep.groups_of(keys_arr)

@@ -1,0 +1,45 @@
+"""Othello hashing: a pluggable GPT separator backend (arXiv:1608.05699).
+
+The direct competitor to SetSep for the paper's §3.2 GPT slot: the same
+keyless key -> node-id mapping, but with O(1)-expected incremental updates
+(XOR-correcting one connected component) instead of SetSep's per-group
+brute-force recompute, at the cost of ~4x the memory per value bit.
+
+Public surface:
+
+* :class:`repro.othello.structure.OthelloSeparator` — the queryable
+  structure (SetSep's drop-in peer behind ``GlobalPartitionTable``).
+* :func:`repro.othello.builder.build` — construction.
+* :class:`repro.othello.params.OthelloParams` — configuration.
+* :class:`repro.othello.update.OthelloUpdate` — the broadcast update
+  record (peer of :class:`repro.core.delta.GroupDelta`).
+
+Backend selection lives in :mod:`repro.core.separator`; snapshots flow
+through :mod:`repro.core.serialize`, which recognises this package's
+"OTHL" payload kind.
+"""
+
+from repro.othello.builder import build
+from repro.othello.codec import dump_bytes, load_bytes
+from repro.othello.params import OthelloParams
+from repro.othello.structure import (
+    OthelloRehashError,
+    OthelloSeparator,
+    build_block_rows,
+    color_block,
+    vertex_hashes,
+)
+from repro.othello.update import OthelloUpdate
+
+__all__ = [
+    "OthelloParams",
+    "OthelloRehashError",
+    "OthelloSeparator",
+    "OthelloUpdate",
+    "build",
+    "build_block_rows",
+    "color_block",
+    "dump_bytes",
+    "load_bytes",
+    "vertex_hashes",
+]

@@ -1,0 +1,123 @@
+"""Binary snapshots of Othello separators (the "OTHL" payload kind).
+
+Layout mirrors the SetSep "SSEP" format in :mod:`repro.core.serialize`:
+
+    magic "OTHL" | version u16 | header | arrays | crc32 u32
+
+Header fields (little-endian): value_bits u8, vertex_bits u8 (log2
+vertices per side), max_rehash u8, reserved u8; base seed u32; num_blocks
+u32.  Arrays follow in fixed order: per-block seeds (u32), side A cells
+(u32, row-major), side B cells (u32).  Integrity is guarded by the same
+trailing-CRC32 convention, so :func:`repro.core.serialize.fingerprint`
+works identically for both backends and the runtime's replica-divergence
+audits need no backend knowledge.
+
+The front door is :mod:`repro.core.serialize`, which dispatches on the
+separator type when dumping and on the magic when loading; this module
+holds only the Othello-specific encoding.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.othello.params import OthelloParams
+from repro.othello.structure import OthelloSeparator
+
+MAGIC = b"OTHL"
+VERSION = 1
+
+_HEADER = struct.Struct("<4sHBBBBII")
+
+
+def dump_bytes(othello: OthelloSeparator) -> bytes:
+    """Serialise an Othello separator to a self-describing byte string."""
+    params = othello.params
+    header = _HEADER.pack(
+        MAGIC,
+        VERSION,
+        params.value_bits,
+        params.vertex_bits,
+        params.max_rehash,
+        0,  # reserved
+        params.seed,
+        othello.num_blocks,
+    )
+    body = b"".join(
+        [
+            header,
+            othello.seeds.astype("<u4").tobytes(),
+            othello.array_a.astype("<u4").tobytes(),
+            othello.array_b.astype("<u4").tobytes(),
+        ]
+    )
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+def load_bytes(data: bytes) -> OthelloSeparator:
+    """Reconstruct an Othello separator from :func:`dump_bytes` output.
+
+    Raises:
+        SnapshotError: on bad magic, version, truncation or CRC mismatch.
+    """
+    from repro.core.serialize import SnapshotError
+
+    if len(data) < _HEADER.size + 4:
+        raise SnapshotError("snapshot truncated")
+    body, crc_raw = data[:-4], data[-4:]
+    if zlib.crc32(body) != struct.unpack("<I", crc_raw)[0]:
+        raise SnapshotError("snapshot CRC mismatch")
+
+    (
+        magic,
+        version,
+        value_bits,
+        vertex_bits,
+        max_rehash,
+        _reserved,
+        base_seed,
+        num_blocks,
+    ) = _HEADER.unpack_from(body)
+    if magic != MAGIC:
+        raise SnapshotError("not an Othello snapshot")
+    if version != VERSION:
+        raise SnapshotError(f"unsupported snapshot version {version}")
+    try:
+        params = OthelloParams(
+            value_bits=value_bits,
+            vertices_per_side=1 << vertex_bits,
+            seed=base_seed,
+            max_rehash=max_rehash,
+        )
+    except ValueError as exc:
+        raise SnapshotError(f"impossible othello header: {exc}") from exc
+
+    vps = params.vertices_per_side
+    offset = _HEADER.size
+    sections = [
+        ("seeds", num_blocks * 4, (num_blocks,)),
+        ("array_a", num_blocks * vps * 4, (num_blocks, vps)),
+        ("array_b", num_blocks * vps * 4, (num_blocks, vps)),
+    ]
+    arrays = {}
+    for name, nbytes, shape in sections:
+        end = offset + nbytes
+        if end > len(body):
+            raise SnapshotError(f"snapshot truncated in {name}")
+        arrays[name] = np.frombuffer(
+            body[offset:end], dtype="<u4"
+        ).reshape(shape).copy()
+        offset = end
+    if offset != len(body):
+        raise SnapshotError("trailing bytes after othello arrays")
+
+    return OthelloSeparator(
+        params=params,
+        num_blocks=num_blocks,
+        seeds=arrays["seeds"].astype(np.uint32),
+        array_a=arrays["array_a"].astype(np.uint32),
+        array_b=arrays["array_b"].astype(np.uint32),
+    )

@@ -1,0 +1,94 @@
+"""Configuration of the Othello separator (Yu et al., arXiv:1608.05699).
+
+Othello stores a key -> value mapping as two vertex arrays ``A`` and ``B``;
+a key hashes to one vertex on each side and its value is
+``A[h_a(k)] XOR B[h_b(k)]``.  As long as the bipartite graph whose edges are
+the keys stays acyclic, any assignment of values is satisfiable and a single
+insert touches only one connected component — the O(1) incremental update
+that distinguishes Othello from SetSep's per-group recompute (paper §4.5).
+
+This reproduction partitions Othello by the same 1024-key blocks SetSep
+uses (one small Othello instance per block), so RIB ownership, the §4.5
+owner-recomputes-and-broadcasts update protocol, and the runtime daemons
+all work unchanged regardless of backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import KEYS_PER_BLOCK
+
+#: Per-block seed counter width; a block rehash bumps the seed mod 2**32.
+SEED_BITS = 32
+
+
+@dataclass(frozen=True)
+class OthelloParams:
+    """Tunable parameters of an Othello separator.
+
+    Attributes:
+        value_bits: bits per stored value; a cluster of N nodes needs
+            ``ceil(log2 N)``.  Cells are XOR-combined, so unlike SetSep
+            there is no per-value-bit search — wider values cost memory,
+            not build time.
+        vertices_per_side: vertices on each side of the per-block bipartite
+            graph.  Must be a power of two in ``[4, 32768]``.  The default,
+            2048 = 2x the 1024 keys per block, keeps the acyclicity
+            probability high so rehashes are rare.
+        seed: base seed for the per-block vertex hash salts.
+        max_rehash: how many incremented seeds a block build/update may try
+            before giving up (in [1, 255] so it fits the snapshot header).
+    """
+
+    value_bits: int = 1
+    vertices_per_side: int = 2048
+    seed: int = 0
+    max_rehash: int = 64
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.value_bits <= 16:
+            raise ValueError("value_bits must be in [1, 16]")
+        vps = self.vertices_per_side
+        if vps < 4 or vps > 32768 or vps & (vps - 1):
+            raise ValueError(
+                "vertices_per_side must be a power of two in [4, 32768]"
+            )
+        if not 0 <= self.seed < (1 << SEED_BITS):
+            raise ValueError("seed must fit in 32 bits")
+        if not 1 <= self.max_rehash <= 255:
+            raise ValueError("max_rehash must be in [1, 255]")
+
+    @property
+    def vertex_bits(self) -> int:
+        """log2(vertices_per_side) — the top bits taken from each hash."""
+        return self.vertices_per_side.bit_length() - 1
+
+    @property
+    def value_mask(self) -> int:
+        """Mask selecting the stored value bits of a cell."""
+        return (1 << self.value_bits) - 1
+
+    @property
+    def name(self) -> str:
+        """Configuration label (mirrors ``SetSepParams.name``)."""
+        return f"othello/{self.vertices_per_side}x{self.value_bits}"
+
+    def bits_per_key(self) -> float:
+        """Expected storage in bits/key for full 1024-key blocks.
+
+        Two sides of ``vertices_per_side`` cells at ``value_bits`` each,
+        plus the 32-bit per-block seed.  At the defaults this is
+        ``4 * value_bits + 0.03`` bits/key — Othello trades memory
+        (4x SetSep's 1.5 bits/key/value-bit) for O(1) updates.
+        """
+        cell_bits = 2 * self.vertices_per_side * self.value_bits
+        return (cell_bits + SEED_BITS) / KEYS_PER_BLOCK
+
+    @staticmethod
+    def for_cluster(num_nodes: int, **overrides) -> "OthelloParams":
+        """Parameters sized for a GPT mapping keys to ``num_nodes`` nodes."""
+        if num_nodes < 1:
+            raise ValueError("cluster must have at least one node")
+        value_bits = max(1, (num_nodes - 1).bit_length())
+        return OthelloParams(value_bits=value_bits, **overrides)

@@ -51,7 +51,7 @@ from repro.cluster import membership
 from repro.cluster.update import UpdateEngine
 from repro.core import serialize
 from repro.core.hashfamily import canonical_key
-from repro.core.setsep import SetSep
+from repro.core.separator import Separator
 from repro.epc.gateway import EpcGateway
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime import protocol
@@ -212,7 +212,7 @@ class RuntimeController:
         #: Serialises every mutating verb (the API daemon is threaded).
         self.commands = CommandQueue()
         self._socks: Dict[int, FramedSocket] = {}
-        self._ref_setsep: Optional[SetSep] = None
+        self._ref_setsep: Optional[Separator] = None
         self._ping_seq = 0
         self._c_tx_bytes = self.registry.counter(
             "runtime.tx_bytes", "bytes the controller shipped to daemons"
@@ -380,7 +380,7 @@ class RuntimeController:
             "total_shipped_bytes": len(snapshot) * self.num_nodes,
         }
 
-    def adopt_reference(self, setsep: SetSep, epoch: int) -> None:
+    def adopt_reference(self, setsep: Separator, epoch: int) -> None:
         """Install the GPT reference and epoch without re-shipping state.
 
         A newly elected replicated controller attaches to daemons that

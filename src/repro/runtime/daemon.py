@@ -4,7 +4,7 @@ A ``NodeDaemon`` is everything one appliance node runs, behind a TCP
 listener instead of Python method calls:
 
 * a **GPT replica** bootstrapped from an SSEP snapshot shipped on the
-  wire (``MSG_SNAPSHOT``) and kept current by applying §4.5 GroupDelta
+  wire (``MSG_SNAPSHOT``) and kept current by applying §4.5 update-record
   broadcasts from its peers (``MSG_DELTA``);
 * its **RIB slice** — the blocks this node owns (``block % N``); for
   updates on owned keys it plays the §4.5 *owner* role: recompute the
@@ -36,7 +36,7 @@ import numpy as np
 
 from repro.chaos import transport as tfaults
 from repro.core import serialize
-from repro.core.delta import GroupDelta
+from repro.core import separator as separator_registry
 from repro.core.hashfamily import canonical_key
 from repro.epc import fastpath
 from repro.gpt.gpt import GlobalPartitionTable
@@ -371,6 +371,10 @@ class NodeDaemon:
             "charges": {str(teid): total
                         for teid, total in self.charges.items()},
             "counters": self.registry.counters(),
+            "gpt_backend": (
+                separator_registry.backend_of(self.gpt.setsep)
+                if self.gpt is not None else None
+            ),
             "gpt_crc": gpt_crc,
             "gpt_bytes": gpt_bytes,
             "claimed_term": self.claimed_term,
@@ -438,7 +442,18 @@ class NodeDaemon:
                 removed = (key,)
             acc["updates"] += 1
             group = self.gpt.group_of(key)
-            group_keys, group_nodes = self._group_contents(block, group)
+            # Incremental backends (Othello) skip the O(group) contents
+            # enumeration once their owner-side graph is warm; the
+            # record is byte-identical either way (engine parity).
+            needs_full = getattr(
+                self.gpt.setsep, "needs_full_contents", None
+            )
+            if needs_full is None or needs_full(group):
+                group_keys, group_nodes = self._group_contents(block, group)
+            elif removed:
+                group_keys, group_nodes = [], []
+            else:
+                group_keys, group_nodes = [key], [op.node]
             delta = self.gpt.rebuild_group(
                 group, group_keys, group_nodes, removed_keys=removed
             )
@@ -502,13 +517,12 @@ class NodeDaemon:
 
     def _on_delta(self, payload: bytes) -> Tuple[int, bytes]:
         assert self.gpt is not None, "delta before snapshot"
-        offset = 0
         applied = 0
-        while offset < len(payload):
-            delta, _params, offset = GroupDelta.from_wire_bytes(
-                payload, offset
-            )
-            self.gpt.apply_delta(delta)
+        records = separator_registry.parse_update_stream(
+            payload, separator_registry.backend_of(self.gpt.setsep)
+        )
+        for record, _params in records:
+            self.gpt.apply_delta(record)
             applied += 1
         self._c_deltas_applied.inc(applied)
         return RSP_OK, protocol.encode_json({"applied": applied})
