@@ -26,6 +26,13 @@ Commands:
   SIGKILLs the leader ``--kill-leader`` times mid-storm, and the
   report additionally gates on re-election and zero lost committed
   verbs.
+* ``scale-smoke`` — the scale-tier drill
+  (:mod:`repro.runtime.scalesmoke`): publish one synthesized
+  million-key GPT segment and attach it from child processes, then run
+  a live kill→repair→rejoin cycle that must converge by shared-memory
+  reference and delta-log replay alone (exit 1 if any hard gate —
+  divergence, wire snapshots, leaked segments, cold-start speedup —
+  fails).
 * ``serve-api`` / ``ctl`` — the operator control plane
   (:mod:`repro.ops`): ``serve-api`` launches a managed cluster behind
   the REST API daemon (``--replicas N`` replicates the control plane;
@@ -54,7 +61,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.cluster.architectures import Architecture
-from repro.core import serialize
+from repro.core import serialize, shm
 from repro.core import separator as separator_registry
 from repro.core.hashfamily import canonical_key
 from repro.gpt.gpt import GlobalPartitionTable
@@ -144,6 +151,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
         "fallback_entries": len(fallback),
         "capacity_keys": capacity,
         "bits_per_key_at_capacity": setsep.size_bits() / capacity,
+        "shm_available": shm.available(),
         "environment": environment_fingerprint(),
     }, args.json):
         return EXIT_OK
@@ -156,6 +164,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"fallback     : {len(fallback)} entries")
     print(f"sized for    : ~{capacity:,} keys "
           f"({setsep.size_bits() / capacity:.2f} bits/key at capacity)")
+    print(f"shm          : {'available' if shm.available() else 'unavailable'}"
+          " (shared-memory snapshot segments)")
     return 0
 
 
@@ -370,9 +380,39 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     )
     doc = gateway.registry.snapshot()
     doc["gpt_backend"] = gpt.backend if gpt is not None else None
+    if args.hotcache and gpt is not None:
+        # Replay the trial's key population through a hot-key cache and
+        # report observed vs IRM-predicted hit rate for this capacity.
+        from repro.epc.traffic import FlowGenerator
+        from repro.model import cache as cache_model
+
+        cache = gpt.attach_cache(args.hotcache)
+        generator = FlowGenerator(seed=args.seed)
+        keys = np.array(
+            [f.key() for f in generator.flows(args.flows)], dtype=np.uint64
+        )
+        for round_no in range(8):
+            sample = keys[cache_model.zipf_sample(
+                len(keys), args.packets, s=args.zipf,
+                seed=args.seed + round_no,
+            )]
+            gpt.lookup_batch(sample)
+        doc["hotcache"] = cache.stats()
+        doc["hotcache"]["predicted_hit_rate"] = (
+            cache_model.direct_mapped_hit_rate(
+                cache_model.zipf_probabilities(len(keys), s=args.zipf),
+                cache.capacity,
+            )
+        )
+        gpt.detach_cache()
     if not emit(doc, args.json):
         if doc["gpt_backend"] is not None:
             print(f"gpt backend  : {doc['gpt_backend']}")
+        if "hotcache" in doc:
+            hc = doc["hotcache"]
+            print(f"hotcache     : {hc['hits']}/{hc['hits'] + hc['misses']} "
+                  f"hits ({hc['hit_rate']:.3f} observed, "
+                  f"{hc['predicted_hit_rate']:.3f} predicted)")
         _print_metrics_text(gateway.registry)
     return EXIT_OK
 
@@ -462,10 +502,44 @@ def _cmd_runtime_demo(args: argparse.Namespace) -> int:
         fence_node=args.fence_node,
         miss_threshold=args.miss_threshold,
         heartbeat_interval=args.heartbeat_interval,
+        use_shm=args.shm,
     )
     if report["leaked_processes"]:
         report["ok"] = False
+    if report.get("leaked_shm_segments"):
+        report["ok"] = False
     return _finish_runtime_report(report, args.json)
+
+
+def _cmd_scale_smoke(args: argparse.Namespace) -> int:
+    from repro.runtime.scalesmoke import run_scale_smoke
+
+    report = run_scale_smoke(
+        keys=args.keys,
+        attachers=args.attachers,
+        nodes=args.nodes,
+        flows=args.flows,
+        updates=args.updates,
+        seed=args.seed,
+    )
+    if not emit(report, args.json):
+        if report.get("skipped"):
+            print(f"skipped: {report['skipped']}")
+        else:
+            sharing = report["segment_sharing"]
+            print(f"segment      : {sharing['payload_bytes']:,} bytes, "
+                  f"{len(sharing['attachers'])} attachers")
+            print(f"cold start   : attach {sharing['attach_ms']:.3f} ms vs "
+                  f"wire load {sharing['wire_load_ms']:.3f} ms "
+                  f"({sharing['cold_start_speedup']:.1f}x)")
+            drill = report["rejoin_drill"]
+            print(f"rejoin       : {drill['rejoin']['detail']['transport']} "
+                  f"transport, "
+                  f"{drill['deltalog_records_at_rejoin']} delta records, "
+                  f"{drill['post_rejoin_divergences']} divergences")
+            for gate, passed in report["gates"].items():
+                print(f"gate {'PASS' if passed else 'FAIL'}    : {gate}")
+    return EXIT_OK if report["ok"] else EXIT_CHECK_FAILED
 
 
 def _cmd_replicated_demo(args: argparse.Namespace) -> int:
@@ -721,6 +795,10 @@ def make_parser() -> argparse.ArgumentParser:
         help="run an instrumented gateway trial and print its metrics",
     )
     add_trial_args(stats)
+    stats.add_argument("--hotcache", type=int, default=0, metavar="SLOTS",
+                       help="replay the trial keys through a hot-key "
+                            "cache of this capacity and report observed "
+                            "vs model-predicted hit rate (0 = off)")
     stats.add_argument("--json", action="store_true",
                        help="emit the raw registry snapshot as JSON")
     stats.set_defaults(func=_cmd_stats)
@@ -853,8 +931,31 @@ def make_parser() -> argparse.ArgumentParser:
     demo.add_argument("--kill-leader", type=int, default=2,
                       help="times to SIGKILL the current leader during "
                            "the update storm (replicated mode only)")
+    demo.add_argument("--shm", action="store_true",
+                      help="publish GPT snapshots as shared-memory "
+                           "segments; daemons attach by reference "
+                           "(MSG_STATE_REF) instead of receiving bytes "
+                           "on the wire")
     _add_workload_arguments(demo)
     demo.set_defaults(func=_cmd_runtime_demo)
+
+    smoke = sub.add_parser(
+        "scale-smoke",
+        help="scale-tier drill: shared segment fan-out at ~1M keys plus "
+             "a kill/repair/rejoin cycle that must converge by shm "
+             "reference and delta-log replay (exit 1 on any gate)",
+    )
+    smoke.add_argument("--keys", type=int, default=1_000_000,
+                       help="synthesized separator size for the segment "
+                            "sharing drill")
+    smoke.add_argument("--attachers", type=int, default=2,
+                       help="child processes attaching the segment")
+    smoke.add_argument("--nodes", type=int, default=2)
+    smoke.add_argument("--flows", type=int, default=400)
+    smoke.add_argument("--updates", type=int, default=300)
+    smoke.add_argument("--seed", type=int, default=7)
+    smoke.add_argument("--json", action="store_true")
+    smoke.set_defaults(func=_cmd_scale_smoke)
 
     serve_api = sub.add_parser(
         "serve-api",

@@ -1,0 +1,171 @@
+"""Hot-key lookup cache in front of the GPT (scale tier, CRAM lens).
+
+Real subscriber traffic is heavily skewed — a Zipf(1.0) population sends
+most packets from a tiny fraction of TEIDs — and at 16M+ keys the
+separator's working set falls out of L2/L3, which is exactly the lookup
+cliff :mod:`repro.model.cache` models (CRAM, arXiv:2503.03003).  This
+module short-circuits that cliff with a fixed-capacity, direct-mapped,
+array-backed cache of fully-resolved ``key -> node`` answers:
+
+* **probe** is one ``splitmix64``-derived slot hash plus three small
+  gathers — far cheaper than the separator's multi-gather probe, and the
+  cached value is post-``mod num_nodes`` so hits skip that too;
+* **fill** happens per batch for the missing keys only, tagged with each
+  key's separator *group* id;
+* **invalidation** is delta-driven: when a group is rebuilt or a broadcast
+  record is applied, every cached entry tagged with that group is dropped
+  (all keys a ``GroupDelta``/``OthelloUpdate`` can affect live in its own
+  group, so group-tag invalidation is exact).
+
+The cache is deliberately direct-mapped with power-of-two capacity so the
+measured hit rate can be cross-validated against the independent-reference
+prediction in :func:`repro.model.cache.direct_mapped_hit_rate`.
+
+Attach one with :meth:`repro.gpt.gpt.GlobalPartitionTable.attach_cache`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core import hashfamily
+from repro.core.params import GROUPS_PER_BLOCK
+from repro.obs.metrics import MetricsRegistry, resolve_registry
+
+#: Hash stream dedicated to cache slot selection (independent of the
+#: separator's bucket/group streams, so slot collisions are uncorrelated
+#: with group membership).
+_STREAM_SLOT = hashfamily.derive_stream("hotcache/slot")
+
+
+def record_group(record) -> int:
+    """Global group id invalidated by an update record.
+
+    ``GroupDelta`` carries ``group_id`` directly; ``OthelloUpdate`` carries
+    ``block_id`` and Othello's update domain is the whole block, surfaced
+    as the block's first group id (matching ``groups_of``).
+    """
+    group = getattr(record, "group_id", None)
+    if group is not None:
+        return int(group)
+    return int(record.block_id) * GROUPS_PER_BLOCK
+
+
+class HotKeyCache:
+    """Direct-mapped cache of resolved GPT lookups.
+
+    ``capacity`` is rounded up to a power of two.  Four parallel arrays
+    (key, value, group tag, valid) make probe/fill/invalidate pure NumPy
+    gathers with no Python-level per-key work.
+    """
+
+    def __init__(
+        self, capacity: int, registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        bits = max(1, int(capacity - 1).bit_length())
+        self.capacity = 1 << bits
+        self._shift = np.uint64(64 - bits)
+        self.keys = np.zeros(self.capacity, dtype=np.uint64)
+        self.values = np.zeros(self.capacity, dtype=np.uint32)
+        self.groups = np.zeros(self.capacity, dtype=np.uint32)
+        self.valid = np.zeros(self.capacity, dtype=bool)
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.bind_registry(registry)
+
+    def bind_registry(self, registry: Optional[MetricsRegistry]) -> None:
+        """Attach a metrics registry (``None`` selects the null registry)."""
+        self.registry = resolve_registry(registry)
+        self._m_hits = self.registry.counter(
+            "hotcache.hits", "GPT lookups answered by the hot-key cache"
+        )
+        self._m_misses = self.registry.counter(
+            "hotcache.misses", "GPT lookups that fell through to the separator"
+        )
+        self._m_invalidations = self.registry.counter(
+            "hotcache.invalidations", "cached entries dropped by update records"
+        )
+
+    def _slots(self, keys: np.ndarray) -> np.ndarray:
+        """Slot index of each canonical key (top bits of the slot hash)."""
+        return (
+            hashfamily.keyed_hash(keys, _STREAM_SLOT) >> self._shift
+        ).astype(np.int64)
+
+    def probe(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched probe: ``(values, hit_mask)`` for canonical ``keys``.
+
+        ``values`` entries where ``hit_mask`` is False are unspecified.
+        """
+        slots = self._slots(keys)
+        hit = self.valid[slots] & (self.keys[slots] == keys)
+        values = self.values[slots]
+        nhits = int(np.count_nonzero(hit))
+        self.hits += nhits
+        self.misses += keys.size - nhits
+        self._m_hits.inc(nhits)
+        self._m_misses.inc(keys.size - nhits)
+        return values, hit
+
+    def fill(
+        self, keys: np.ndarray, values: np.ndarray, groups: np.ndarray
+    ) -> None:
+        """Install resolved answers (direct-mapped: later duplicates win)."""
+        if keys.size == 0:
+            return
+        slots = self._slots(keys)
+        self.keys[slots] = keys
+        self.values[slots] = values
+        self.groups[slots] = groups
+        self.valid[slots] = True
+
+    def invalidate_group(self, group_id: int) -> int:
+        """Drop every entry tagged with ``group_id``; returns the count."""
+        stale = self.valid & (self.groups == np.uint32(group_id))
+        count = int(np.count_nonzero(stale))
+        if count:
+            self.valid[stale] = False
+            self.invalidations += count
+            self._m_invalidations.inc(count)
+        return count
+
+    def invalidate_all(self) -> int:
+        """Drop every entry (state swap / membership change)."""
+        count = int(np.count_nonzero(self.valid))
+        self.valid[:] = False
+        if count:
+            self.invalidations += count
+            self._m_invalidations.inc(count)
+        return count
+
+    @property
+    def filled(self) -> int:
+        """Currently valid entries."""
+        return int(np.count_nonzero(self.valid))
+
+    def hit_rate(self) -> float:
+        """Observed hit fraction since creation (0.0 before any probe)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Union[int, float]]:
+        """JSON-ready stats for status reports and the CLI."""
+        return {
+            "capacity": self.capacity,
+            "filled": self.filled,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"HotKeyCache(capacity={self.capacity}, filled={self.filled}, "
+            f"hit_rate={self.hit_rate():.3f})"
+        )

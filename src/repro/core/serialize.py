@@ -167,6 +167,103 @@ def load_bytes(data: bytes):
     )
 
 
+def load_view(buf, verify: bool = False):
+    """Reconstruct a separator whose big arrays are *views* into ``buf``.
+
+    This is the attach path for shared-memory snapshots
+    (:mod:`repro.core.shm`): ``buf`` is typically a copy-on-write ``mmap``
+    of a published segment, and the returned separator's ``choices`` /
+    ``indices`` / ``arrays`` sections alias it directly instead of being
+    copied onto the heap.  In-place delta writes then privatise only the
+    touched pages.  Small sections (failed bitmap, fallback entries) are
+    still materialised — they are rebuilt into Python-side structures
+    anyway.
+
+    The CRC is *not* recomputed unless ``verify=True``: a cold attach must
+    not fault in (and checksum) the whole mapping.  Callers that need
+    integrity without the full pass compare :func:`fingerprint_bytes` of
+    the buffer against an expected fingerprint carried out of band.
+
+    Dispatches on magic like :func:`load_bytes`.
+    """
+    from repro.othello import codec as othello_codec
+
+    mv = memoryview(buf)
+    if len(mv) < 8:
+        raise SnapshotError("snapshot truncated")
+    if bytes(mv[:4]) == othello_codec.MAGIC:
+        return othello_codec.load_view(mv, verify=verify)
+    if verify and zlib.crc32(mv[:-4]) != struct.unpack("<I", mv[-4:])[0]:
+        raise SnapshotError("snapshot CRC mismatch")
+    body = mv[:-4]
+    if len(body) < _HEADER.size:
+        raise SnapshotError("snapshot truncated")
+    (
+        magic,
+        version,
+        index_bits,
+        array_bits,
+        value_bits,
+        _reserved,
+        num_blocks,
+        fallback_count,
+    ) = _HEADER.unpack_from(body)
+    if magic != MAGIC:
+        raise SnapshotError("not a SetSep snapshot")
+    if version != VERSION:
+        raise SnapshotError(f"unsupported snapshot version {version}")
+
+    params = SetSepParams(
+        index_bits=index_bits, array_bits=array_bits, value_bits=value_bits
+    )
+    num_buckets = num_blocks * BUCKETS_PER_BLOCK
+    num_groups = num_blocks * GROUPS_PER_BLOCK
+
+    offset = _HEADER.size
+    sections = [
+        ("choices", num_buckets, np.dtype("<u1"), (num_buckets,)),
+        ("indices", num_groups * value_bits * 2, np.dtype("<u2"),
+         (num_groups, value_bits)),
+        ("arrays", num_groups * value_bits * 4, np.dtype("<u4"),
+         (num_groups, value_bits)),
+        ("failed", (num_groups + 7) // 8, np.dtype("<u1"),
+         ((num_groups + 7) // 8,)),
+    ]
+    arrays = {}
+    for name, nbytes, dtype, shape in sections:
+        end = offset + nbytes
+        if end > len(body):
+            raise SnapshotError(f"snapshot truncated in {name}")
+        # No .copy(): the array aliases the caller's buffer.
+        arrays[name] = np.frombuffer(body[offset:end], dtype=dtype).reshape(shape)
+        offset = end
+
+    fallback = FallbackTable()
+    if fallback_count:
+        entry_dtype = np.dtype([("key", "<u8"), ("value", "<u2")])
+        end = offset + fallback_count * entry_dtype.itemsize
+        if end > len(body):
+            raise SnapshotError("snapshot truncated in fallback entries")
+        entries = np.frombuffer(body[offset:end], dtype=entry_dtype)
+        fallback.insert_many(
+            (int(k), int(v)) for k, v in zip(entries["key"], entries["value"])
+        )
+        offset = end
+    if offset != len(body):
+        raise SnapshotError("trailing bytes after fallback entries")
+
+    failed = np.unpackbits(np.asarray(arrays["failed"]))[:num_groups].astype(bool)
+    return SetSep(
+        params=params,
+        num_blocks=num_blocks,
+        choices=arrays["choices"],
+        indices=arrays["indices"],
+        arrays=arrays["arrays"],
+        failed_groups=failed,
+        fallback=fallback,
+    )
+
+
 def fingerprint(setsep) -> int:
     """CRC32 identifying a separator's exact state (replica comparison).
 
@@ -178,7 +275,21 @@ def fingerprint(setsep) -> int:
     so crc32(body ‖ crc32(body)) is the same constant (0x2144DF1C) for
     every valid snapshot and such a comparison always "passes".
     """
-    return struct.unpack("<I", dump_bytes(setsep)[-4:])[0]
+    return fingerprint_bytes(dump_bytes(setsep))
+
+
+def fingerprint_bytes(data) -> int:
+    """Fingerprint of an already-serialised snapshot: its trailing CRC32.
+
+    Both payload kinds end in crc32(body), so the last four bytes *are*
+    the replica fingerprint — callers holding the snapshot bytes (status
+    reports, shared-memory attaches) read it instead of re-serialising
+    or re-checksumming the body.
+    """
+    mv = memoryview(data)
+    if len(mv) < 4:
+        raise SnapshotError("snapshot truncated")
+    return struct.unpack("<I", mv[-4:])[0]
 
 
 def dumps(setsep) -> bytes:

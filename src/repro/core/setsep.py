@@ -126,7 +126,11 @@ class SetSep:
         """
         return int(self.lookup_batch([key])[0])
 
-    def lookup_batch(self, keys: Union[Sequence[Key], np.ndarray]) -> np.ndarray:
+    def lookup_batch(
+        self,
+        keys: Union[Sequence[Key], np.ndarray],
+        with_groups: bool = False,
+    ) -> Union[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
         """Vectorised lookup of many keys at once (paper Alg. 1).
 
         The three stages of the paper's batched lookup (bucket id, bucket to
@@ -135,10 +139,15 @@ class SetSep:
         a key are probed in one fused ``(keys, value_bits)`` broadcast
         gather — the per-bit Python loop this replaced cost one full pass
         over the batch per value bit.
+
+        ``with_groups=True`` additionally returns each key's group id as a
+        second array — the hot-key cache fills entries with group tags and
+        would otherwise recompute the bucket/group stage per miss batch.
         """
         keys = hashfamily.canonical_keys(keys)
         if keys.size == 0:
-            return np.zeros(0, dtype=np.uint32)
+            empty = np.zeros(0, dtype=np.uint32)
+            return (empty, empty.copy()) if with_groups else empty
         self._m_lookups.inc(keys.size)
         groups = self.groups_of(keys)
         g1, g2 = hashfamily.base_hashes(keys)
@@ -155,6 +164,8 @@ class SetSep:
             bits << np.arange(vb, dtype=np.uint32)[None, :], axis=1
         )
         self._apply_fallback(keys, groups, values)
+        if with_groups:
+            return values, groups.astype(np.uint32)
         return values
 
     def _apply_fallback(

@@ -1,0 +1,306 @@
+"""Shared-memory GPT snapshots: publish once, attach N times (scale tier).
+
+The paper's Fig. 11 regime (16M+ TEIDs) breaks the one-heap-per-daemon
+snapshot model: N local daemons each deserialising the same multi-megabyte
+separator costs O(N x keys) resident bytes and O(snapshot) cold-start time
+per daemon.  This module gives the controller a way to *publish* one
+serialised snapshot (:func:`repro.core.serialize.dumps` output, either
+payload kind) into a POSIX shared-memory segment, and daemons a way to
+*attach* that segment as a copy-on-write mapping parsed with the zero-copy
+:func:`repro.core.serialize.load_view` loader:
+
+* all attachers share one physical copy of the bit/value arrays;
+* in-place delta writes (``apply_delta``) privatise only the touched 4 KiB
+  pages, so replicas stay independently updatable;
+* attach cost is an ``open`` + ``mmap`` + header parse — no body copy and
+  no CRC pass (the segment's trailing CRC is compared against the
+  fingerprint carried in the ``MSG_STATE_REF`` message instead).
+
+Attachers deliberately bypass :class:`multiprocessing.shared_memory
+.SharedMemory`: attaching through it registers the segment with the
+process's ``resource_tracker``, which would unlink live segments when any
+daemon exits.  They open ``/dev/shm/<name>`` directly instead (Python
+3.13's ``track=False`` would do the same, but the floor here is 3.9).
+Only the publishing side uses ``SharedMemory`` — it owns the name and
+unlinks explicitly, refcounted by :class:`SegmentPublisher`.
+
+Linux-only by construction (``/dev/shm``); :func:`available` gates every
+caller, and the runtime falls back to the full-snapshot wire path when it
+returns ``False``.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+from typing import Dict, List, Optional
+
+from repro.core import serialize
+
+#: Directory backing POSIX shared memory on Linux.
+SHM_DIR = "/dev/shm"
+
+#: Every segment name this module creates starts with this.
+SEGMENT_PREFIX = "repro-gpt-"
+
+#: Segment framing: shm sizes are page-rounded, so the payload length is
+#: recorded explicitly.  magic "GPTS" | payload length u64 | payload.
+FRAME_MAGIC = b"GPTS"
+_FRAME = struct.Struct("<4sQ")
+
+
+class ShmError(RuntimeError):
+    """Raised when a segment cannot be published or attached."""
+
+
+class AttachError(ShmError):
+    """Raised when attaching a segment fails (missing, malformed, stale)."""
+
+
+def available() -> bool:
+    """Whether shared-memory snapshots can be used on this host."""
+    return os.path.isdir(SHM_DIR) and os.access(SHM_DIR, os.W_OK)
+
+
+def list_segments(prefix: str = SEGMENT_PREFIX) -> List[str]:
+    """Names of live segments starting with ``prefix`` (leak audits)."""
+    if not os.path.isdir(SHM_DIR):
+        return []
+    return sorted(n for n in os.listdir(SHM_DIR) if n.startswith(prefix))
+
+
+class AttachedSegment:
+    """One daemon's view of a published snapshot segment.
+
+    ``separator`` is the live structure; its big arrays alias the mapping
+    (``mode="cow"``) or a private copy of it (``mode="copy"``).  Keep the
+    handle for the separator's lifetime and :meth:`close` it after the
+    replica swaps to newer state.
+    """
+
+    def __init__(
+        self, name: str, mode: str, separator, payload_len: int, fingerprint: int, mm
+    ) -> None:
+        self.name = name
+        self.mode = mode
+        self.separator = separator
+        self.payload_len = payload_len
+        self.fingerprint = fingerprint
+        self._mm = mm
+
+    def close(self) -> None:
+        """Drop the mapping.
+
+        The munmap itself may be deferred: live array views exported from
+        the mapping keep it pinned until they are garbage collected, which
+        is exactly the make-before-break order the daemons want.
+        """
+        self.separator = None
+        mm, self._mm = self._mm, None
+        if mm is not None:
+            try:
+                mm.close()
+            except BufferError:
+                # Views still alias the mapping; GC releases it later.
+                pass
+
+    def __repr__(self) -> str:
+        return f"AttachedSegment(name={self.name!r}, mode={self.mode!r})"
+
+
+def _read_frame(view) -> int:
+    """Validate the segment frame; return the payload length."""
+    if len(view) < _FRAME.size:
+        raise AttachError("segment too small for frame header")
+    magic, payload_len = _FRAME.unpack_from(view)
+    if magic != FRAME_MAGIC:
+        raise AttachError("segment frame magic mismatch")
+    if _FRAME.size + payload_len > len(view):
+        raise AttachError("segment frame length exceeds segment size")
+    return payload_len
+
+
+def attach(
+    name: str,
+    expected_fingerprint: Optional[int] = None,
+    mode: str = "cow",
+    verify: bool = False,
+):
+    """Attach a published segment and parse the snapshot inside it.
+
+    ``mode="cow"`` (the fast path) maps ``/dev/shm/<name>`` MAP_PRIVATE
+    with read+write protection: reads share physical pages with every
+    other attacher, writes privatise pages lazily.  ``mode="copy"`` reads
+    the segment into a private heap buffer — same semantics as the wire
+    snapshot path, useful where COW mappings are unavailable.
+
+    ``expected_fingerprint`` (from ``MSG_STATE_REF``) is compared against
+    the snapshot's trailing CRC *bytes* — an O(1) staleness check that
+    avoids faulting in the whole mapping.  ``verify=True`` additionally
+    recomputes the CRC over the full body.
+
+    Returns an :class:`AttachedSegment`; raises :class:`AttachError`.
+    """
+    path = os.path.join(SHM_DIR, name)
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError as exc:
+        raise AttachError(f"segment {name!r} not attachable: {exc}") from exc
+    try:
+        size = os.fstat(fd).st_size
+        if mode == "cow":
+            # MAP_PRIVATE needs only a readable fd; writes go to private
+            # pages, never back to the segment.
+            mm = mmap.mmap(
+                fd,
+                size,
+                flags=mmap.MAP_PRIVATE,
+                prot=mmap.PROT_READ | mmap.PROT_WRITE,
+            )
+            buf, keep = memoryview(mm), mm
+        elif mode == "copy":
+            data = bytearray()
+            while True:
+                chunk = os.read(fd, 1 << 24)
+                if not chunk:
+                    break
+                data.extend(chunk)
+            buf, keep = memoryview(data), None
+        else:
+            raise ValueError(f"unknown attach mode {mode!r}")
+    finally:
+        os.close(fd)
+    try:
+        payload_len = _read_frame(buf)
+        payload = buf[_FRAME.size:_FRAME.size + payload_len]
+        got = serialize.fingerprint_bytes(payload)
+        if expected_fingerprint is not None and got != expected_fingerprint:
+            raise AttachError(
+                f"segment {name!r} fingerprint {got:#010x} != "
+                f"expected {expected_fingerprint:#010x}"
+            )
+        separator = serialize.load_view(payload, verify=verify)
+    except ShmError:
+        _best_effort_close(keep)
+        raise
+    except serialize.SnapshotError as exc:
+        _best_effort_close(keep)
+        raise AttachError(f"segment {name!r} malformed: {exc}") from exc
+    return AttachedSegment(name, mode, separator, payload_len, got, keep)
+
+
+def _best_effort_close(mm) -> None:
+    """Close a mapping on the attach error path.
+
+    The in-flight exception's traceback can pin views into the mapping;
+    munmap then happens at GC instead of here.
+    """
+    if mm is None:
+        return
+    try:
+        mm.close()
+    except BufferError:
+        pass
+
+
+class PublishedSegment:
+    """A segment the publisher owns (created, later unlinked)."""
+
+    def __init__(self, name: str, payload: bytes) -> None:
+        from multiprocessing import shared_memory
+
+        self.name = name
+        self.payload_len = len(payload)
+        self.fingerprint = serialize.fingerprint_bytes(payload)
+        size = _FRAME.size + len(payload)
+        try:
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=size
+            )
+        except (OSError, ValueError) as exc:
+            raise ShmError(f"cannot publish segment {name!r}: {exc}") from exc
+        _FRAME.pack_into(self._shm.buf, 0, FRAME_MAGIC, len(payload))
+        self._shm.buf[_FRAME.size:size] = payload
+
+    def unlink(self) -> None:
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"PublishedSegment(name={self.name!r}, "
+            f"payload_len={self.payload_len})"
+        )
+
+
+class SegmentPublisher:
+    """Controller-side segment lifecycle: publish, refcount, unlink.
+
+    One *current* segment holds the newest published snapshot (the epoch
+    floor); older generations are retired but stay linked while any daemon
+    still references them (``acquire``/``release`` track that).  POSIX
+    unlink-on-retirement is safe — existing mappings outlive the name.
+    """
+
+    def __init__(self, prefix: Optional[str] = None) -> None:
+        if prefix is None:
+            prefix = f"{SEGMENT_PREFIX}{os.getpid():x}-"
+        self.prefix = prefix
+        self._seq = 0
+        self._segments: Dict[str, PublishedSegment] = {}
+        self._refcounts: Dict[str, int] = {}
+        self.current: Optional[PublishedSegment] = None
+
+    def publish(self, payload: bytes) -> PublishedSegment:
+        """Publish a new generation; retire (and maybe unlink) the old one."""
+        name = f"{self.prefix}{self._seq:06d}"
+        self._seq += 1
+        segment = PublishedSegment(name, payload)
+        previous, self.current = self.current, segment
+        self._segments[name] = segment
+        self._refcounts.setdefault(name, 0)
+        if previous is not None and self._refcounts.get(previous.name, 0) == 0:
+            self._unlink(previous.name)
+        return segment
+
+    def acquire(self, name: str) -> None:
+        """Record one daemon now referencing ``name``."""
+        if name in self._segments:
+            self._refcounts[name] = self._refcounts.get(name, 0) + 1
+
+    def release(self, name: Optional[str]) -> None:
+        """Record one daemon no longer referencing ``name``.
+
+        A retired segment (no longer current) is unlinked once its count
+        reaches zero.
+        """
+        if name is None or name not in self._segments:
+            return
+        count = max(0, self._refcounts.get(name, 0) - 1)
+        self._refcounts[name] = count
+        current_name = self.current.name if self.current is not None else None
+        if count == 0 and name != current_name:
+            self._unlink(name)
+
+    def _unlink(self, name: str) -> None:
+        segment = self._segments.pop(name, None)
+        self._refcounts.pop(name, None)
+        if segment is not None:
+            segment.unlink()
+
+    def live_segments(self) -> List[str]:
+        """Names still linked (current + referenced retirees)."""
+        return sorted(self._segments)
+
+    def close(self) -> None:
+        """Unlink every segment this publisher created."""
+        for name in list(self._segments):
+            self._unlink(name)
+        self.current = None

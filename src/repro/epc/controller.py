@@ -74,8 +74,10 @@ class EpcController:
 
     def _assign_node(self, flow: FlowTuple, region: int) -> int:
         if self.policy is AssignmentPolicy.ROUND_ROBIN:
-            node = self._next_node
-            self._next_node = (self._next_node + 1) % self.num_nodes
+            # Reduce before use: num_nodes may have shrunk since the
+            # counter was last advanced (membership drain).
+            node = self._next_node % self.num_nodes
+            self._next_node = (node + 1) % self.num_nodes
             return node
         if self.policy is AssignmentPolicy.GEOGRAPHIC:
             return region % self.num_nodes

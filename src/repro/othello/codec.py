@@ -121,3 +121,70 @@ def load_bytes(data: bytes) -> OthelloSeparator:
         array_a=arrays["array_a"].astype(np.uint32),
         array_b=arrays["array_b"].astype(np.uint32),
     )
+
+
+def load_view(buf, verify: bool = False) -> OthelloSeparator:
+    """Reconstruct an Othello separator whose arrays are views into ``buf``.
+
+    Othello-side twin of :func:`repro.core.serialize.load_view`: the
+    seeds / side-A / side-B sections alias the caller's buffer (normally a
+    copy-on-write mmap of a shared-memory segment) instead of being copied,
+    and the CRC is only recomputed when ``verify=True``.
+    """
+    from repro.core.serialize import SnapshotError
+
+    mv = memoryview(buf)
+    if len(mv) < _HEADER.size + 4:
+        raise SnapshotError("snapshot truncated")
+    if verify and zlib.crc32(mv[:-4]) != struct.unpack("<I", mv[-4:])[0]:
+        raise SnapshotError("snapshot CRC mismatch")
+    body = mv[:-4]
+    (
+        magic,
+        version,
+        value_bits,
+        vertex_bits,
+        max_rehash,
+        _reserved,
+        base_seed,
+        num_blocks,
+    ) = _HEADER.unpack_from(body)
+    if magic != MAGIC:
+        raise SnapshotError("not an Othello snapshot")
+    if version != VERSION:
+        raise SnapshotError(f"unsupported snapshot version {version}")
+    try:
+        params = OthelloParams(
+            value_bits=value_bits,
+            vertices_per_side=1 << vertex_bits,
+            seed=base_seed,
+            max_rehash=max_rehash,
+        )
+    except ValueError as exc:
+        raise SnapshotError(f"impossible othello header: {exc}") from exc
+
+    vps = params.vertices_per_side
+    offset = _HEADER.size
+    sections = [
+        ("seeds", num_blocks * 4, (num_blocks,)),
+        ("array_a", num_blocks * vps * 4, (num_blocks, vps)),
+        ("array_b", num_blocks * vps * 4, (num_blocks, vps)),
+    ]
+    arrays = {}
+    for name, nbytes, shape in sections:
+        end = offset + nbytes
+        if end > len(body):
+            raise SnapshotError(f"snapshot truncated in {name}")
+        # No .copy(): the array aliases the caller's buffer.
+        arrays[name] = np.frombuffer(body[offset:end], dtype="<u4").reshape(shape)
+        offset = end
+    if offset != len(body):
+        raise SnapshotError("trailing bytes after othello arrays")
+
+    return OthelloSeparator(
+        params=params,
+        num_blocks=num_blocks,
+        seeds=arrays["seeds"],
+        array_a=arrays["array_a"],
+        array_b=arrays["array_b"],
+    )

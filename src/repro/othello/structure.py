@@ -267,18 +267,31 @@ class OthelloSeparator:
         """Map one key to its value (arbitrary for unknown keys)."""
         return int(self.lookup_batch([key])[0])
 
-    def lookup_batch(self, keys: Union[Sequence[Key], np.ndarray]) -> np.ndarray:
-        """Vectorised lookup: block gather, two vertex gathers, one XOR."""
+    def lookup_batch(
+        self,
+        keys: Union[Sequence[Key], np.ndarray],
+        with_groups: bool = False,
+    ) -> Union[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
+        """Vectorised lookup: block gather, two vertex gathers, one XOR.
+
+        ``with_groups=True`` additionally returns each key's group id
+        (the block's first group, matching :meth:`groups_of`) so the
+        hot-key cache can tag fills without a second bucket pass.
+        """
         keys = hashfamily.canonical_keys(keys)
         if keys.size == 0:
-            return np.zeros(0, dtype=np.uint32)
+            empty = np.zeros(0, dtype=np.uint32)
+            return (empty, empty.copy()) if with_groups else empty
         self._m_lookups.inc(keys.size)
         blocks = self.blocks_of(keys)
         ha, hb = vertex_hashes(
             keys, self.seeds[blocks], self.params.vertex_bits
         )
         values = self.array_a[blocks, ha] ^ self.array_b[blocks, hb]
-        return values & np.uint32(self.params.value_mask)
+        values = values & np.uint32(self.params.value_mask)
+        if with_groups:
+            return values, (blocks * GROUPS_PER_BLOCK).astype(np.uint32)
+        return values
 
     def buckets_of(self, keys: np.ndarray) -> np.ndarray:
         """Global bucket id of each (canonical) key."""

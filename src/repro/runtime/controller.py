@@ -49,12 +49,13 @@ from typing import (
 from repro.cluster.failover import FailoverManager
 from repro.cluster import membership
 from repro.cluster.update import UpdateEngine
-from repro.core import serialize
+from repro.core import serialize, shm
 from repro.core.hashfamily import canonical_key
 from repro.core.separator import Separator
 from repro.epc.gateway import EpcGateway
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime import protocol
+from repro.runtime.deltalog import DeltaLog
 from repro.runtime.framing import (
     DEFAULT_TIMEOUT,
     FramedSocket,
@@ -72,8 +73,10 @@ from repro.runtime.protocol import (
     MSG_NAMES,
     MSG_PING,
     MSG_ROUTE,
+    MSG_DELTA,
     MSG_SHUTDOWN,
     MSG_SNAPSHOT,
+    MSG_STATE_REF,
     MSG_STATUS,
     MSG_SWAP,
     MSG_UPDATE,
@@ -180,6 +183,7 @@ class RuntimeController:
         ping_timeout: float = 2.0,
         fence_after: Optional[int] = None,
         guard: Optional[LeadershipGuard] = None,
+        use_shm: bool = False,
     ) -> None:
         self.addresses: List[Tuple[str, int]] = [
             (str(h), int(p)) for h, p in addresses
@@ -214,11 +218,32 @@ class RuntimeController:
         self._socks: Dict[int, FramedSocket] = {}
         self._ref_setsep: Optional[Separator] = None
         self._ping_seq = 0
+        #: Scale tier: publish snapshots as shared-memory segments and ship
+        #: daemons a ``MSG_STATE_REF`` instead of the bytes.  Requested via
+        #: ``use_shm`` but only honoured where ``/dev/shm`` exists; every
+        #: ship still falls back to the wire per daemon on attach failure.
+        self.use_shm = bool(use_shm) and shm.available()
+        self.publisher: Optional[shm.SegmentPublisher] = (
+            shm.SegmentPublisher() if self.use_shm else None
+        )
+        #: Epoch delta log: the floor snapshot every replica started the
+        #: current state epoch from plus the update records broadcast
+        #: since — what a rejoining daemon replays instead of receiving a
+        #: full snapshot.  Created on bootstrap.
+        self.deltalog: Optional[DeltaLog] = None
+        #: Which published segment each daemon currently references
+        #: (refcounts drive retirement unlinks).
+        self._node_segments: Dict[int, str] = {}
         self._c_tx_bytes = self.registry.counter(
             "runtime.tx_bytes", "bytes the controller shipped to daemons"
         )
         self._c_snapshot_bytes = self.registry.counter(
-            "runtime.snapshot_bytes", "SSEP snapshot bytes shipped on the wire"
+            "runtime.snapshot_bytes",
+            "separator snapshot bytes shipped on the wire",
+        )
+        self._c_stateref_fallbacks = self.registry.counter(
+            "runtime.stateref.fallbacks",
+            "STATE_REF ships that fell back to wire snapshots",
         )
 
     # ------------------------------------------------------------------
@@ -300,10 +325,19 @@ class RuntimeController:
         return rsp_type, rsp
 
     def close(self) -> None:
-        """Drop every controller-side connection (daemons keep running)."""
+        """Drop every controller-side connection (daemons keep running).
+
+        Published shm segments are unlinked too: attached daemons keep
+        their copy-on-write mappings (POSIX mappings outlive the name),
+        and nothing else should be able to attach state this controller
+        no longer maintains.
+        """
         for sock in self._socks.values():
             sock.close()
         self._socks.clear()
+        if self.publisher is not None:
+            self.publisher.close()
+            self._node_segments.clear()
 
     def shutdown_all(self) -> List[int]:
         """Gracefully stop every reachable daemon; returns who acked."""
@@ -324,8 +358,8 @@ class RuntimeController:
     # Bootstrap
     # ------------------------------------------------------------------
 
-    def _state_payloads(self, gateway: EpcGateway) -> Tuple[List[bytes], bytes]:
-        """Per-daemon SNAPSHOT/SWAP payloads from the shadow gateway."""
+    def _state_headers(self, gateway: EpcGateway) -> Tuple[List[dict], bytes]:
+        """Per-daemon state headers + the shared snapshot bytes."""
         cluster = gateway.cluster
         assert cluster is not None, "gateway not started"
         snapshot = serialize.dumps(cluster.nodes[0].gpt.setsep)
@@ -342,23 +376,115 @@ class RuntimeController:
             owner = cluster.rib.owner_of_key(entry.key)
             rib_slices[owner].append([entry.key, entry.node, entry.value])
         peers = [[host, port] for host, port in self.addresses[:num_nodes]]
-        payloads = [
-            protocol.encode_state(
-                {
-                    "num_nodes": num_nodes,
-                    "peers": peers,
-                    "fib": fib_slices[node_id],
-                    "rib": rib_slices[node_id],
-                },
-                snapshot,
-            )
+        headers = [
+            {
+                "num_nodes": num_nodes,
+                "peers": peers,
+                "fib": fib_slices[node_id],
+                "rib": rib_slices[node_id],
+            }
             for node_id in range(num_nodes)
+        ]
+        return headers, snapshot
+
+    def _state_payloads(self, gateway: EpcGateway) -> Tuple[List[bytes], bytes]:
+        """Per-daemon SNAPSHOT/SWAP wire payloads from the shadow gateway."""
+        headers, snapshot = self._state_headers(gateway)
+        payloads = [
+            protocol.encode_state(header, snapshot) for header in headers
         ]
         return payloads, snapshot
 
+    # -- shared-memory segment lifecycle (scale tier) -------------------
+
+    def _publish_floor(self, snapshot: bytes):
+        """Publish ``snapshot`` as the current shm generation (or None)."""
+        if self.publisher is None:
+            return None
+        return self.publisher.publish(snapshot)
+
+    def _track_segment(self, node_id: int, name: str) -> None:
+        """Daemon ``node_id`` now references segment ``name``."""
+        assert self.publisher is not None
+        old = self._node_segments.get(node_id)
+        if old == name:
+            return
+        self.publisher.acquire(name)
+        self.publisher.release(old)
+        self._node_segments[node_id] = name
+
+    def _untrack_segment(self, node_id: int) -> None:
+        """Daemon ``node_id`` no longer references any segment."""
+        old = self._node_segments.pop(node_id, None)
+        if old is not None and self.publisher is not None:
+            self.publisher.release(old)
+
+    def _reset_deltalog(self, snapshot: bytes) -> None:
+        """Start a new delta-log epoch from ``snapshot``."""
+        if self.deltalog is None:
+            self.deltalog = DeltaLog(snapshot)
+        else:
+            self.deltalog.reset(snapshot)
+
+    def _ship_state(
+        self,
+        node_id: int,
+        header: dict,
+        snapshot: bytes,
+        wire_type: int,
+        segment,
+        catchup: bytes = b"",
+    ) -> str:
+        """Ship one daemon its state; returns the transport used.
+
+        With a published ``segment`` the daemon is sent a lightweight
+        ``MSG_STATE_REF`` (segment name + fingerprint in the header,
+        ``catchup`` update records as the body) and attaches the snapshot
+        from shared memory.  Any refusal (no /dev/shm in the daemon,
+        fingerprint mismatch, unlinked segment) falls back to the full
+        snapshot on the wire — ``wire_type`` is ``MSG_SNAPSHOT`` or
+        ``MSG_SWAP`` — followed by the catch-up records as ``MSG_DELTA``.
+        """
+        if segment is not None:
+            ref_header = dict(header)
+            ref_header["segment"] = {
+                "name": segment.name,
+                "fingerprint": segment.fingerprint,
+                "payload_len": segment.payload_len,
+            }
+            try:
+                rsp_type, rsp = self._request(
+                    node_id, MSG_STATE_REF,
+                    protocol.encode_state(ref_header, catchup),
+                )
+                protocol.expect(rsp_type, RSP_OK, rsp)
+            except protocol.ProtocolError:
+                self._c_stateref_fallbacks.inc()
+            else:
+                self._track_segment(node_id, segment.name)
+                return "shm"
+        rsp_type, rsp = self._request(
+            node_id, wire_type, protocol.encode_state(header, snapshot)
+        )
+        protocol.expect(rsp_type, RSP_OK, rsp)
+        self._c_snapshot_bytes.inc(len(snapshot))
+        self._untrack_segment(node_id)
+        if catchup:
+            rsp_type, rsp = self._request(node_id, MSG_DELTA, catchup)
+            protocol.expect(rsp_type, RSP_OK, rsp)
+        return "wire"
+
     def bootstrap_from_gateway(self, gateway: EpcGateway) -> Dict[str, int]:
-        """HELLO + SNAPSHOT every daemon from the shadow's built state."""
-        payloads, snapshot = self._state_payloads(gateway)
+        """HELLO + state-ship every daemon from the shadow's built state.
+
+        State travels as a shared-memory reference when ``use_shm`` is on
+        (one published segment, N copy-on-write attachments) and as full
+        snapshot bytes on the wire otherwise; either way the shipped
+        snapshot becomes the delta log's epoch floor.
+        """
+        headers, snapshot = self._state_headers(gateway)
+        segment = self._publish_floor(snapshot)
+        attached = 0
         for node_id in range(self.num_nodes):
             hello = protocol.encode_json({
                 "node_id": node_id,
@@ -368,16 +494,18 @@ class RuntimeController:
             })
             rsp_type, rsp = self._request(node_id, MSG_HELLO, hello)
             protocol.expect(rsp_type, RSP_OK, rsp)
-            rsp_type, rsp = self._request(
-                node_id, MSG_SNAPSHOT, payloads[node_id]
+            transport = self._ship_state(
+                node_id, headers[node_id], snapshot, MSG_SNAPSHOT, segment
             )
-            protocol.expect(rsp_type, RSP_OK, rsp)
-            self._c_snapshot_bytes.inc(len(snapshot))
+            attached += int(transport == "shm")
+        self._reset_deltalog(snapshot)
         self.epoch += 1
         return {
             "nodes": self.num_nodes,
             "snapshot_bytes": len(snapshot),
-            "total_shipped_bytes": len(snapshot) * self.num_nodes,
+            "total_shipped_bytes": len(snapshot) * (self.num_nodes - attached),
+            "shm_attached": attached,
+            "segment": segment.name if segment is not None else None,
         }
 
     def adopt_reference(self, setsep: Separator, epoch: int) -> None:
@@ -432,11 +560,29 @@ class RuntimeController:
                     owner, MSG_UPDATE,
                     protocol.encode_updates(batches[owner]),
                 )
-                acc = protocol.decode_json(
+                acc, log_wire = protocol.decode_state(
                     protocol.expect(rsp_type, RSP_UPDATE, rsp)
                 )
+                # The owner echoes its rebuilt groups' canonical wire
+                # records; they extend the epoch delta log that rejoining
+                # daemons replay instead of taking a full snapshot.
+                if self.deltalog is not None and log_wire:
+                    self.deltalog.append(
+                        log_wire, records=int(acc.get("groups_rebuilt", 0))
+                    )
                 for name in _UPDATE_FIELDS:
                     totals[name] += int(acc.get(name, 0))
+            if self.deltalog is not None:
+                new_floor = self.deltalog.maybe_compact()
+                if new_floor is not None:
+                    # Cutover: the compacted floor becomes the segment
+                    # generation future rejoins attach (live daemons keep
+                    # their mappings; retirees unlink once unreferenced).
+                    self._publish_floor(new_floor)
+                    self.registry.counter(
+                        "runtime.deltalog.compactions",
+                        "delta-log floor cutovers",
+                    ).inc()
         for name in _UPDATE_FIELDS:
             if totals[name]:
                 self.registry.counter(f"runtime.update.{name}").inc(
@@ -576,6 +722,7 @@ class RuntimeController:
         stale = self._socks.pop(failed, None)
         if stale is not None:
             stale.close()
+        self._untrack_segment(failed)
         # Every survivor must stop shipping FIB/deltas to the corpse.
         down_payload = protocol.encode_json({"down": sorted(self.down)})
         for node_id in range(self.num_nodes):
@@ -729,13 +876,20 @@ class RuntimeController:
     # ------------------------------------------------------------------
 
     def _swap_all(self, gateway: EpcGateway) -> None:
-        """Ship the rebuilt state to every remaining daemon (SWAP)."""
-        payloads, snapshot = self._state_payloads(gateway)
-        for node_id in range(len(payloads)):
-            rsp_type, rsp = self._request(node_id, MSG_SWAP,
-                                          payloads[node_id])
-            protocol.expect(rsp_type, RSP_OK, rsp)
-            self._c_snapshot_bytes.inc(len(snapshot))
+        """Ship the rebuilt state to every remaining daemon (SWAP).
+
+        Same transports as bootstrap: a fresh shm generation with per-node
+        wire fallback.  The new snapshot starts a new delta-log epoch —
+        a membership resize rebuilds the structure, so records from the
+        old shape never apply across a swap.
+        """
+        headers, snapshot = self._state_headers(gateway)
+        segment = self._publish_floor(snapshot)
+        for node_id in range(len(headers)):
+            self._ship_state(
+                node_id, headers[node_id], snapshot, MSG_SWAP, segment
+            )
+        self._reset_deltalog(snapshot)
 
     def _rebuild_shadow(self, gateway: EpcGateway, new_n: int):
         """Resize the shadow cluster; the gateway tracks the new plane."""
@@ -814,6 +968,7 @@ class RuntimeController:
         sock = self._socks.pop(leaving, None)
         if sock is not None:
             sock.close()
+        self._untrack_segment(leaving)
         self.monitor.untrack(leaving)
         self.addresses = self.addresses[:self.num_nodes]
         self.epoch += 1
@@ -867,6 +1022,125 @@ class RuntimeController:
         )
 
     # ------------------------------------------------------------------
+    # Rejoin: delta-log catch-up for a repaired node (scale tier)
+    # ------------------------------------------------------------------
+
+    def rejoin_node(
+        self,
+        gateway: EpcGateway,
+        node_id: int,
+        address: Tuple[str, int],
+    ) -> OpResult:
+        """Bring a repaired (DEAD) node back without a full re-bootstrap.
+
+        The revived daemon — a fresh process on a fresh port — receives
+        the current epoch's *floor* (by shared-memory reference when
+        published, wire bytes otherwise) plus the delta log accumulated
+        since, which it replays before swapping planes: O(changes) catch-up
+        instead of O(structure).  Survivors re-learn the topology (the
+        node's new port) through a ``MSG_DOWN`` broadcast carrying the
+        refreshed peer list.
+        """
+        return self.commands.run(
+            "rejoin", lambda: self._rejoin(gateway, node_id, address)
+        )
+
+    def _rejoin(
+        self, gateway: EpcGateway, node_id: int, address: Tuple[str, int]
+    ) -> OpResult:
+        cluster = gateway.cluster
+        assert cluster is not None, "gateway not started"
+        if node_id not in self.down:
+            raise ValueError(
+                f"node {node_id} is not down; only a repaired node rejoins"
+            )
+        self.addresses[node_id] = (str(address[0]), int(address[1]))
+        stale = self._socks.pop(node_id, None)
+        if stale is not None:
+            stale.close()
+        # Revive first: ownership and the peer lists must include the node
+        # again before any state is computed or broadcast.
+        self.down.discard(node_id)
+        gateway.down_nodes.discard(node_id)
+        self.monitor.reset(node_id)
+        peers = [[h, p] for h, p in self.addresses]
+        hello = protocol.encode_json({
+            "node_id": node_id,
+            "num_nodes": self.num_nodes,
+            "peers": peers,
+            "gateway_ip": gateway.gateway_ip,
+        })
+        rsp_type, rsp = self._request(node_id, MSG_HELLO, hello)
+        protocol.expect(rsp_type, RSP_OK, rsp)
+        # The revived replica's slices, from the authoritative shadow.
+        # Its flows were re-homed during repair, so the FIB slice is
+        # usually empty; the RIB slice returns because a live owner makes
+        # §4.5 ownership total again.
+        fib_slice = [
+            [record.key, record.handling_node, record.teid,
+             record.base_station_ip]
+            for record in gateway.controller.flows.values()
+            if record.handling_node == node_id
+        ]
+        rib_slice = [
+            [entry.key, entry.node, entry.value]
+            for entry in cluster.rib.entries()
+            if cluster.rib.owner_of_key(entry.key) == node_id
+        ]
+        header = {
+            "num_nodes": self.num_nodes,
+            "peers": peers,
+            "fib": fib_slice,
+            "rib": rib_slice,
+        }
+        if self.deltalog is not None:
+            floor = self.deltalog.floor
+            catchup = self.deltalog.records()
+            replay = self.deltalog.record_count
+        else:  # not bootstrapped by this controller (adopted reference)
+            floor = serialize.dumps(cluster.nodes[0].gpt.setsep)
+            catchup, replay = b"", 0
+        segment = None
+        if self.publisher is not None:
+            segment = self.publisher.current
+            if (
+                segment is None
+                or segment.fingerprint
+                != serialize.fingerprint_bytes(floor)
+            ):
+                segment = self._publish_floor(floor)
+        transport = self._ship_state(
+            node_id, header, floor, MSG_SNAPSHOT, segment, catchup=catchup
+        )
+        # Every live daemon (the rejoiner included) re-learns the down set
+        # and the refreshed topology; survivors drop cached links to the
+        # node's dead port.
+        down_payload = protocol.encode_json({
+            "down": sorted(self.down),
+            "peers": peers,
+        })
+        for peer in range(self.num_nodes):
+            if peer in self.down:
+                continue
+            rsp_type, rsp = self._request(peer, MSG_DOWN, down_payload)
+            protocol.expect(rsp_type, RSP_OK, rsp)
+        self.epoch += 1
+        return OpResult(
+            verb="rejoin",
+            node=node_id,
+            accepted=True,
+            epoch=self.epoch,
+            affected_flows=len(fib_slice),
+            detail={
+                "transport": transport,
+                "catchup_records": replay,
+                "catchup_bytes": len(catchup),
+                "floor_bytes": len(floor),
+                "rib_entries": len(rib_slice),
+            },
+        )
+
+    # ------------------------------------------------------------------
     # Introspection / fault control
     # ------------------------------------------------------------------
 
@@ -907,7 +1181,7 @@ class RuntimeController:
             node_id: self.monitor.state(node_id).value
             for node_id in self.monitor.tracked()
         }
-        return {
+        out: Dict[str, object] = {
             "nodes": self.num_nodes,
             "epoch": self.epoch,
             "down": sorted(self.down),
@@ -918,7 +1192,26 @@ class RuntimeController:
             "miss_threshold": self.monitor.miss_threshold,
             "fence_after": self.monitor.fence_after,
             "recent_ops": self.commands.recent(),
+            "shm": {
+                "enabled": self.use_shm,
+                "segments": (
+                    self.publisher.live_segments()
+                    if self.publisher is not None else []
+                ),
+                "node_segments": {
+                    str(n): name
+                    for n, name in sorted(self._node_segments.items())
+                },
+            },
         }
+        if self.deltalog is not None:
+            out["deltalog"] = {
+                "floor_bytes": self.deltalog.floor_bytes,
+                "log_bytes": self.deltalog.log_bytes,
+                "records": self.deltalog.record_count,
+                "compactions": self.deltalog.compactions,
+            }
+        return out
 
     def arm_faults(self, node_id: int, budgets: dict) -> None:
         """Arm a daemon's transport fault budgets (``MSG_FAULT``)."""

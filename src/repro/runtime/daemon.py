@@ -3,9 +3,11 @@
 A ``NodeDaemon`` is everything one appliance node runs, behind a TCP
 listener instead of Python method calls:
 
-* a **GPT replica** bootstrapped from an SSEP snapshot shipped on the
-  wire (``MSG_SNAPSHOT``) and kept current by applying §4.5 update-record
-  broadcasts from its peers (``MSG_DELTA``);
+* a **GPT replica** bootstrapped from a separator snapshot — either
+  backend's payload kind, shipped whole on the wire (``MSG_SNAPSHOT``) or
+  attached from a controller-published shared-memory segment
+  (``MSG_STATE_REF``, :mod:`repro.core.shm`) — and kept current by
+  applying §4.5 update-record broadcasts from its peers (``MSG_DELTA``);
 * its **RIB slice** — the blocks this node owns (``block % N``); for
   updates on owned keys it plays the §4.5 *owner* role: recompute the
   group on its own replica, push FIB changes to handling nodes, ship the
@@ -35,7 +37,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.chaos import transport as tfaults
-from repro.core import serialize
+from repro.core import serialize, shm
 from repro.core import separator as separator_registry
 from repro.core.hashfamily import canonical_key
 from repro.epc import fastpath
@@ -52,6 +54,7 @@ from repro.runtime.protocol import (
     MSG_FORWARD,
     MSG_NAMES,
     MSG_SNAPSHOT,
+    MSG_STATE_REF,
     MSG_SWAP,
     MSG_UPDATE,
     OP_INSERT,
@@ -118,8 +121,22 @@ class NodeDaemon:
         self.claimed_term = 0
         self.claimed_leader: Optional[int] = None
         self._conn_terms: Dict[int, int] = {}
+        #: Live shared-memory attachment backing the GPT (MSG_STATE_REF).
+        self._attached: Optional[shm.AttachedSegment] = None
+        #: Attach mode for MSG_STATE_REF ("cow" shares pages, "copy"
+        #: privatises the whole snapshot like the wire path would).
+        self.shm_mode = "cow"
         self._c_snapshot_bytes = self.registry.counter(
-            "runtime.snapshot_bytes", "SSEP snapshot bytes received"
+            "runtime.snapshot_bytes",
+            "separator snapshot bytes received on the wire",
+        )
+        self._c_stateref_attached = self.registry.counter(
+            "runtime.stateref.attached",
+            "state epochs adopted by shared-memory attach",
+        )
+        self._c_stateref_replayed = self.registry.counter(
+            "runtime.stateref.replayed",
+            "delta-log records replayed during state_ref catch-up",
         )
         self._c_deltas_applied = self.registry.counter(
             "runtime.deltas.applied", "GPT deltas applied to this replica"
@@ -198,7 +215,8 @@ class NodeDaemon:
     #: Requests that mutate node state and therefore honour leader
     #: claims: a connection with a stale claimed term is redirected.
     _FENCED_TYPES = frozenset(
-        (MSG_SNAPSHOT, MSG_SWAP, MSG_UPDATE, MSG_ADOPT, MSG_DOWN)
+        (MSG_SNAPSHOT, MSG_STATE_REF, MSG_SWAP, MSG_UPDATE, MSG_ADOPT,
+         MSG_DOWN)
     )
 
     def _dispatch(
@@ -287,9 +305,17 @@ class NodeDaemon:
         self.gateway_ip = int(doc["gateway_ip"])
         return RSP_OK, protocol.encode_json({"node_id": self.node_id})
 
-    def _load_state(self, payload: bytes) -> Tuple[int, bytes]:
-        header, snapshot = protocol.decode_state(payload)
-        setsep = serialize.loads(snapshot)
+    def _install_state(
+        self, header: dict, setsep, attachment: Optional[shm.AttachedSegment]
+    ) -> dict:
+        """Adopt a fully-built control plane (make-before-break).
+
+        ``setsep`` is a separator replica of either backend — deserialised
+        from wire bytes or parsed out of a shared-memory attachment — and
+        ``header`` carries this daemon's FIB slice, RIB slice and topology.
+        Everything is built before any reference is swapped; a failure
+        leaves the old plane live.  Returns ack detail fields.
+        """
         num_nodes = int(header["num_nodes"])
         gpt = GlobalPartitionTable(num_nodes, setsep)
         fib: Dict[int, int] = {}
@@ -301,27 +327,79 @@ class NodeDaemon:
         for key, node, value in header["rib"]:
             block = gpt.block_of(int(key))
             rib_slice.setdefault(block, {})[int(key)] = (int(node), int(value))
-        # Make-before-break: the new state is fully built before any
-        # reference is swapped; a failure above leaves the old plane live.
         self.gpt = gpt
         self.fib = fib
         self.bs = bs
         self.slice = rib_slice
         self.num_nodes = num_nodes
+        previous, self._attached = self._attached, attachment
+        if previous is not None:
+            previous.close()
         if "peers" in header:
             self.peers = [(str(h), int(p)) for h, p in header["peers"]]
             for sock in self._peer_socks.values():
                 sock.close()
             self._peer_socks.clear()
-        self._c_snapshot_bytes.inc(len(snapshot))
-        return RSP_OK, protocol.encode_json({
+        return {
             "fib_entries": len(fib),
             "rib_entries": len(header["rib"]),
-            "snapshot_bytes": len(snapshot),
-        })
+        }
+
+    def _load_state(self, payload: bytes) -> Tuple[int, bytes]:
+        """Bootstrap/replace this replica from a full wire snapshot.
+
+        The payload's snapshot section is either backend's serialised form
+        (:func:`repro.core.serialize.loads` dispatches on the magic).
+        """
+        header, snapshot = protocol.decode_state(payload)
+        setsep = serialize.loads(snapshot)
+        detail = self._install_state(header, setsep, None)
+        self._c_snapshot_bytes.inc(len(snapshot))
+        detail["snapshot_bytes"] = len(snapshot)
+        return RSP_OK, protocol.encode_json(detail)
 
     _on_snapshot = _load_state
     _on_swap = _load_state
+
+    def _on_state_ref(self, payload: bytes) -> Tuple[int, bytes]:
+        """Adopt state by shared-memory reference instead of wire bytes.
+
+        The payload reuses the state framing: the JSON header additionally
+        carries ``segment`` (name + expected fingerprint) and the snapshot
+        section holds *catch-up records* — the controller's delta log since
+        the segment's floor — rather than a snapshot.  The daemon maps the
+        segment copy-on-write, parses it zero-copy, replays the records,
+        then swaps planes.  Any failure (missing segment, fingerprint
+        mismatch) is reported as RSP_ERR and the controller falls back to
+        the full-snapshot wire path.
+        """
+        header, catchup = protocol.decode_state(payload)
+        segment = header["segment"]
+        attachment = shm.attach(
+            str(segment["name"]),
+            expected_fingerprint=int(segment["fingerprint"]),
+            mode=self.shm_mode,
+        )
+        try:
+            setsep = attachment.separator
+            replayed = 0
+            for record, _params in separator_registry.parse_update_stream(
+                catchup, separator_registry.backend_of(setsep)
+            ):
+                setsep.apply_delta(record)
+                replayed += 1
+            detail = self._install_state(header, setsep, attachment)
+        except Exception:
+            attachment.close()
+            raise
+        self._c_stateref_attached.inc()
+        self._c_stateref_replayed.inc(replayed)
+        detail.update({
+            "segment": attachment.name,
+            "mode": attachment.mode,
+            "replayed": replayed,
+        })
+        return RSP_OK, protocol.encode_json(detail)
 
     def _on_adopt(self, payload: bytes) -> Tuple[int, bytes]:
         assert self.gpt is not None, "adopt before snapshot"
@@ -336,9 +414,17 @@ class NodeDaemon:
     def _on_down(self, payload: bytes) -> Tuple[int, bytes]:
         doc = protocol.decode_json(payload)
         self.down = {int(n) for n in doc["down"]}
-        for node_id in list(self._peer_socks):
-            if node_id in self.down:
-                self._peer_socks.pop(node_id).close()
+        if "peers" in doc:
+            # A rejoin re-announces the topology: the revived node listens
+            # on a fresh port, so cached links must be re-dialled.
+            self.peers = [(str(h), int(p)) for h, p in doc["peers"]]
+            for sock in self._peer_socks.values():
+                sock.close()
+            self._peer_socks.clear()
+        else:
+            for node_id in list(self._peer_socks):
+                if node_id in self.down:
+                    self._peer_socks.pop(node_id).close()
         return RSP_OK, protocol.encode_json({"down": sorted(self.down)})
 
     def _on_fault(self, payload: bytes) -> Tuple[int, bytes]:
@@ -360,8 +446,11 @@ class NodeDaemon:
         gpt_crc = 0
         gpt_bytes = 0
         if self.gpt is not None:
+            # One serialisation serves both: the fingerprint *is* the
+            # snapshot's trailing CRC (serialize.fingerprint would dump a
+            # second time to read the same four bytes).
             snapshot = serialize.dumps(self.gpt.setsep)
-            gpt_crc = serialize.fingerprint(self.gpt.setsep)
+            gpt_crc = serialize.fingerprint_bytes(snapshot)
             gpt_bytes = len(snapshot)
         return RSP_STATUS, protocol.encode_json({
             "node_id": self.node_id,
@@ -382,6 +471,12 @@ class NodeDaemon:
             "faults_applied": self.faults.applied,
             "delayed_deltas": len(self._delayed_deltas),
             "delayed_forwards": len(self._delayed_forwards),
+            "shm_segment": (
+                self._attached.name if self._attached is not None else None
+            ),
+            "shm_mode": (
+                self._attached.mode if self._attached is not None else None
+            ),
         })
 
     # ------------------------------------------------------------------
@@ -408,6 +503,10 @@ class NodeDaemon:
         params = self.gpt.setsep.params
         fib_batches: Dict[int, List[UpdateOp]] = {}
         delta_wires: Dict[int, List[bytes]] = {}
+        #: Canonical per-record wire bytes for the controller's delta log —
+        #: one copy per rebuilt group, independent of per-peer transport
+        #: fault verdicts (the log must mirror the owner's applied state).
+        log_wires: List[bytes] = []
         acc = {
             "updates": 0, "fib_messages": 0, "groups_rebuilt": 0,
             "delta_broadcasts": 0, "delta_bits": 0,
@@ -461,6 +560,7 @@ class NodeDaemon:
             self._c_groups_rebuilt.inc()
             wire = delta.wire_bytes(params)
             bits = delta.size_bits(params)
+            log_wires.append(wire)
             for peer in range(self.num_nodes):
                 if peer == self.node_id or peer in self.down:
                     continue
@@ -498,7 +598,9 @@ class NodeDaemon:
                 peer, MSG_DELTA, b"".join(delta_wires[peer])
             )
             protocol.expect(rsp_type, RSP_OK, rsp)
-        return RSP_UPDATE, protocol.encode_json(acc)
+        # Accounting JSON plus the batch's canonical records, state-framed:
+        # the controller appends the records to its epoch delta log.
+        return RSP_UPDATE, protocol.encode_state(acc, b"".join(log_wires))
 
     def _apply_fib(self, ops: List[UpdateOp]) -> None:
         for op in ops:

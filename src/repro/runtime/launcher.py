@@ -28,7 +28,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cluster.architectures import Architecture
-from repro.core import serialize
+from repro.core import serialize, shm
 from repro.epc.fastpath import OUTER_SIZE
 from repro.epc.gateway import EpcGateway
 from repro.epc.packets import parse_ip
@@ -78,7 +78,7 @@ class LocalRuntime:
             self._spawn()
         return self
 
-    def _spawn(self) -> Tuple[str, int]:
+    def _spawn(self, node_id: Optional[int] = None) -> Tuple[str, int]:
         parent, child = multiprocessing.Pipe(duplex=False)
         process = multiprocessing.Process(
             target=_daemon_entry, args=(self.host, child), daemon=True
@@ -90,15 +90,30 @@ class LocalRuntime:
             raise RuntimeError("daemon did not announce its port in time")
         port = int(parent.recv())
         parent.close()
-        self.processes.append(process)
         address = (self.host, port)
-        self.addresses.append(address)
+        if node_id is None:
+            self.processes.append(process)
+            self.addresses.append(address)
+        else:
+            self.processes[node_id] = process
+            self.addresses[node_id] = address
         return address
 
     def add_node(self) -> Tuple[str, int]:
         """Spawn one more daemon (for join drills); returns its address."""
         self.num_nodes += 1
         return self._spawn()
+
+    def respawn(self, node_id: int) -> Tuple[str, int]:
+        """Spawn a fresh daemon in a killed node's slot (rejoin drills).
+
+        The replacement binds a new ephemeral port; pair with
+        :meth:`RuntimeController.rejoin_node`, which re-announces the
+        topology to every peer.
+        """
+        if self.processes[node_id].is_alive():
+            raise ValueError(f"node {node_id} is still alive")
+        return self._spawn(node_id)
 
     def kill(self, node_id: int) -> None:
         """SIGKILL a daemon — the §7 failure drill (no goodbye)."""
@@ -277,6 +292,7 @@ def run_workload(
     miss_threshold: int = 3,
     heartbeat_interval: float = 0.05,
     ping_timeout: float = 2.0,
+    use_shm: bool = False,
 ) -> Dict[str, object]:
     """Drive the full differential workload against a live cluster.
 
@@ -308,6 +324,9 @@ def run_workload(
         ping_timeout: heartbeat probe timeout in seconds (a suspended
             daemon costs one timeout per poll, so fence drills want this
             small).
+        use_shm: publish GPT snapshots as shared-memory segments and
+            bootstrap daemons by ``MSG_STATE_REF`` (scale tier); falls
+            back to wire snapshots per daemon where unavailable.
     """
     if len(addresses) != num_nodes:
         raise ValueError("addresses and num_nodes disagree")
@@ -339,7 +358,8 @@ def run_workload(
     gateway.start()
 
     controller = RuntimeController(
-        addresses, miss_threshold=miss_threshold, ping_timeout=ping_timeout
+        addresses, miss_threshold=miss_threshold, ping_timeout=ping_timeout,
+        use_shm=use_shm,
     )
     controller.killer = killer
     controller.connect()
@@ -494,6 +514,11 @@ def run_workload(
         update_totals["snapshot_bytes_shipped"] = (
             bootstrap["total_shipped_bytes"]
         )
+        report["shm"] = {
+            "enabled": controller.use_shm,
+            "bootstrap_attached": int(bootstrap.get("shm_attached", 0)),
+            "segment": bootstrap.get("segment"),
+        }
         report["differential"] = differential
         report["update_protocol"] = update_totals
         report["liveness"] = liveness
@@ -538,6 +563,7 @@ def run_demo(
     fence_node: Optional[int] = None,
     miss_threshold: int = 3,
     heartbeat_interval: float = 0.05,
+    use_shm: bool = False,
 ) -> Dict[str, object]:
     """Spawn a local cluster, run the workload, account for every child."""
     runtime = LocalRuntime(num_nodes)
@@ -556,9 +582,15 @@ def run_demo(
             miss_threshold=miss_threshold,
             heartbeat_interval=heartbeat_interval,
             ping_timeout=0.5 if fence_node is not None else 2.0,
+            use_shm=use_shm,
         )
         runtime.stop()
         report["leaked_processes"] = len(runtime.leaked())
+        # This process published any segments (SegmentPublisher names
+        # embed its pid); all must be unlinked by controller shutdown.
+        report["leaked_shm_segments"] = len(
+            shm.list_segments(f"{shm.SEGMENT_PREFIX}{os.getpid():x}-")
+        )
     return report
 
 

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 # ----------------------------------------------------------------------
 
 MSG_HELLO = 0x01      # controller -> daemon: identity + topology (JSON)
-MSG_SNAPSHOT = 0x02   # controller -> daemon: bootstrap state + SSEP bytes
+MSG_SNAPSHOT = 0x02   # controller -> daemon: bootstrap state + snapshot bytes
 MSG_SWAP = 0x03       # controller -> daemon: replacement state (resize)
 MSG_UPDATE = 0x04     # controller -> owner daemon: RIB update batch
 MSG_FIB = 0x05        # owner -> handling daemon: FIB install/remove batch
@@ -45,8 +45,11 @@ MSG_SUBMIT = 0x12     # client -> replica: replicate a controller verb
 MSG_QUERY = 0x13      # client -> replica: replication status / audit
 MSG_CLAIM = 0x14      # leader -> daemon: claim leadership for this link
 
+# Scale tier (shared-memory snapshots + delta-log catch-up).
+MSG_STATE_REF = 0x15  # controller -> daemon: state by shm reference
+
 RSP_OK = 0x80         # generic acknowledgement (optional JSON detail)
-RSP_UPDATE = 0x84     # MSG_UPDATE accounting (JSON)
+RSP_UPDATE = 0x84     # MSG_UPDATE accounting JSON + delta wire records
 RSP_ROUTE = 0x87      # per-frame routing outcomes
 RSP_FORWARD = 0x88    # per-frame outcomes for a forwarded sub-batch
 RSP_PONG = 0x89       # liveness echo
@@ -79,6 +82,7 @@ MSG_NAMES: Dict[int, str] = {
     MSG_SUBMIT: "submit",
     MSG_QUERY: "query",
     MSG_CLAIM: "claim",
+    MSG_STATE_REF: "state_ref",
     RSP_OK: "ok",
     RSP_UPDATE: "update_rsp",
     RSP_ROUTE: "route_rsp",
@@ -260,10 +264,13 @@ _JSON_LEN = struct.Struct("<I")
 
 
 def encode_state(header: dict, snapshot: bytes) -> bytes:
-    """``u32 json_len | json | SSEP snapshot bytes``.
+    """``u32 json_len | json | separator snapshot bytes``.
 
     ``header`` carries the daemon's FIB slice, RIB slice and topology;
-    ``snapshot`` is :func:`repro.core.serialize.dumps` of the GPT.
+    ``snapshot`` is :func:`repro.core.serialize.dumps` of the GPT (either
+    backend's payload kind).  The same framing carries ``MSG_STATE_REF``
+    (header + concatenated catch-up records) and the extended
+    ``RSP_UPDATE`` (accounting JSON + the batch's delta wire records).
     """
     blob = encode_json(header)
     return _JSON_LEN.pack(len(blob)) + blob + snapshot

@@ -519,3 +519,146 @@ class TestWireFaults:
         totals = controller.push_updates(_connect_ops(gateway, generator, 1))
         assert totals["deltas_duplicated"] == 1
         assert _stale_nodes(controller, gateway) == []
+
+
+# ----------------------------------------------------------------------
+# Scale tier: shared-memory state shipping and delta-log rejoin
+# ----------------------------------------------------------------------
+
+from repro.core import separator as separator_registry  # noqa: E402
+from repro.core import shm  # noqa: E402
+from repro.runtime import scalesmoke  # noqa: E402
+
+needs_shm = pytest.mark.skipif(
+    not shm.available(), reason="no writable /dev/shm on this host"
+)
+
+
+@pytest.fixture(scope="module")
+def shm_report():
+    return run_demo(
+        num_nodes=2, seed=7, flows=400, packets=200, updates=100,
+        use_shm=True,
+    )
+
+
+@needs_shm
+class TestShmDemo:
+    def test_no_divergence(self, shm_report):
+        assert shm_report["differential"]["divergences"] == 0
+        assert shm_report["ok"] is True
+
+    def test_every_daemon_attached_by_reference(self, shm_report):
+        assert shm_report["shm"]["enabled"] is True
+        assert shm_report["shm"]["bootstrap_attached"] == 2
+        assert shm_report["shm"]["segment"] is not None
+
+    def test_zero_snapshot_bytes_on_the_wire(self, shm_report):
+        assert shm_report["update_protocol"]["snapshot_bytes_shipped"] == 0
+
+    def test_replicas_identical(self, shm_report):
+        assert shm_report["differential"]["gpt_replicas_identical"] is True
+
+    def test_nothing_leaked(self, shm_report):
+        assert shm_report["leaked_processes"] == 0
+        assert shm_report["leaked_shm_segments"] == 0
+
+
+@needs_shm
+class TestShmWireEquivalence:
+    def test_attached_and_wire_replicas_report_identical_fingerprints(
+        self,
+    ):
+        """Satellite check: the shm attach path and the wire bootstrap
+        path must install byte-identical state (same trailing-CRC
+        fingerprint from every daemon, equal to the shadow's)."""
+        crcs = {}
+        for use_shm in (True, False):
+            with LocalRuntime(2) as runtime:
+                gateway = EpcGateway(
+                    Architecture.SCALEBRICKS, 2, parse_ip("192.0.2.1"),
+                    registry=MetricsRegistry(),
+                )
+                FlowGenerator(5).populate(gateway, 500)
+                gateway.start()
+                controller = RuntimeController(
+                    runtime.addresses, use_shm=use_shm
+                )
+                controller.connect()
+                controller.bootstrap_from_gateway(gateway)
+                shadow = serialize.fingerprint(
+                    gateway.cluster.nodes[0].gpt.setsep
+                )
+                crcs[use_shm] = {
+                    node: int(status["gpt_crc"])
+                    for node, status in controller.status_all().items()
+                }
+                assert all(c == shadow for c in crcs[use_shm].values())
+                controller.shutdown_all()
+                runtime.stop()
+        assert crcs[True] == crcs[False]
+
+
+@needs_shm
+class TestScaleTierMembership:
+    @pytest.mark.parametrize("backend", ["setsep", "othello"])
+    def test_drain_join_storm_ships_no_full_snapshots(self, backend):
+        """Satellite check: a drain->join cycle under a live update
+        storm converges via shm references and delta replay; not one
+        full snapshot crosses the wire, and every replica stays
+        byte-identical to the in-process shadow."""
+        previous = separator_registry.default_backend()
+        separator_registry.set_default_backend(backend)
+        try:
+            with LocalRuntime(3) as runtime:
+                gateway = EpcGateway(
+                    Architecture.SCALEBRICKS, 3, parse_ip("192.0.2.1"),
+                    registry=MetricsRegistry(),
+                )
+                generator = FlowGenerator(5)
+                generator.populate(gateway, 600)
+                gateway.start()
+                controller = RuntimeController(
+                    runtime.addresses, use_shm=True
+                )
+                controller.connect()
+                controller.bootstrap_from_gateway(gateway)
+
+                controller.push_updates(_connect_ops(gateway, generator, 30))
+                drained = controller.drain_node(gateway)
+                assert drained.accepted and drained.node == 2
+                controller.push_updates(_connect_ops(gateway, generator, 30))
+                assert _fingerprints_match(controller, gateway)
+
+                joined = controller.join_node(gateway, runtime.add_node())
+                assert joined.accepted and joined.node == 2
+                controller.push_updates(_connect_ops(gateway, generator, 30))
+                assert _fingerprints_match(controller, gateway)
+
+                for name in (
+                    "runtime.snapshot_bytes",
+                    "runtime.tx.snapshot",
+                    "runtime.tx.swap",
+                ):
+                    assert controller.registry.counter(name).value == 0, name
+                assert (
+                    controller.registry.counter("runtime.tx.state_ref").value
+                    >= 5  # bootstrap x3 + drain x2 + join x3, minus races
+                )
+
+                controller.shutdown_all()
+                runtime.stop()
+                assert runtime.leaked() == []
+        finally:
+            separator_registry.set_default_backend(previous)
+
+
+@needs_shm
+class TestRejoinDrill:
+    def test_kill_respawn_rejoin_converges_by_delta_log(self):
+        report = scalesmoke._rejoin_drill(
+            num_nodes=2, flows=300, updates=150, seed=11
+        )
+        failed = [g for g, ok in report["gates"].items() if not ok]
+        assert failed == []
+        assert report["rejoin"]["detail"]["transport"] == "shm"

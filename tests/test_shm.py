@@ -1,0 +1,220 @@
+"""Tests for shared-memory GPT snapshot segments (repro.core.shm).
+
+Everything here runs in one process: publish/attach round-trips,
+copy-on-write isolation between attachers, the fingerprint staleness
+check, frame validation, and the publisher's refcounted unlink
+lifecycle.  Cross-process sharing is exercised by the scale-smoke drill
+(:mod:`repro.runtime.scalesmoke`) and the runtime tests.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import serialize, shm
+from repro.gpt.gpt import GlobalPartitionTable
+from repro.runtime.scalesmoke import synthesize_separator
+
+pytestmark = pytest.mark.skipif(
+    not shm.available(), reason="no writable /dev/shm on this host"
+)
+
+
+@pytest.fixture()
+def publisher():
+    pub = shm.SegmentPublisher(
+        prefix=f"{shm.SEGMENT_PREFIX}test-{os.getpid():x}-"
+    )
+    yield pub
+    pub.close()
+    assert shm.list_segments(pub.prefix) == []
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    """Serialised bytes of a small built separator (real payload kind)."""
+    keys = np.arange(1, 1501, dtype=np.uint64) * np.uint64(
+        0x9E3779B97F4A7C15
+    )
+    gpt, _stats = GlobalPartitionTable.build(keys, keys % 4, 4)
+    return serialize.dumps(gpt.setsep), keys
+
+
+class TestPublishAttach:
+    def test_roundtrip_preserves_structure(self, publisher, snapshot):
+        payload, keys = snapshot
+        segment = publisher.publish(payload)
+        attached = shm.attach(segment.name)
+        try:
+            original = serialize.loads(payload)
+            assert attached.fingerprint == segment.fingerprint
+            assert attached.payload_len == len(payload)
+            np.testing.assert_array_equal(
+                attached.separator.lookup_batch(keys),
+                original.lookup_batch(keys),
+            )
+            # Re-dumping the attached view reproduces the exact bytes.
+            assert serialize.dumps(attached.separator) == payload
+        finally:
+            attached.close()
+
+    def test_copy_mode_matches_cow(self, publisher, snapshot):
+        payload, keys = snapshot
+        segment = publisher.publish(payload)
+        cow = shm.attach(segment.name, mode="cow")
+        copy = shm.attach(segment.name, mode="copy")
+        try:
+            np.testing.assert_array_equal(
+                cow.separator.lookup_batch(keys),
+                copy.separator.lookup_batch(keys),
+            )
+        finally:
+            cow.close()
+            copy.close()
+
+    def test_cow_writes_stay_private(self, publisher, snapshot):
+        payload, keys = snapshot
+        segment = publisher.publish(payload)
+        writer = shm.attach(segment.name)
+        reader = shm.attach(segment.name)
+        try:
+            writer.separator.arrays[:] ^= np.uint32(0xFFFFFFFF)
+            assert serialize.dumps(writer.separator) != payload
+            # The sibling mapping and the segment itself are untouched.
+            assert serialize.dumps(reader.separator) == payload
+            fresh = shm.attach(segment.name)
+            try:
+                assert fresh.fingerprint == segment.fingerprint
+            finally:
+                fresh.close()
+        finally:
+            writer.close()
+            reader.close()
+
+    def test_fingerprint_mismatch_rejected(self, publisher, snapshot):
+        payload, _keys = snapshot
+        segment = publisher.publish(payload)
+        stale = (segment.fingerprint + 1) & 0xFFFFFFFF
+        with pytest.raises(shm.AttachError, match="fingerprint"):
+            shm.attach(segment.name, expected_fingerprint=stale)
+        good = shm.attach(
+            segment.name, expected_fingerprint=segment.fingerprint
+        )
+        good.close()
+
+    def test_verify_recomputes_crc(self, publisher, snapshot):
+        payload, _keys = snapshot
+        segment = publisher.publish(payload)
+        attached = shm.attach(segment.name, verify=True)
+        attached.close()
+
+    def test_missing_segment_rejected(self, publisher):
+        with pytest.raises(shm.AttachError, match="not attachable"):
+            shm.attach(f"{publisher.prefix}nonexistent")
+
+    def test_bad_magic_rejected(self, publisher, snapshot):
+        payload, _keys = snapshot
+        segment = publisher.publish(payload)
+        path = os.path.join(shm.SHM_DIR, segment.name)
+        with open(path, "r+b") as handle:
+            handle.write(b"XXXX")
+        with pytest.raises(shm.AttachError, match="magic"):
+            shm.attach(segment.name)
+
+    def test_truncated_frame_rejected(self, publisher, snapshot):
+        payload, _keys = snapshot
+        segment = publisher.publish(payload)
+        path = os.path.join(shm.SHM_DIR, segment.name)
+        with open(path, "r+b") as handle:
+            handle.seek(4)
+            handle.write((len(payload) * 2).to_bytes(8, "little"))
+        with pytest.raises(shm.AttachError, match="length"):
+            shm.attach(segment.name)
+
+
+class TestPublisherLifecycle:
+    def test_unreferenced_generation_is_unlinked_on_publish(
+        self, publisher, snapshot
+    ):
+        payload, _keys = snapshot
+        first = publisher.publish(payload)
+        assert shm.list_segments(publisher.prefix) == [first.name]
+        second = publisher.publish(payload)
+        assert shm.list_segments(publisher.prefix) == [second.name]
+        assert publisher.live_segments() == [second.name]
+
+    def test_referenced_generation_survives_until_release(
+        self, publisher, snapshot
+    ):
+        payload, _keys = snapshot
+        first = publisher.publish(payload)
+        publisher.acquire(first.name)
+        second = publisher.publish(payload)
+        # Still referenced: both generations linked.
+        assert publisher.live_segments() == sorted(
+            [first.name, second.name]
+        )
+        publisher.release(first.name)
+        assert publisher.live_segments() == [second.name]
+        assert shm.list_segments(publisher.prefix) == [second.name]
+
+    def test_current_generation_survives_release_to_zero(
+        self, publisher, snapshot
+    ):
+        payload, _keys = snapshot
+        only = publisher.publish(payload)
+        publisher.acquire(only.name)
+        publisher.release(only.name)
+        # Current is never unlinked by release, only by publish/close.
+        assert publisher.live_segments() == [only.name]
+
+    def test_release_of_unknown_name_is_noop(self, publisher):
+        publisher.release(None)
+        publisher.release("never-published")
+
+    def test_attachment_outlives_unlink(self, publisher, snapshot):
+        payload, keys = snapshot
+        segment = publisher.publish(payload)
+        attached = shm.attach(segment.name)
+        try:
+            publisher.close()
+            assert shm.list_segments(publisher.prefix) == []
+            # POSIX: the mapping outlives the name.
+            original = serialize.loads(payload)
+            np.testing.assert_array_equal(
+                attached.separator.lookup_batch(keys),
+                original.lookup_batch(keys),
+            )
+        finally:
+            attached.close()
+
+
+class TestSynthesizedSeparators:
+    @pytest.mark.parametrize("backend", ["setsep", "othello"])
+    def test_synthesize_dumps_and_attaches(self, publisher, backend):
+        separator = synthesize_separator(
+            50_000, backend=backend, seed=3
+        )
+        payload = serialize.dumps(separator)
+        segment = publisher.publish(payload)
+        attached = shm.attach(
+            segment.name, expected_fingerprint=segment.fingerprint
+        )
+        try:
+            probe = np.arange(1, 257, dtype=np.uint64) * np.uint64(
+                0x9E3779B97F4A7C15
+            )
+            np.testing.assert_array_equal(
+                attached.separator.lookup_batch(probe),
+                separator.lookup_batch(probe),
+            )
+        finally:
+            attached.close()
+
+    def test_synthesis_is_deterministic(self):
+        a = serialize.dumps(synthesize_separator(20_000, seed=11))
+        b = serialize.dumps(synthesize_separator(20_000, seed=11))
+        c = serialize.dumps(synthesize_separator(20_000, seed=12))
+        assert a == b
+        assert a != c
