@@ -29,6 +29,7 @@ from repro.chaos.drills import run_failover_drill, run_fence_drill
 from repro.chaos.faults import (
     CONTROLLER_FAULT_KINDS,
     DEFAULT_FAULT_KINDS,
+    LINK_FAULT_KINDS,
     FaultEvent,
     FaultInjector,
     FaultKind,
@@ -51,6 +52,7 @@ from repro.chaos.transport import (
 __all__ = [
     "CONTROLLER_FAULT_KINDS",
     "DEFAULT_FAULT_KINDS",
+    "LINK_FAULT_KINDS",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",

@@ -90,6 +90,14 @@ class FaultKind(enum.Enum):
     #: its own clock while a new leader rises on the majority side —
     #: never two leaseholders at once.
     LEASE_STALL = "lease_stall"
+    #: Sever one fabric link (the fabric picks its own victim: a spine
+    #: trunk on the fat-tree, which must reroute; a node pair on the
+    #: crossbar, which loses that direction until healed).
+    LINK_DOWN = "link_down"
+    #: Slow one fabric link down (lossless; latency only).
+    LINK_DEGRADED = "link_degraded"
+    #: Restore every failed and degraded link.
+    LINK_HEAL = "link_heal"
 
 
 #: Kinds a default plan draws from (paired heal/rejoin events are
@@ -118,6 +126,16 @@ CONTROLLER_FAULT_KINDS: Tuple[FaultKind, ...] = (
     FaultKind.LEADER_CRASH,
     FaultKind.FOLLOWER_PARTITION,
     FaultKind.LEASE_STALL,
+)
+
+#: Link-level faults against the fabric topology itself.  Kept out of
+#: DEFAULT_FAULT_KINDS for the same reason as the controller kinds; pass
+#: ``kinds=DEFAULT_FAULT_KINDS + LINK_FAULT_KINDS`` (the CLI's
+#: ``--link-faults``) to mix them in.  ``LINK_HEAL`` is scheduled
+#: automatically as the paired heal, never drawn directly.
+LINK_FAULT_KINDS: Tuple[FaultKind, ...] = (
+    FaultKind.LINK_DOWN,
+    FaultKind.LINK_DEGRADED,
 )
 
 #: Kinds that only make sense with a GPT to desynchronise.
@@ -183,18 +201,20 @@ class FaultPlan:
             if schedule[step] is not None:
                 continue
             kind = pool[int(rng.integers(len(pool)))]
-            if kind in (FaultKind.NODE_CRASH, FaultKind.PARTITION):
+            if kind in (FaultKind.NODE_CRASH, FaultKind.PARTITION,
+                        FaultKind.LINK_DOWN, FaultKind.LINK_DEGRADED):
                 heal_step = step + 2
                 if step <= window_until or heal_step >= steps \
                         or schedule[heal_step] is not None:
                     kind = FaultKind.FLOW_REHOME
                 else:
                     window_until = heal_step
-                    heal = (
-                        FaultKind.NODE_REJOIN
-                        if kind is FaultKind.NODE_CRASH
-                        else FaultKind.PARTITION_HEAL
-                    )
+                    if kind is FaultKind.NODE_CRASH:
+                        heal = FaultKind.NODE_REJOIN
+                    elif kind is FaultKind.PARTITION:
+                        heal = FaultKind.PARTITION_HEAL
+                    else:
+                        heal = FaultKind.LINK_HEAL
                     schedule[heal_step] = FaultEvent(step=heal_step, kind=heal)
             params: Dict[str, int] = {}
             if kind in (FaultKind.FABRIC_DROP, FaultKind.FABRIC_DUPLICATE,
@@ -202,6 +222,8 @@ class FaultPlan:
                 params["count"] = int(rng.integers(1, 4))
             if kind is FaultKind.NODE_CRASH:
                 params["recover"] = int(rng.integers(2))
+            if kind is FaultKind.LINK_DEGRADED:
+                params["factor"] = int(rng.integers(2, 6))
             if kind is FaultKind.FLOW_CHURN:
                 params["connects"] = int(rng.integers(2, 5))
                 params["disconnects"] = int(rng.integers(1, 3))
@@ -357,6 +379,7 @@ class FaultInjector:
             self._heal(node)
         for node in sorted(set(self.failover.down)):
             self._rejoin(node)
+        self._heal_links()
         self.disarm_fabric_budgets()
 
     # -- individual fault handlers -------------------------------------
@@ -408,6 +431,30 @@ class FaultInjector:
     def _heal(self, node: int) -> None:
         self.partitioned.discard(node)
         self.oracle.note_heal(node)
+
+    def _apply_link_down(self, event: FaultEvent) -> None:
+        link = self.cluster.fabric.pick_fault_link(self.rng)
+        if link is None:
+            return
+        self.cluster.fabric.fail_link(link)
+        self.oracle.note_link_down(link)
+
+    def _apply_link_degraded(self, event: FaultEvent) -> None:
+        # Lossless: latency only, so the oracle's delivery invariants
+        # are unchanged and no note is needed.
+        link = self.cluster.fabric.pick_fault_link(self.rng)
+        if link is None:
+            return
+        self.cluster.fabric.degrade_link(
+            link, factor=float(event.params.get("factor", 4))
+        )
+
+    def _apply_link_heal(self, event: FaultEvent) -> None:
+        self._heal_links()
+
+    def _heal_links(self) -> None:
+        self.cluster.fabric.heal_links()
+        self.oracle.note_links_healed()
 
     def _apply_fabric_drop(self, event: FaultEvent) -> None:
         self._drop_budget += event.params.get("count", 1)

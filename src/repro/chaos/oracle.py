@@ -215,6 +215,7 @@ class DifferentialOracle:
         self.reference = ReferenceGateway(gateway.gateway_ip)
         self.down: Set[int] = set()
         self.partitioned: Set[int] = set()
+        self.broken_links: Set[Tuple] = set()
         self.stale_keys: Set[int] = set()
         self.violations: List[OracleViolation] = []
         self.checks = 0
@@ -273,6 +274,14 @@ class DifferentialOracle:
         """A fabric partition healed."""
         self.partitioned.discard(node)
 
+    def note_link_down(self, link) -> None:
+        """A fabric link was severed (transits over it may be lost)."""
+        self.broken_links.add(tuple(link))
+
+    def note_links_healed(self) -> None:
+        """Every severed fabric link was restored."""
+        self.broken_links.clear()
+
     def note_stale(self, key: int) -> None:
         """A key entered a declared replica-staleness window."""
         self.stale_keys.add(key)
@@ -286,7 +295,7 @@ class DifferentialOracle:
     # ------------------------------------------------------------------
 
     def _fault_topology_active(self) -> bool:
-        return bool(self.down or self.partitioned)
+        return bool(self.down or self.partitioned or self.broken_links)
 
     def _violate(self, step: int, invariant: str, key: int, detail: str) -> None:
         self.violations.append(
@@ -318,8 +327,9 @@ class DifferentialOracle:
             result, out = self.gateway.process_downstream(frame, ingress)
         except FabricLoss:
             # Fabric transits are only lossy under an injected fault
-            # (partition or an armed drop budget), so the loss is always
-            # attributable to the plan; the reference charges nothing.
+            # (partition, an armed drop budget or a severed link), so the
+            # loss is always attributable to the plan; the reference
+            # charges nothing.
             self.transit_losses += 1
             self._m_transit_losses.inc()
             self._check()
@@ -435,9 +445,10 @@ class DifferentialOracle:
             self.transit_losses += 1
             self._m_transit_losses.inc()
             self._check()
-            if not self.partitioned:
+            if not self.partitioned and not self.broken_links:
                 self._violate(step, "liveness", key,
-                              "transit lost with no partition declared")
+                              "transit lost with no partition or broken "
+                              "link declared")
             return
         self._check()
         touch = self._expected_touch(key, ingress, record.node)
@@ -526,7 +537,8 @@ class DifferentialOracle:
         The caller must have repaired all staleness, healed partitions
         and rejoined crashed nodes first.
         """
-        if self.stale_keys or self.down or self.partitioned:
+        if (self.stale_keys or self.down or self.partitioned
+                or self.broken_links):
             raise RuntimeError("final_audit requires a repaired cluster")
         num_nodes = len(self.cluster.nodes)
         for key in sorted(self.reference.flows):

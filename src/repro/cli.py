@@ -60,7 +60,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import fabric as fabric_registry
 from repro.cluster.architectures import Architecture
+from repro.cluster.cluster import INGRESS_POLICIES
 from repro.core import serialize, shm
 from repro.core import separator as separator_registry
 from repro.core.hashfamily import canonical_key
@@ -207,7 +209,11 @@ def _run_gateway_trial(args: argparse.Namespace):
 
     architecture = Architecture(args.architecture)
     gen = FlowGenerator(seed=args.seed)
-    gateway = EpcGateway(architecture, args.nodes, parse_ip("192.0.2.1"))
+    gateway = EpcGateway(
+        architecture, args.nodes, parse_ip("192.0.2.1"),
+        fabric_backend=getattr(args, "fabric", None),
+        ingress_policy=getattr(args, "ingress_policy", "random"),
+    )
     flows = gen.populate(gateway, args.flows)
     gateway.start()
     frames = gen.packet_stream(flows, args.packets, zipf_s=args.zipf)
@@ -261,8 +267,12 @@ def _print_metrics_text(registry: MetricsRegistry) -> None:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import DEFAULT_FAULT_KINDS, LINK_FAULT_KINDS
     from repro.sim.soak import SoakRunner
 
+    kinds = None
+    if args.link_faults:
+        kinds = DEFAULT_FAULT_KINDS + LINK_FAULT_KINDS
     runner = SoakRunner(
         seed=args.seed,
         episodes=args.episodes,
@@ -271,6 +281,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         flows=args.flows,
         steps=args.steps,
         packets_per_burst=args.packets,
+        kinds=kinds,
+        fabric_backend=getattr(args, "fabric", None),
     )
     report = runner.run()
     if not emit(report.to_dict(), args.json):
@@ -378,8 +390,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     gpt = next(
         (n.gpt for n in gateway.cluster.nodes if n.gpt is not None), None
     )
+    gateway.cluster.sync_fabric_gauges()
     doc = gateway.registry.snapshot()
     doc["gpt_backend"] = gpt.backend if gpt is not None else None
+    doc["fabric_backend"] = fabric_registry.backend_of(
+        gateway.cluster.fabric
+    )
     if args.hotcache and gpt is not None:
         # Replay the trial's key population through a hot-key cache and
         # report observed vs IRM-predicted hit rate for this capacity.
@@ -408,6 +424,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if not emit(doc, args.json):
         if doc["gpt_backend"] is not None:
             print(f"gpt backend  : {doc['gpt_backend']}")
+        print(f"fabric       : {doc['fabric_backend']}")
         if "hotcache" in doc:
             hc = doc["hotcache"]
             print(f"hotcache     : {hc['hits']}/{hc['hits'] + hc['misses']} "
@@ -719,6 +736,14 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fabric_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fabric", choices=list(fabric_registry.BACKENDS), default=None,
+        help="fabric topology backend "
+             "(default: $REPRO_FABRIC_BACKEND or crossbar)",
+    )
+
+
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     _add_backend_argument(parser)
     parser.add_argument("--seed", type=int, default=7)
@@ -780,7 +805,13 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--packets", type=int, default=1_000)
         p.add_argument("--zipf", type=float, default=0.0)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--ingress-policy", choices=list(INGRESS_POLICIES),
+            default="random",
+            help="how the cluster picks each packet's ingress node",
+        )
         _add_backend_argument(p)
+        _add_fabric_argument(p)
 
     gateway = sub.add_parser("gateway", help="run an EPC simulation")
     add_trial_args(gateway)
@@ -821,9 +852,13 @@ def make_parser() -> argparse.ArgumentParser:
                        help="fault events per episode")
     chaos.add_argument("--packets", type=int, default=12,
                        help="differential packets per traffic burst")
+    chaos.add_argument("--link-faults", action="store_true",
+                       help="mix LINK_DOWN/LINK_DEGRADED (with their "
+                            "paired LINK_HEAL) into the fault pool")
     chaos.add_argument("--json", action="store_true",
                        help="emit the full soak report as JSON")
     _add_backend_argument(chaos)
+    _add_fabric_argument(chaos)
     chaos.set_defaults(func=_cmd_chaos)
 
     bench = sub.add_parser(
@@ -1066,6 +1101,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if getattr(args, "backend", None) is not None:
         separator_registry.set_default_backend(args.backend)
         os.environ[separator_registry.BACKEND_ENV] = args.backend
+    # Same pattern for the fabric topology (--fabric).
+    if getattr(args, "fabric", None) is not None:
+        fabric_registry.set_default_backend(args.fabric)
+        os.environ[fabric_registry.BACKEND_ENV] = args.fabric
     return args.func(args)
 
 

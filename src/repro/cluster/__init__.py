@@ -6,9 +6,9 @@ node's exact FIB); the *performance* half lives in :mod:`repro.model`.
 """
 
 from repro.cluster.architectures import Architecture
-from repro.cluster.fabric import SwitchFabric, FabricStats
+from repro.cluster.fabric import FabricLoss, FabricStats, SwitchFabric
 from repro.cluster.node import ClusterNode, NodeCounters
-from repro.cluster.cluster import Cluster, RouteResult
+from repro.cluster.cluster import Cluster, INGRESS_POLICIES, RouteResult
 from repro.cluster.rib import RoutingInformationBase, RibEntry
 from repro.cluster.update import UpdateEngine, UpdateStats
 from repro.cluster.failover import FailoverManager, FailureImpact
@@ -23,7 +23,9 @@ __all__ = [
     "resize",
     "Architecture",
     "SwitchFabric",
+    "FabricLoss",
     "FabricStats",
+    "INGRESS_POLICIES",
     "ClusterNode",
     "NodeCounters",
     "Cluster",

@@ -30,6 +30,9 @@ from repro.obs.metrics import MetricsRegistry, resolve_registry
 
 FibFactory = Callable[[int], FibTable]
 
+#: Ingress selection policies for :meth:`Cluster.pick_ingress`.
+INGRESS_POLICIES = ("random", "roundrobin", "utilization")
+
 
 @dataclass(frozen=True)
 class RouteResult:
@@ -144,12 +147,20 @@ class Cluster:
         rib: RoutingInformationBase,
         gpt_params: Optional[SeparatorParams] = None,
         registry: Optional[MetricsRegistry] = None,
+        ingress_policy: str = "random",
     ) -> None:
+        if ingress_policy not in INGRESS_POLICIES:
+            raise ValueError(
+                f"unknown ingress policy {ingress_policy!r}; "
+                f"expected one of {', '.join(INGRESS_POLICIES)}"
+            )
         self.architecture = architecture
         self.nodes = nodes
         self.fabric = fabric
         self.rib = rib
         self.gpt_params = gpt_params
+        self.ingress_policy = ingress_policy
+        self._ingress_rr = 0
         self._rng = np.random.default_rng(0xEC)
         self.bind_registry(registry)
 
@@ -179,6 +190,28 @@ class Cluster:
             f"{prefix}.indirections",
             "packets detoured through an intermediate node",
         )
+        self._g_fabric_packets = self.registry.gauge(
+            "fabric.packets", "packets delivered by the fabric"
+        )
+        self._g_fabric_bytes = self.registry.gauge(
+            "fabric.bytes", "bytes delivered by the fabric"
+        )
+        self._g_fabric_dropped = self.registry.gauge(
+            "fabric.dropped", "packets lost in the fabric"
+        )
+        self._g_fabric_max_link = self.registry.gauge(
+            "fabric.max_link", "packets over the busiest fabric link"
+        )
+        self._g_fabric_hops = self.registry.gauge(
+            "fabric.switch_hops", "switch traversals across all packets"
+        )
+        self._g_fabric_reroutes = self.registry.gauge(
+            "fabric.reroutes", "transits forced off their ECMP path"
+        )
+        self._g_fabric_capacity_exceeded = self.registry.gauge(
+            "fabric.capacity_exceeded",
+            "link crossings beyond per-window capacity",
+        )
         self.rib.bind_registry(self.registry)
         for node in self.nodes:
             if node.gpt is not None:
@@ -201,6 +234,8 @@ class Cluster:
         fabric: Optional[SwitchFabric] = None,
         registry: Optional[MetricsRegistry] = None,
         backend: Optional[str] = None,
+        fabric_backend: Optional[str] = None,
+        ingress_policy: str = "random",
     ) -> "Cluster":
         """Stand up a cluster pre-populated with the given flows.
 
@@ -221,6 +256,14 @@ class Cluster:
                 replicas and the update engine (default: disabled).
             backend: separator backend for the GPT; ``None`` uses the
                 process default (:mod:`repro.core.separator`).
+            fabric_backend: fabric topology backend ("crossbar",
+                "fattree"); ``None`` uses the process default
+                (:mod:`repro.fabric`).  Mutually exclusive with an
+                explicit ``fabric``.
+            ingress_policy: how :meth:`pick_ingress` selects the
+                receiving node — "random" (§2's any-node ECMP spray),
+                "roundrobin", or "utilization" (steers toward the node
+                whose fabric links are coolest).
         """
         keys_arr = hashfamily.canonical_keys(keys)
         nodes_arr = np.asarray(handling_nodes, dtype=np.int64)
@@ -231,8 +274,20 @@ class Cluster:
             raise ValueError("handling node out of range")
         if fib_factory is None:
             fib_factory = lambda capacity: CuckooHashTable(capacity)
+        if fabric is not None and fabric_backend is not None:
+            raise ValueError(
+                "pass either an explicit fabric or a fabric_backend name, "
+                "not both"
+            )
         if fabric is None:
-            fabric = SwitchFabric(num_nodes)
+            # Imported lazily: repro.fabric imports this module's sibling
+            # (repro.cluster.fabric) at import time, so a module-level
+            # import here would be a cycle.
+            from repro import fabric as fabric_registry
+
+            fabric = fabric_registry.create(
+                num_nodes, fabric_registry.resolve_backend(fabric_backend)
+            )
 
         # The GPT (and the RIB's block partitioning) exist for ScaleBricks;
         # the RIB itself is kept for every architecture since updates need
@@ -287,7 +342,7 @@ class Cluster:
 
         cluster = cls(
             architecture, cluster_nodes, fabric, rib, gpt_params,
-            registry=registry,
+            registry=registry, ingress_policy=ingress_policy,
         )
         for key, node, value in zip(keys_arr, nodes_arr, values_list):
             cluster._install(int(key), int(node), int(value))
@@ -334,16 +389,38 @@ class Cluster:
         ).astype(np.int64)
 
     def pick_ingress(self) -> int:
-        """ECMP-like ingress selection (§2: any node can receive)."""
+        """Ingress selection under the configured policy.
+
+        "random" is §2's any-node ECMP spray; "roundrobin" cycles the
+        nodes; "utilization" asks the fabric for per-node ingress costs
+        (current-window link occupancy normalised by capacity) and takes
+        the coolest node, feeding the pick back so a burst of picks
+        spreads instead of dog-piling one node.
+        """
+        if self.ingress_policy == "roundrobin":
+            node = self._ingress_rr
+            self._ingress_rr = (node + 1) % len(self.nodes)
+            return node
+        if self.ingress_policy == "utilization":
+            node = int(np.argmin(self.fabric.ingress_costs()))
+            self.fabric.note_ingress(node)
+            return node
         return int(self._rng.integers(len(self.nodes)))
 
     def pick_ingress_batch(self, count: int) -> np.ndarray:
         """Draw ``count`` ingress nodes at once.
 
-        Consumes the generator stream identically to ``count`` scalar
-        :meth:`pick_ingress` calls (PCG64 guarantees the equivalence), so
-        batched and per-packet ingest stay trajectory-identical.
+        Under the "random" policy this consumes the generator stream
+        identically to ``count`` scalar :meth:`pick_ingress` calls (PCG64
+        guarantees the equivalence), so batched and per-packet ingest
+        stay trajectory-identical; the deterministic policies delegate to
+        the scalar picker.
         """
+        if self.ingress_policy != "random":
+            return np.fromiter(
+                (self.pick_ingress() for _ in range(count)),
+                dtype=np.int64, count=count,
+            )
         return self._rng.integers(len(self.nodes), size=count).astype(
             np.int64
         )
@@ -390,9 +467,7 @@ class Cluster:
         """
         keys_arr = hashfamily.canonical_keys(keys)
         if ingress is None:
-            ingress_arr = self._rng.integers(
-                len(self.nodes), size=len(keys_arr)
-            )
+            ingress_arr = self.pick_ingress_batch(len(keys_arr))
         else:
             ingress_arr = np.asarray(ingress)
         if (
@@ -400,6 +475,7 @@ class Cluster:
             and ingress_arr.dtype != object
             and self.architecture is Architecture.SCALEBRICKS
             and self.fabric.fault_hook is None
+            and not self.fabric.has_link_faults()
         ):
             return self._route_batch_scalebricks(
                 keys_arr, ingress_arr.astype(np.int64)
@@ -654,6 +730,21 @@ class Cluster:
             }
             for n in self.nodes
         ]
+
+    def sync_fabric_gauges(self) -> None:
+        """Copy fabric accounting into the ``fabric.*`` gauges.
+
+        Gauges snapshot cumulative fabric state, so they are synced on
+        demand (stats export, episode end) rather than per packet.
+        """
+        stats = self.fabric.stats
+        self._g_fabric_packets.set(stats.packets)
+        self._g_fabric_bytes.set(stats.bytes)
+        self._g_fabric_dropped.set(stats.dropped)
+        self._g_fabric_max_link.set(stats.max_link_packets())
+        self._g_fabric_hops.set(stats.switch_hops)
+        self._g_fabric_reroutes.set(stats.reroutes)
+        self._g_fabric_capacity_exceeded.set(stats.capacity_exceeded)
 
     def total_fib_entries(self) -> int:
         """Sum of FIB entries across nodes (replication inflates this)."""

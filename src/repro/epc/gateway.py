@@ -148,6 +148,8 @@ class EpcGateway:
         fib_factory: Optional[FibFactory] = None,
         rate_limit_bytes_per_s: Optional[float] = None,
         registry: Optional[MetricsRegistry] = None,
+        fabric_backend: Optional[str] = None,
+        ingress_policy: str = "random",
     ) -> None:
         self.architecture = architecture
         self.num_nodes = num_nodes
@@ -209,6 +211,8 @@ class EpcGateway:
         self.tick = 1e-5
         self._gpt_params = gpt_params
         self._fib_factory = fib_factory
+        self._fabric_backend = fabric_backend
+        self._ingress_policy = ingress_policy
         self.cluster: Optional[Cluster] = None
         self.updates: Optional[UpdateEngine] = None
 
@@ -279,6 +283,8 @@ class EpcGateway:
             fib_factory=self._fib_factory,
             gpt_params=self._gpt_params,
             registry=self.registry,
+            fabric_backend=self._fabric_backend,
+            ingress_policy=self._ingress_policy,
         )
         self.updates = UpdateEngine(self.cluster)
 

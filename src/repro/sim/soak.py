@@ -52,6 +52,7 @@ class EpisodeReport:
     transit_losses: int
     violations: List[Dict[str, object]] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
+    fabric: Dict[str, object] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -71,6 +72,7 @@ class EpisodeReport:
             "transit_losses": self.transit_losses,
             "violations": self.violations,
             "counters": self.counters,
+            "fabric": self.fabric,
             "ok": self.ok,
         }
 
@@ -142,6 +144,9 @@ class SoakRunner:
         steps: fault events per episode.
         packets_per_burst: differential packets offered after each event.
         kinds: restrict the fault pool (default: every applicable kind).
+        fabric_backend: fabric topology under test ("crossbar",
+            "fattree"); ``None`` uses the process default
+            (:mod:`repro.fabric`).
     """
 
     def __init__(
@@ -154,6 +159,7 @@ class SoakRunner:
         steps: int = 8,
         packets_per_burst: int = 12,
         kinds: Optional[Sequence[FaultKind]] = None,
+        fabric_backend: Optional[str] = None,
     ) -> None:
         if episodes < 1:
             raise ValueError("need at least one episode")
@@ -167,6 +173,7 @@ class SoakRunner:
         self.steps = steps
         self.packets_per_burst = packets_per_burst
         self.kinds = tuple(kinds) if kinds is not None else None
+        self.fabric_backend = fabric_backend
 
     def _episode_seed(self, episode: int) -> int:
         return self.seed * _EPISODE_STRIDE + episode
@@ -176,7 +183,8 @@ class SoakRunner:
         episode_seed = self._episode_seed(episode)
         flowgen = FlowGenerator(seed=episode_seed)
         gateway = EpcGateway(
-            self.architecture, self.num_nodes, parse_ip("192.0.2.1")
+            self.architecture, self.num_nodes, parse_ip("192.0.2.1"),
+            fabric_backend=self.fabric_backend,
         )
         flowgen.populate(gateway, self.flows)
         gateway.start()
@@ -212,6 +220,20 @@ class SoakRunner:
             for name, value in snapshot["counters"].items()
             if name.startswith(_COUNTER_PREFIXES)
         }
+        # Fabric accounting for the episode: every field is an int or
+        # bool so the JSON report stays byte-deterministic.
+        fabric = gateway.cluster.fabric
+        fabric_report = {
+            "backend": fabric.backend,
+            "packets": int(fabric.stats.packets),
+            "dropped": int(fabric.stats.dropped),
+            "reroutes": int(fabric.stats.reroutes),
+            "capacity_exceeded": int(fabric.stats.capacity_exceeded),
+            "switch_hops": int(fabric.stats.switch_hops),
+            "link_crossings": int(fabric.stats.link_crossings),
+            "max_link_packets": int(fabric.stats.max_link_packets()),
+            "accounting_ok": bool(fabric.verify_accounting()),
+        }
         return EpisodeReport(
             episode=episode,
             seed=episode_seed,
@@ -224,6 +246,7 @@ class SoakRunner:
             transit_losses=oracle.transit_losses,
             violations=[v.to_dict() for v in oracle.violations],
             counters=dict(sorted(counters.items())),
+            fabric=fabric_report,
         )
 
     def run(self) -> SoakReport:

@@ -1,8 +1,9 @@
 """Tests for the switch fabric and architecture taxonomy."""
 
+import numpy as np
 import pytest
 
-from repro.cluster import Architecture, SwitchFabric
+from repro.cluster import Architecture, FabricLoss, SwitchFabric
 
 
 class TestArchitecture:
@@ -76,3 +77,106 @@ class TestSwitchFabric:
     def test_invalid_size(self):
         with pytest.raises(ValueError):
             SwitchFabric(0)
+
+
+class TestSwitchFabricBatch:
+    def test_batch_and_scalar_per_link_accounting_identical(self):
+        rng = np.random.default_rng(42)
+        srcs = rng.integers(5, size=300)
+        dsts = rng.integers(5, size=300)
+        batch = SwitchFabric(5)
+        scalar = SwitchFabric(5)
+        latencies = batch.deliver_batch(srcs, dsts, size=80)
+        expected = np.array(
+            [scalar.deliver(int(s), int(d), size=80)
+             for s, d in zip(srcs, dsts)]
+        )
+        assert np.allclose(latencies, expected)
+        assert batch.stats.per_link_packets == scalar.stats.per_link_packets
+        assert batch.stats.packets == scalar.stats.packets
+        assert batch.stats.bytes == scalar.stats.bytes
+        assert batch.stats.switch_hops == scalar.stats.switch_hops
+        assert batch.stats.link_crossings == scalar.stats.link_crossings
+        assert batch.verify_accounting()
+        assert scalar.verify_accounting()
+
+    def test_deliver_batch_rejects_mismatched_shapes(self):
+        fabric = SwitchFabric(4)
+        with pytest.raises(ValueError, match="equal length"):
+            fabric.deliver_batch(np.array([0, 1, 2]), np.array([1, 2]))
+
+    def test_deliver_batch_rejects_out_of_range_nodes(self):
+        fabric = SwitchFabric(3)
+        with pytest.raises(ValueError, match="not attached"):
+            fabric.deliver_batch(np.array([0, 5]), np.array([1, 2]))
+        with pytest.raises(ValueError, match="not attached"):
+            fabric.deliver_batch(np.array([0, 1]), np.array([1, -1]))
+
+    def test_empty_batch(self):
+        fabric = SwitchFabric(3)
+        out = fabric.deliver_batch(np.array([]), np.array([]))
+        assert out.size == 0
+        assert fabric.stats.packets == 0
+
+    def test_pick_indirect_deterministic_under_fixed_seed(self):
+        a = SwitchFabric(8, seed=123)
+        b = SwitchFabric(8, seed=123)
+        seq_a = [a.pick_indirect(i % 8, (i + 3) % 8) for i in range(64)]
+        seq_b = [b.pick_indirect(i % 8, (i + 3) % 8) for i in range(64)]
+        assert seq_a == seq_b
+        c = SwitchFabric(8, seed=124)
+        seq_c = [c.pick_indirect(i % 8, (i + 3) % 8) for i in range(64)]
+        assert seq_c != seq_a
+
+
+class TestSwitchFabricLinkFaults:
+    def test_fail_link_severs_one_direction_only(self):
+        fabric = SwitchFabric(4)
+        fabric.fail_link((0, 2))
+        with pytest.raises(FabricLoss):
+            fabric.deliver(0, 2)
+        assert fabric.stats.dropped == 1
+        # The reverse direction still works.
+        assert fabric.deliver(2, 0) == fabric.transit_latency_us
+        assert fabric.down_links() == ((0, 2),)
+
+    def test_degrade_link_is_lossless_but_slow(self):
+        fabric = SwitchFabric(4)
+        fabric.degrade_link((1, 3), factor=5.0)
+        assert fabric.deliver(1, 3) == fabric.transit_latency_us * 5.0
+        assert fabric.deliver(3, 1) == fabric.transit_latency_us
+        assert fabric.stats.degraded == 1
+        assert fabric.stats.dropped == 0
+
+    def test_heal_links_restores_everything(self):
+        fabric = SwitchFabric(4)
+        fabric.fail_link((0, 1))
+        fabric.degrade_link((2, 3))
+        assert fabric.has_link_faults()
+        fabric.heal_links()
+        assert not fabric.has_link_faults()
+        assert fabric.deliver(0, 1) == fabric.transit_latency_us
+
+    def test_batch_path_honours_link_faults(self):
+        fabric = SwitchFabric(3)
+        fabric.fail_link((0, 1))
+        with pytest.raises(FabricLoss):
+            fabric.deliver_batch(np.array([2, 0]), np.array([0, 1]))
+
+    def test_pick_fault_link_is_seeded_and_valid(self):
+        fabric = SwitchFabric(5)
+        a = fabric.pick_fault_link(np.random.default_rng(9))
+        b = fabric.pick_fault_link(np.random.default_rng(9))
+        assert a == b
+        src, dst = a
+        assert src != dst
+        assert 0 <= src < 5 and 0 <= dst < 5
+        assert SwitchFabric(1).pick_fault_link(
+            np.random.default_rng(0)
+        ) is None
+
+    def test_busiest_link_deterministic_tie_break(self):
+        fabric = SwitchFabric(4)
+        fabric.deliver(3, 1)
+        fabric.deliver(0, 2)
+        assert fabric.stats.busiest_link() == ((0, 2), 1)
